@@ -1,0 +1,83 @@
+#ifndef CYCLESTREAM_BENCH_BENCH_COMMON_H_
+#define CYCLESTREAM_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment binaries (exp_*). Each binary
+// regenerates one table of EXPERIMENTS.md; they all follow the same shape:
+// build workloads, run R trials per configuration, aggregate with
+// Summarize, print a Table. Common flags: --trials, --seed, --csv, --quick.
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "stream/order.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace cyclestream::bench {
+
+/// Aggregated accuracy/space over trials of one configuration.
+struct TrialStats {
+  Summary rel_error;     // |estimate/truth - 1| per trial.
+  Summary space_words;
+  Summary estimate;
+};
+
+/// Runs `trials` executions of `run` (seeded 0..trials-1) against `truth`
+/// and aggregates. `run` returns (estimate, space_words).
+inline TrialStats RunTrials(
+    int trials, double truth,
+    const std::function<std::pair<double, std::size_t>(int)>& run) {
+  std::vector<double> errors, spaces, estimates;
+  errors.reserve(trials);
+  for (int t = 0; t < trials; ++t) {
+    const auto [estimate, space] = run(t);
+    errors.push_back(RelativeError(estimate, truth));
+    spaces.push_back(static_cast<double>(space));
+    estimates.push_back(estimate);
+  }
+  TrialStats stats;
+  stats.rel_error = Summarize(std::move(errors));
+  stats.space_words = Summarize(std::move(spaces));
+  stats.estimate = Summarize(std::move(estimates));
+  return stats;
+}
+
+/// Standard experiment header: prints the experiment id, the paper claim
+/// under test, and the workload description.
+inline void PrintHeader(const std::string& id, const std::string& claim,
+                        const std::string& workload) {
+  std::cout << "\n=====================================================\n"
+            << id << "\n"
+            << "claim:    " << claim << "\n"
+            << "workload: " << workload << "\n"
+            << "=====================================================\n";
+}
+
+/// Fits the slope of log(y) against log(x) by least squares — used by the
+/// space-scaling experiments to verify exponents (e.g. ≈ -0.5 for m/√T).
+inline double LogLogSlope(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  const std::size_t n = xs.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  return denom == 0.0 ? 0.0 : (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace cyclestream::bench
+
+#endif  // CYCLESTREAM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,242 @@
+// Microbenchmarks (google-benchmark): raw throughput of the substrates and
+// of every streaming counter, in edges (or adjacency items) per second.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/triest.h"
+#include "core/adj_f2_counter.h"
+#include "core/arb_f2_counter.h"
+#include "core/arb_three_pass.h"
+#include "core/diamond_counter.h"
+#include "core/random_order_triangles.h"
+#include "gen/generators.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "sketch/ams_f2.h"
+#include "sketch/count_sketch.h"
+#include "stream/order.h"
+
+namespace cyclestream {
+namespace {
+
+// Shared fixtures, built once.
+const EdgeList& BaGraph() {
+  static const EdgeList* graph = [] {
+    Rng rng(1);
+    return new EdgeList(BarabasiAlbert(20000, 5, rng));
+  }();
+  return *graph;
+}
+
+const Graph& BaCsr() {
+  static const Graph* g = new Graph(BaGraph());
+  return *g;
+}
+
+void BM_GenerateErdosRenyiGnm(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(ErdosRenyiGnm(10000, m, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_GenerateErdosRenyiGnm)->Arg(10000)->Arg(100000);
+
+void BM_GenerateBarabasiAlbert(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(BarabasiAlbert(10000, 5, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_GenerateBarabasiAlbert);
+
+void BM_BuildCsr(benchmark::State& state) {
+  const EdgeList& graph = BaGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Graph(graph));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_edges()));
+}
+BENCHMARK(BM_BuildCsr);
+
+void BM_ExactTriangles(benchmark::State& state) {
+  const Graph& g = BaCsr();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTriangles(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_ExactTriangles);
+
+void BM_ExactFourCycles(benchmark::State& state) {
+  Rng rng(2);
+  const Graph g(ErdosRenyiGnm(4000, 20000, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountFourCycles(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_ExactFourCycles);
+
+void BM_RandomOrderShuffle(benchmark::State& state) {
+  const EdgeList& graph = BaGraph();
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(MakeRandomOrderStream(graph, rng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_edges()));
+}
+BENCHMARK(BM_RandomOrderShuffle);
+
+void BM_TriangleCounterRandomOrder(benchmark::State& state) {
+  const EdgeList& graph = BaGraph();
+  Rng rng(3);
+  const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+  const double t = 60000;  // Guess scale only; throughput test.
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    RandomOrderTriangleCounter::Params params;
+    params.base.epsilon = 0.2;
+    params.base.t_guess = t;
+    params.base.seed = seed++;
+    params.num_vertices = graph.num_vertices();
+    benchmark::DoNotOptimize(CountTrianglesRandomOrder(stream, params));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_TriangleCounterRandomOrder);
+
+void BM_Triest(benchmark::State& state) {
+  const EdgeList& graph = BaGraph();
+  Rng rng(4);
+  const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Triest::Params params;
+    params.reservoir_capacity = static_cast<std::size_t>(state.range(0));
+    params.seed = seed++;
+    Triest algo(params);
+    RunEdgeStream(algo, stream);
+    benchmark::DoNotOptimize(algo.EstimateTriangles());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_Triest)->Arg(1000)->Arg(10000);
+
+void BM_DiamondCounter(benchmark::State& state) {
+  Rng gen(5);
+  EdgeList base(1);
+  base.Finalize();
+  const Graph g(PlantDiamonds(ErdosRenyiGnm(3000, 9000, gen),
+                              {DiamondSpec{8, 50}}, gen));
+  Rng rng(6);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    DiamondFourCycleCounter::Params params;
+    params.base.epsilon = 0.25;
+    params.base.t_guess = 1400;
+    params.base.seed = seed++;
+    params.num_vertices = g.num_vertices();
+    params.max_shifts = 2;
+    benchmark::DoNotOptimize(CountFourCyclesDiamond(stream, params));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_DiamondCounter);
+
+void BM_ArbThreePass(benchmark::State& state) {
+  Rng gen(7);
+  EdgeList graph = PlantFourCycles(ErdosRenyiGnm(3000, 9000, gen), 500, gen);
+  Rng rng(8);
+  EdgeStream stream = graph.edges();
+  rng.Shuffle(stream);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    ArbThreePassFourCycleCounter::Params params;
+    params.base.epsilon = 0.3;
+    params.base.t_guess = 500;
+    params.base.seed = seed++;
+    params.num_vertices = graph.num_vertices();
+    benchmark::DoNotOptimize(CountFourCyclesArbThreePass(stream, params));
+  }
+  state.SetItemsProcessed(state.iterations() * 3 *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ArbThreePass);
+
+void BM_ArbF2PerEdge(benchmark::State& state) {
+  Rng gen(9);
+  const Graph g(ErdosRenyiGnp(200, 0.3, gen));
+  EdgeStream stream = g.edges();
+  ArbF2FourCycleCounter::Params params;
+  params.base.epsilon = 0.15;
+  params.num_vertices = g.num_vertices();
+  params.copies_per_group = static_cast<int>(state.range(0));
+  ArbF2FourCycleCounter counter(params);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    counter.Insert(stream[i % stream.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArbF2PerEdge)->Arg(64)->Arg(512);
+
+void BM_AmsF2Update(benchmark::State& state) {
+  AmsF2 sketch(9, static_cast<std::size_t>(state.range(0)), 1);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    sketch.Update(key++, 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AmsF2Update)->Arg(16)->Arg(128);
+
+void BM_CountSketchUpdate(benchmark::State& state) {
+  CountSketch sketch(5, 512, 2);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    sketch.Update(key++, 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSketchUpdate);
+
+void BM_AdjF2List(benchmark::State& state) {
+  Rng gen(10);
+  const Graph g(ErdosRenyiGnp(200, 0.2, gen));
+  const AdjacencyStream stream = MakeAdjacencyStreamById(g);
+  AdjF2FourCycleCounter::Params params;
+  params.base.epsilon = 0.2;
+  params.base.t_guess = 1e5;
+  params.num_vertices = g.num_vertices();
+  params.copies_per_group = 64;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    params.base.seed = seed++;
+    AdjF2FourCycleCounter counter(params);
+    RunAdjacencyStream(counter, stream);
+    benchmark::DoNotOptimize(counter.Result());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_AdjF2List);
+
+}  // namespace
+}  // namespace cyclestream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,245 @@
+// E13 — the paper's implicit "Table 1" (the §1.1 results list): every
+// algorithm in the paper, side by side, on shared workloads — model, passes,
+// accuracy, and space. This is the one-stop overview table.
+
+#include <iostream>
+
+#include "baselines/bera_chakrabarti.h"
+#include "baselines/cormode_jowhari.h"
+#include "baselines/naive_sampling.h"
+#include "baselines/triest.h"
+#include "bench/bench_common.h"
+#include "core/adj_f2_counter.h"
+#include "core/adj_l2_counter.h"
+#include "core/arb_distinguisher.h"
+#include "core/arb_f2_counter.h"
+#include "core/arb_three_pass.h"
+#include "core/diamond_counter.h"
+#include "core/random_order_triangles.h"
+#include "gen/generators.h"
+#include "graph/datasets.h"
+
+namespace cyclestream {
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool quick = flags.GetBool("quick", false);
+  const int trials = static_cast<int>(flags.GetInt("trials", quick ? 3 : 7));
+
+  bench::PrintHeader(
+      "E13: summary — every algorithm of the paper (the s1.1 results list)",
+      "see DESIGN.md for the claimed bounds per row",
+      "triangles: ER+planted+book, random order; 4-cycles: diamond-planted ER "
+      "(sparse) and dense G(n,p)");
+
+  Table table({"target", "model", "passes", "algorithm", "med.err",
+               "med.space(w)", "stream(w)"});
+
+  // ---- Triangles: ER + planted, random order (T large enough for the
+  // m/sqrt(T) budget to beat storing the stream). ----
+  {
+    Rng gen(1);
+    const VertexId tn = quick ? 8000 : 16000;
+    const std::size_t base_m = quick ? 9000 : 16000;
+    const std::size_t plant = quick ? 16000 : 30000;
+    // Mix in a heavy "book" edge (pages = plant/4 triangles through one
+    // edge): the workload where the (3+eps) baseline loses its constant.
+    EdgeList graph = PlantBook(
+        PlantTriangles(ErdosRenyiGnm(tn, base_m, gen), plant, gen),
+        plant / 4, gen);
+    const double t = static_cast<double>(CountTriangles(Graph(graph)));
+    const std::int64_t stream_words =
+        2 * static_cast<std::int64_t>(graph.num_edges());
+
+    auto ours = bench::RunTrials(trials, t, [&](int trial) {
+      Rng rng(100 + trial);
+      const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+      RandomOrderTriangleCounter::Params params;
+      params.base.epsilon = 0.2;
+      params.base.c = 1.5;
+      params.base.t_guess = std::max(1.0, t);
+      params.base.seed = 1000 + trial;
+      params.num_vertices = graph.num_vertices();
+      params.level_rate = 8.0;  // Sublinear regime (see E2).
+      const Estimate e = CountTrianglesRandomOrder(stream, params);
+      return std::make_pair(e.value, e.space_words);
+    });
+    table.AddRow({"triangles", "random", "1", "mv20 s2.1 (Thm 2.1)",
+                  Table::Pct(ours.rel_error.median),
+                  Table::Int(static_cast<std::int64_t>(ours.space_words.median)),
+                  Table::Int(stream_words)});
+
+    auto cj = bench::RunTrials(trials, t, [&](int trial) {
+      Rng rng(200 + trial);
+      const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+      CormodeJowhariCounter::Params params;
+      params.base.epsilon = 0.2;
+      params.base.c = 1.5;
+      params.base.t_guess = std::max(1.0, t);
+      params.base.seed = 1100 + trial;
+      const Estimate e = CountTrianglesCormodeJowhari(stream, params);
+      return std::make_pair(e.value, e.space_words);
+    });
+    table.AddRow({"triangles", "random", "1", "cormode-jowhari'17",
+                  Table::Pct(cj.rel_error.median),
+                  Table::Int(static_cast<std::int64_t>(cj.space_words.median)),
+                  Table::Int(stream_words)});
+
+    auto triest = bench::RunTrials(trials, t, [&](int trial) {
+      Rng rng(300 + trial);
+      const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+      Triest::Params params;
+      params.reservoir_capacity =
+          std::max<std::size_t>(16,
+                                static_cast<std::size_t>(ours.space_words.median) / 2);
+      params.seed = 1200 + trial;
+      Triest algo(params);
+      RunEdgeStream(algo, stream);
+      const Estimate e = algo.Result();
+      return std::make_pair(e.value, e.space_words);
+    });
+    table.AddRow({"triangles", "arbitrary", "1", "triest-impr'16",
+                  Table::Pct(triest.rel_error.median),
+                  Table::Int(static_cast<std::int64_t>(triest.space_words.median)),
+                  Table::Int(stream_words)});
+  }
+
+  // ---- 4-cycles: sparse diamond-planted ER. ----
+  {
+    Rng gen(2);
+    const VertexId n = quick ? 2000 : 5000;
+    EdgeList graph = PlantDiamonds(
+        ErdosRenyiGnm(n, quick ? 6000 : 15000, gen),
+        {DiamondSpec{10, 40}, DiamondSpec{4, 100}}, gen);
+    const Graph g(graph);
+    const double t = static_cast<double>(CountFourCycles(g));
+    const std::int64_t stream_words = 2 * static_cast<std::int64_t>(g.num_edges());
+
+    auto diamonds = bench::RunTrials(trials, t, [&](int trial) {
+      Rng rng(400 + trial);
+      const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+      DiamondFourCycleCounter::Params params;
+      params.base.epsilon = 0.25;
+      params.base.c = 2.0;
+      params.base.t_guess = std::max(1.0, t);
+      params.base.seed = 1300 + trial;
+      params.num_vertices = g.num_vertices();
+      params.vertex_rate_scale = 0.0625;  // See E5: cancels eps^-2.
+      params.edge_rate_scale = 0.0625;
+      params.max_shifts = 3;
+      const Estimate e = CountFourCyclesDiamond(stream, params);
+      return std::make_pair(e.value, e.space_words);
+    });
+    table.AddRow({"4-cycles", "adj-list", "2", "mv20 diamonds (Thm 4.2)",
+                  Table::Pct(diamonds.rel_error.median),
+                  Table::Int(static_cast<std::int64_t>(diamonds.space_words.median)),
+                  Table::Int(stream_words)});
+
+    auto three_pass = bench::RunTrials(trials, t, [&](int trial) {
+      Rng rng(500 + trial);
+      EdgeStream stream = g.edges();
+      rng.Shuffle(stream);
+      ArbThreePassFourCycleCounter::Params params;
+      params.base.epsilon = 0.3;
+      params.base.c = 1.0;
+      params.base.t_guess = std::max(1.0, t);
+      params.base.seed = 1400 + trial;
+      params.num_vertices = g.num_vertices();
+      params.eta = 24.0;
+      params.rate_scale = 2.0 * 0.09 /
+                          std::log2(double(g.num_vertices()) + 2.0);
+      const Estimate e = CountFourCyclesArbThreePass(stream, params);
+      return std::make_pair(e.value, e.space_words);
+    });
+    table.AddRow({"4-cycles", "arbitrary", "3", "mv20 3-pass (Thm 5.3)",
+                  Table::Pct(three_pass.rel_error.median),
+                  Table::Int(static_cast<std::int64_t>(three_pass.space_words.median)),
+                  Table::Int(stream_words)});
+
+    auto bc = bench::RunTrials(trials, t, [&](int trial) {
+      Rng rng(600 + trial);
+      EdgeStream stream = g.edges();
+      rng.Shuffle(stream);
+      BeraChakrabartiCounter::Params params;
+      params.base.epsilon = 0.3;
+      params.base.c = 1.0;
+      params.base.t_guess = std::max(1.0, t);
+      params.base.seed = 1500 + trial;
+      params.num_pairs = static_cast<std::int64_t>(
+          std::min(500000.0, params.base.c * double(stream.size()) *
+                                 double(stream.size()) / (0.09 * t)));
+      const Estimate e = CountFourCyclesBeraChakrabarti(stream, params);
+      return std::make_pair(e.value, e.space_words);
+    });
+    table.AddRow({"4-cycles", "arbitrary", "2", "bera-chakrabarti'17",
+                  Table::Pct(bc.rel_error.median),
+                  Table::Int(static_cast<std::int64_t>(bc.space_words.median)),
+                  Table::Int(stream_words)});
+  }
+
+  // ---- 4-cycles: dense G(n,p) (the T = Ω(n²) regime). ----
+  {
+    Rng gen(3);
+    const VertexId n = quick ? 130 : 200;
+    const Graph g(ErdosRenyiGnp(n, 0.3, gen));
+    const double t = static_cast<double>(CountFourCycles(g));
+    const std::int64_t stream_words = 2 * static_cast<std::int64_t>(g.num_edges());
+
+    auto adj_f2 = bench::RunTrials(trials, t, [&](int trial) {
+      Rng rng(700 + trial);
+      const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+      AdjF2FourCycleCounter::Params params;
+      params.base.epsilon = 0.15;
+      params.base.t_guess = std::max(1.0, t);
+      params.base.seed = 1600 + trial;
+      params.num_vertices = g.num_vertices();
+      params.copies_per_group = quick ? 96 : 160;
+      const Estimate e = CountFourCyclesAdjF2(stream, params);
+      return std::make_pair(e.value, e.space_words);
+    });
+    table.AddRow({"4-cycles", "adj-list", "1", "mv20 F2/F1 (Thm 4.3a)",
+                  Table::Pct(adj_f2.rel_error.median),
+                  Table::Int(static_cast<std::int64_t>(adj_f2.space_words.median)),
+                  Table::Int(stream_words)});
+
+    auto adj_l2 = bench::RunTrials(std::max(2, trials / 2), t, [&](int trial) {
+      Rng rng(800 + trial);
+      const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+      AdjL2FourCycleCounter::Params params;
+      params.base.epsilon = 0.2;
+      params.base.t_guess = std::max(1.0, t);
+      params.base.seed = 1700 + trial;
+      params.num_vertices = g.num_vertices();
+      params.sampler_copies = quick ? 128 : 384;
+      const Estimate e = CountFourCyclesAdjL2(stream, params);
+      return std::make_pair(e.value, e.space_words);
+    });
+    table.AddRow({"4-cycles", "adj-list", "1", "mv20 l2-sampling (Thm 4.3b)",
+                  Table::Pct(adj_l2.rel_error.median),
+                  Table::Int(static_cast<std::int64_t>(adj_l2.space_words.median)),
+                  Table::Int(stream_words)});
+
+    auto arb_f2 = bench::RunTrials(trials, t, [&](int trial) {
+      Rng rng(900 + trial);
+      EdgeStream stream = g.edges();
+      rng.Shuffle(stream);
+      ArbF2FourCycleCounter::Params params;
+      params.base.epsilon = 0.15;
+      params.base.seed = 1800 + trial;
+      params.num_vertices = g.num_vertices();
+      params.copies_per_group = quick ? 128 : 320;
+      const Estimate e = CountFourCyclesArbF2(stream, params);
+      return std::make_pair(e.value, e.space_words);
+    });
+    table.AddRow({"4-cycles", "arb+dynamic", "1", "mv20 3n-counter (Thm 5.7)",
+                  Table::Pct(arb_f2.rel_error.median),
+                  Table::Int(static_cast<std::int64_t>(arb_f2.space_words.median)),
+                  Table::Int(stream_words)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace cyclestream
+
+int main(int argc, char** argv) { return cyclestream::Main(argc, argv); }

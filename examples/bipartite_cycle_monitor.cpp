@@ -1,0 +1,72 @@
+// Four-cycle monitoring on a bipartite interaction graph. In
+// user-item/author-paper networks the 4-cycle ("butterfly") count is the
+// basic clustering signal — there are no triangles. This example builds a
+// co-purchase-like graph with planted dense blocks (diamonds of varied
+// size), streams its adjacency lists twice, and estimates the 4-cycle count
+// with the §4.1 diamond algorithm (Theorem 4.2).
+//
+//   ./build/examples/bipartite_cycle_monitor --blocks 40
+
+#include <cstdint>
+#include <iostream>
+
+#include "core/diamond_counter.h"
+#include "gen/generators.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "stream/order.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  FlagParser flags(argc, argv);
+  const std::uint64_t seed = flags.GetInt("seed", 11);
+  const std::size_t blocks = static_cast<std::size_t>(flags.GetInt("blocks", 40));
+
+  // Background bipartite noise plus planted co-purchase blocks: a block in
+  // which h users all bought the same pair of items is a size-h diamond and
+  // contributes C(h,2) four-cycles.
+  Rng gen(seed);
+  EdgeList graph = CompleteBipartite(60, 60);  // Dense core.
+  graph = PlantDiamonds(std::move(graph),
+                        {DiamondSpec{4, static_cast<std::size_t>(blocks)},
+                         DiamondSpec{12, static_cast<std::size_t>(blocks / 4)},
+                         DiamondSpec{40, 2}},
+                        gen);
+  const Graph g(graph);
+  const std::uint64_t exact = CountFourCycles(g);
+  std::cout << "bipartite graph: n=" << g.num_vertices()
+            << " m=" << g.num_edges() << " four-cycles=" << exact << "\n";
+  std::cout << "diamond size histogram (size -> count):\n";
+  for (const auto& [size, count] : DiamondHistogram(g)) {
+    if (size >= 4) std::cout << "  " << size << " -> " << count << "\n";
+  }
+  std::cout << "\n";
+
+  Rng rng(seed + 1);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+
+  DiamondFourCycleCounter::Params params;
+  params.base.epsilon = flags.GetDouble("epsilon", 0.2);
+  params.base.c = flags.GetDouble("c", 1.0);
+  params.base.t_guess = static_cast<double>(std::max<std::uint64_t>(exact, 1));
+  params.base.seed = seed + 2;
+  params.num_vertices = g.num_vertices();
+  const Estimate est = CountFourCyclesDiamond(stream, params);
+
+  Table table({"quantity", "value"});
+  table.AddRow({"exact four-cycles", Table::Int(exact)});
+  table.AddRow({"diamond-estimator (2-pass adj list)", Table::Num(est.value, 1)});
+  table.AddRow({"relative error",
+                Table::Pct(std::abs(est.value - double(exact)) /
+                           std::max(1.0, double(exact)))});
+  table.AddRow({"peak space (words)", Table::Int(static_cast<std::int64_t>(est.space_words))});
+  table.AddRow({"full graph (words)", Table::Int(2 * static_cast<std::int64_t>(g.num_edges()))});
+  table.Print(std::cout);
+  if (est.space_words >= 2 * g.num_edges()) {
+    std::cout << "note: toy-scale run; sampling saturates. See "
+                 "bench/exp_e5_adj_diamonds for the space-scaling regime.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Dynamic 4-cycle tracking under edge insertions AND deletions — the §5.3
+// algorithm (Theorem 5.7) is the only one in the paper that survives the
+// turnstile setting ("this algorithm would also work in the dynamic graph
+// setting"). We simulate a churning dense interaction graph: edges arrive,
+// a random subset is later retracted, and the tracker's estimate follows
+// the true count using only Õ(ε⁻²·n) counters.
+//
+//   ./build/examples/dynamic_cycle_tracker --n 220 --p 0.3
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "core/arb_f2_counter.h"
+#include "gen/generators.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  FlagParser flags(argc, argv);
+  const VertexId n = static_cast<VertexId>(flags.GetInt("n", 220));
+  const double p = flags.GetDouble("p", 0.3);
+  const std::uint64_t seed = flags.GetInt("seed", 3);
+
+  Rng gen(seed);
+  const EdgeList graph = ErdosRenyiGnp(n, p, gen);
+
+  ArbF2FourCycleCounter::Params params;
+  params.base.epsilon = flags.GetDouble("epsilon", 0.15);
+  params.base.seed = seed + 1;
+  params.num_vertices = n;
+  params.copies_per_group = static_cast<int>(flags.GetInt("copies", 400));
+  ArbF2FourCycleCounter tracker(params);
+
+  Table table({"phase", "live edges", "exact C4", "tracked C4", "rel.err"});
+  auto report = [&](const char* phase, const std::vector<Edge>& live) {
+    EdgeList snapshot(n);
+    for (const Edge& e : live) snapshot.Add(e.u, e.v);
+    snapshot.Finalize();
+    const double exact = static_cast<double>(CountFourCycles(Graph(snapshot)));
+    const double tracked = tracker.Result().value;
+    table.AddRow({phase, Table::Int(static_cast<std::int64_t>(live.size())),
+                  Table::Num(exact, 0), Table::Num(tracked, 0),
+                  Table::Pct(exact > 0 ? std::abs(tracked - exact) / exact
+                                       : tracked)});
+  };
+
+  // Phase 1: everything arrives.
+  std::vector<Edge> live;
+  for (const Edge& e : graph.edges()) {
+    tracker.Insert(e);
+    live.push_back(e);
+  }
+  report("after inserts", live);
+
+  // Phase 2: a third of the edges churn out.
+  Rng churn(seed + 2);
+  std::vector<Edge> survivors;
+  for (const Edge& e : live) {
+    if (churn.Bernoulli(1.0 / 3.0)) {
+      tracker.Delete(e);
+    } else {
+      survivors.push_back(e);
+    }
+  }
+  report("after deletions", survivors);
+
+  // Phase 3: a fresh wave of edges on the same vertex set.
+  Rng wave(seed + 3);
+  const EdgeList extra = ErdosRenyiGnp(n, p / 3.0, wave);
+  for (const Edge& e : extra.edges()) {
+    // Avoid double-inserting surviving edges.
+    bool already = false;
+    for (const Edge& s : survivors) {
+      if (s == e) {
+        already = true;
+        break;
+      }
+    }
+    if (!already) {
+      tracker.Insert(e);
+      survivors.push_back(e);
+    }
+  }
+  report("after new wave", survivors);
+
+  table.Print(std::cout);
+  std::cout << "\ntracker space: " << tracker.Result().space_words
+            << " words (3n counters per estimator copy)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: estimate the triangle count of a graph from a single pass over
+// a randomly ordered edge stream (the §2.1 algorithm, Theorem 2.1), and
+// compare with the exact count.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [--graph path/to/edgelist.txt]
+
+#include <iostream>
+
+#include "core/random_order_triangles.h"
+#include "gen/generators.h"
+#include "graph/datasets.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "stream/order.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace cyclestream;
+  FlagParser flags(argc, argv);
+  const std::string path = flags.GetString("graph", "");
+
+  // 1. Get a graph: a SNAP-format edge list from disk, the embedded Zachary
+  //    karate club (--karate), or a generated scale-free graph by default —
+  //    the streaming guarantees are asymptotic, so the default demo uses a
+  //    graph large enough for the sampling rates to matter.
+  EdgeList graph;
+  if (!path.empty()) {
+    auto loaded = LoadEdgeListText(path);
+    if (!loaded) {
+      std::cerr << "could not load " << path << "\n";
+      return 1;
+    }
+    graph = std::move(*loaded);
+  } else if (flags.GetBool("karate", false)) {
+    graph = KarateClub();
+  } else {
+    Rng gen(flags.GetInt("seed", 42));
+    graph = BarabasiAlbert(static_cast<VertexId>(flags.GetInt("n", 10000)), 6, gen);
+  }
+  const Graph g(graph);
+  std::cout << "graph: n=" << g.num_vertices() << " m=" << g.num_edges()
+            << "\n";
+
+  // 2. Ground truth (offline, O(m^{3/2})).
+  const std::uint64_t exact = CountTriangles(g);
+  std::cout << "exact triangles: " << exact << "\n";
+
+  // 3. Stream the edges in random order and estimate with the one-pass
+  //    algorithm. t_guess is the advance estimate of T that the paper's
+  //    convention requires; here we feed the true value.
+  Rng rng(flags.GetInt("seed", 42));
+  const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+
+  RandomOrderTriangleCounter::Params params;
+  params.base.epsilon = flags.GetDouble("epsilon", 0.1);
+  params.base.c = flags.GetDouble("c", 2.0);
+  params.base.t_guess = flags.GetDouble("t_guess", std::max<double>(1.0, exact));
+  params.base.seed = flags.GetInt("seed", 42);
+  params.num_vertices = graph.num_vertices();
+
+  const Estimate est = CountTrianglesRandomOrder(stream, params);
+  std::cout << "streaming estimate: " << est.value << " (rel.err "
+            << (exact > 0 ? std::abs(est.value - double(exact)) / exact : 0.0)
+            << ")\n"
+            << "peak space (words): " << est.space_words << " vs "
+            << 2 * g.num_edges() << " words for the full graph\n";
+  if (est.space_words >= 2 * g.num_edges()) {
+    std::cout << "note: on graphs this small the sampling rates saturate and "
+                 "the algorithm stores everything;\n      run with a larger "
+                 "graph (or see bench/exp_e2) for the m/sqrt(T) regime.\n";
+  }
+  return 0;
+}

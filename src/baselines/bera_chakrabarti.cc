@@ -1,0 +1,114 @@
+#include "baselines/bera_chakrabarti.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+BeraChakrabartiCounter::BeraChakrabartiCounter(const Params& params)
+    : params_(params), rng_(params.base.seed ^ 0x4243ULL) {
+  CHECK_GE(params.base.t_guess, 1.0);
+  CHECK_GT(params.base.epsilon, 0.0);
+}
+
+void BeraChakrabartiCounter::StartPass(int pass, std::size_t stream_length) {
+  if (pass != 0) return;
+  stream_length_ = stream_length;
+  if (stream_length < 2) return;
+
+  const double m = static_cast<double>(stream_length);
+  std::int64_t k = params_.num_pairs;
+  if (k <= 0) {
+    const double derived = params_.base.c * m * m /
+                           (params_.base.epsilon * params_.base.epsilon *
+                            params_.base.t_guess);
+    k = static_cast<std::int64_t>(std::min(derived, 4194304.0));
+    k = std::max<std::int64_t>(k, 16);
+  }
+  num_pairs_ = static_cast<std::size_t>(k);
+
+  slots_.assign(num_pairs_, Slot{});
+  picks_.clear();
+  for (std::size_t i = 0; i < num_pairs_; ++i) {
+    const std::size_t pos1 =
+        static_cast<std::size_t>(rng_.UniformInt(stream_length));
+    std::size_t pos2 = pos1;
+    while (pos2 == pos1) {
+      pos2 = static_cast<std::size_t>(rng_.UniformInt(stream_length));
+    }
+    picks_[pos1].emplace_back(i, 0);
+    picks_[pos2].emplace_back(i, 1);
+  }
+}
+
+void BeraChakrabartiCounter::ProcessEdge(int pass, const Edge& e,
+                                         std::size_t position) {
+  if (pass == 0) {
+    auto it = picks_.find(position);
+    if (it == picks_.end()) return;
+    for (const auto& [slot, which] : it->second) {
+      if (which == 0) {
+        slots_[slot].first = e;
+      } else {
+        slots_[slot].second = e;
+      }
+    }
+    return;
+  }
+  // Pass 2: resolve connector probes.
+  auto it = probes_.find(e.Key());
+  if (it == probes_.end()) return;
+  for (const auto& [slot, connector] : it->second) {
+    slots_[slot].have[connector] = true;
+  }
+}
+
+void BeraChakrabartiCounter::EndPass(int pass) {
+  if (pass == 0) {
+    // Register the four possible connector edges per vertex-disjoint pair:
+    // with e = (u,v), e' = (x,y), the two completions are
+    // {(v,x),(u,y)} and {(v,y),(u,x)}.
+    probes_.clear();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      const Edge& a = slot.first;
+      const Edge& b = slot.second;
+      slot.valid = a.u != b.u && a.u != b.v && a.v != b.u && a.v != b.v &&
+                   !(a == b);
+      if (!slot.valid) continue;
+      slot.connectors[0] = Edge(a.v, b.u);
+      slot.connectors[1] = Edge(a.u, b.v);
+      slot.connectors[2] = Edge(a.v, b.v);
+      slot.connectors[3] = Edge(a.u, b.u);
+      for (int c = 0; c < 4; ++c) {
+        probes_[slot.connectors[c].Key()].emplace_back(i, c);
+      }
+    }
+    return;
+  }
+  // Final estimate.
+  double c_sum = 0.0;
+  for (const Slot& slot : slots_) {
+    if (!slot.valid) continue;
+    c_sum += (slot.have[0] && slot.have[1]) ? 1.0 : 0.0;
+    c_sum += (slot.have[2] && slot.have[3]) ? 1.0 : 0.0;
+  }
+  const double m = static_cast<double>(stream_length_);
+  const double pairs_total = m * (m - 1.0) / 2.0;
+  const double mean = slots_.empty()
+                          ? 0.0
+                          : c_sum / static_cast<double>(slots_.size());
+  result_.value = mean * pairs_total / 2.0;
+  result_.space_words = 12 * slots_.size();
+}
+
+Estimate CountFourCyclesBeraChakrabarti(
+    const EdgeStream& stream, const BeraChakrabartiCounter::Params& params) {
+  BeraChakrabartiCounter counter(params);
+  RunEdgeStream(counter, stream);
+  return counter.Result();
+}
+
+}  // namespace cyclestream

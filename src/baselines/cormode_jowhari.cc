@@ -1,0 +1,86 @@
+#include "baselines/cormode_jowhari.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+CormodeJowhariCounter::CormodeJowhariCounter(const Params& params)
+    : params_(params) {
+  CHECK_GE(params.base.t_guess, 1.0);
+  CHECK_GT(params.base.epsilon, 0.0);
+  const double sqrt_t = std::sqrt(params.base.t_guess);
+  r_ = params.prefix_rate > 0.0
+           ? std::min(1.0, params.prefix_rate)
+           : std::min(1.0, params.base.c / (params.base.epsilon * sqrt_t));
+  cap_ = params.cap > 0.0 ? params.cap
+                          : std::max(1.0, params.base.c * r_ * sqrt_t);
+}
+
+void CormodeJowhariCounter::StartPass(int pass, std::size_t stream_length) {
+  CHECK_EQ(pass, 0);
+  stream_length_ = stream_length;
+  prefix_edges_ = static_cast<std::size_t>(
+      std::ceil(r_ * static_cast<double>(stream_length)));
+}
+
+void CormodeJowhariCounter::ProcessEdge(int pass, const Edge& e,
+                                        std::size_t position) {
+  (void)pass;
+  if (position < prefix_edges_) {
+    prefix_adj_[e.u].push_back(e.v);
+    prefix_adj_[e.v].push_back(e.u);
+    ++prefix_count_;
+  } else {
+    auto iu = prefix_adj_.find(e.u);
+    auto iv = prefix_adj_.find(e.v);
+    if (iu != prefix_adj_.end() && iv != prefix_adj_.end()) {
+      const auto& small =
+          iu->second.size() <= iv->second.size() ? iu->second : iv->second;
+      const auto& large_owner =
+          iu->second.size() <= iv->second.size() ? e.v : e.u;
+      double t_e = 0.0;
+      for (VertexId w : small) {
+        if (w == e.u || w == e.v) continue;
+        const auto io = prefix_adj_.find(w);
+        if (io == prefix_adj_.end()) continue;
+        if (std::find(io->second.begin(), io->second.end(), large_owner) !=
+            io->second.end()) {
+          t_e += 1.0;
+        }
+      }
+      capped_sum_ += std::min(t_e, cap_);
+    }
+  }
+  space_.Update(2 * prefix_count_ + 4);
+}
+
+void CormodeJowhariCounter::EndPass(int pass) {
+  CHECK_EQ(pass, 0);
+  const double m = static_cast<double>(stream_length_);
+  const double s = static_cast<double>(prefix_count_);
+  double estimate = 0.0;
+  if (s >= 2.0 && m > s) {
+    // A triangle is seen iff two of its edges land in the prefix and the
+    // completing edge arrives after: probability 3·(s/m)²·(1−s/m) per
+    // triangle (up to lower-order terms).
+    const double per_triangle = 3.0 * (s / m) * (s / m) * (1.0 - s / m);
+    estimate = capped_sum_ / per_triangle;
+  } else if (s >= m) {
+    // Degenerate: the whole stream is the prefix; nothing completes wedges.
+    estimate = 0.0;
+  }
+  result_.value = estimate;
+  result_.space_words = space_.Peak();
+}
+
+Estimate CountTrianglesCormodeJowhari(
+    const EdgeStream& stream, const CormodeJowhariCounter::Params& params) {
+  CormodeJowhariCounter counter(params);
+  RunEdgeStream(counter, stream);
+  return counter.Result();
+}
+
+}  // namespace cyclestream

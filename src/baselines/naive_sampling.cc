@@ -1,0 +1,48 @@
+#include "baselines/naive_sampling.h"
+
+#include "graph/edge_list.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "hash/kwise.h"
+#include "util/check.h"
+
+namespace cyclestream {
+namespace {
+
+EdgeList SampleStream(const EdgeStream& stream, const NaiveSamplingParams& params) {
+  CHECK_GT(params.p, 0.0);
+  CHECK_LE(params.p, 1.0);
+  KWiseHash hash(8, params.seed ^ 0x4e53ULL);
+  EdgeList sample;
+  for (const Edge& e : stream) {
+    if (hash.ToUnit(e.Key()) < params.p) sample.Add(e.u, e.v);
+  }
+  sample.Finalize();
+  return sample;
+}
+
+}  // namespace
+
+Estimate NaiveSampleTriangles(const EdgeStream& stream,
+                              const NaiveSamplingParams& params) {
+  const EdgeList sample = SampleStream(stream, params);
+  const Graph g(sample);
+  Estimate result;
+  result.value = static_cast<double>(CountTriangles(g)) /
+                 (params.p * params.p * params.p);
+  result.space_words = 2 * sample.num_edges();
+  return result;
+}
+
+Estimate NaiveSampleFourCycles(const EdgeStream& stream,
+                               const NaiveSamplingParams& params) {
+  const EdgeList sample = SampleStream(stream, params);
+  const Graph g(sample);
+  Estimate result;
+  result.value = static_cast<double>(CountFourCycles(g)) /
+                 (params.p * params.p * params.p * params.p);
+  result.space_words = 2 * sample.num_edges();
+  return result;
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,32 @@
+#ifndef CYCLESTREAM_BASELINES_NAIVE_SAMPLING_H_
+#define CYCLESTREAM_BASELINES_NAIVE_SAMPLING_H_
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "stream/driver.h"
+
+namespace cyclestream {
+
+/// Naïve subgraph-sampling baseline: keep each stream edge independently
+/// with probability p, count the target subgraphs inside the sample
+/// offline, and rescale by p^{-k} (k = 3 for triangles, 4 for 4-cycles).
+/// Unbiased but with variance that explodes as p shrinks — the control
+/// every sophisticated algorithm must beat at equal space.
+struct NaiveSamplingParams {
+  double p = 0.1;
+  std::uint64_t seed = 0;
+};
+
+/// One pass; returns the rescaled triangle estimate and the sample size (in
+/// words) as the space.
+Estimate NaiveSampleTriangles(const EdgeStream& stream,
+                              const NaiveSamplingParams& params);
+
+/// One pass; rescaled 4-cycle estimate.
+Estimate NaiveSampleFourCycles(const EdgeStream& stream,
+                               const NaiveSamplingParams& params);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_BASELINES_NAIVE_SAMPLING_H_

@@ -1,0 +1,100 @@
+#include "baselines/triest.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+Triest::Triest(const Params& params)
+    : params_(params), rng_(params.seed ^ 0x7269657374ULL) {
+  CHECK_GE(params.reservoir_capacity, 3u);
+  reservoir_.reserve(params.reservoir_capacity);
+}
+
+void Triest::StartPass(int pass, std::size_t stream_length) {
+  CHECK_EQ(pass, 0);
+  (void)stream_length;
+}
+
+std::uint64_t Triest::CountReservoirTriangles(const Edge& e) const {
+  auto iu = adj_.find(e.u);
+  auto iv = adj_.find(e.v);
+  if (iu == adj_.end() || iv == adj_.end()) return 0;
+  const auto& small = iu->second.size() <= iv->second.size() ? iu->second
+                                                             : iv->second;
+  const auto& large = iu->second.size() <= iv->second.size() ? iv->second
+                                                             : iu->second;
+  std::uint64_t count = 0;
+  for (VertexId w : small) {
+    if (large.count(w) > 0) ++count;
+  }
+  return count;
+}
+
+void Triest::AddToReservoir(const Edge& e) {
+  reservoir_.push_back(e);
+  adj_[e.u].insert(e.v);
+  adj_[e.v].insert(e.u);
+}
+
+void Triest::RemoveFromReservoir(const Edge& e) {
+  adj_[e.u].erase(e.v);
+  adj_[e.v].erase(e.u);
+}
+
+void Triest::ProcessEdge(int pass, const Edge& e, std::size_t position) {
+  (void)pass;
+  (void)position;
+  ++time_;
+  const double t = static_cast<double>(time_);
+  const double m = static_cast<double>(params_.reservoir_capacity);
+
+  if (params_.variant == Variant::kImproved) {
+    // Count first, with the time-dependent weight; never decrement.
+    const double eta = std::max(1.0, (t - 1.0) * (t - 2.0) / (m * (m - 1.0)));
+    tau_ += eta * static_cast<double>(CountReservoirTriangles(e));
+  }
+
+  // Reservoir step.
+  if (reservoir_.size() < params_.reservoir_capacity) {
+    if (params_.variant == Variant::kBase) {
+      tau_ += static_cast<double>(CountReservoirTriangles(e));
+    }
+    AddToReservoir(e);
+    return;
+  }
+  if (rng_.UniformDouble() < m / t) {
+    const std::size_t victim =
+        static_cast<std::size_t>(rng_.UniformInt(reservoir_.size()));
+    const Edge evicted = reservoir_[victim];
+    RemoveFromReservoir(evicted);
+    if (params_.variant == Variant::kBase) {
+      tau_ -= static_cast<double>(CountReservoirTriangles(evicted));
+      tau_ += static_cast<double>(CountReservoirTriangles(e));
+    }
+    reservoir_[victim] = e;
+    adj_[e.u].insert(e.v);
+    adj_[e.v].insert(e.u);
+  }
+}
+
+void Triest::EndPass(int pass) { CHECK_EQ(pass, 0); }
+
+double Triest::EstimateTriangles() const {
+  const double t = static_cast<double>(time_);
+  const double m = static_cast<double>(params_.reservoir_capacity);
+  if (params_.variant == Variant::kImproved) return tau_;
+  const double xi =
+      std::max(1.0, t * (t - 1.0) * (t - 2.0) / (m * (m - 1.0) * (m - 2.0)));
+  return tau_ * xi;
+}
+
+Estimate Triest::Result() const {
+  Estimate result;
+  result.value = EstimateTriangles();
+  result.space_words = 2 * params_.reservoir_capacity + 2;
+  return result;
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,67 @@
+#ifndef CYCLESTREAM_BASELINES_TRIEST_H_
+#define CYCLESTREAM_BASELINES_TRIEST_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "graph/types.h"
+#include "hash/rng.h"
+#include "stream/driver.h"
+
+namespace cyclestream {
+
+/// TRIEST (De Stefani et al., KDD 2016): practical one-pass triangle
+/// counting over arbitrary-order streams with a fixed edge-reservoir budget.
+/// Implemented as the paper's comparison point from the practical streaming
+/// literature (the "novelty" axis: reservoir methods exist; the §2.1
+/// random-order algorithm is what's new).
+///
+/// Two variants:
+///  - base: counters track triangles *inside* the reservoir; the final count
+///    is rescaled by the inverse probability ξ(t) that a triangle's three
+///    edges are all retained.
+///  - impr: every arriving edge counts its reservoir triangles immediately
+///    with weight η(t) = max(1, (t−1)(t−2)/(M(M−1))); no decrements on
+///    eviction. Lower variance, never-decreasing estimate.
+class Triest : public EdgeStreamAlgorithm {
+ public:
+  enum class Variant { kBase, kImproved };
+
+  struct Params {
+    std::size_t reservoir_capacity = 1000;  // M.
+    Variant variant = Variant::kImproved;
+    std::uint64_t seed = 0;
+  };
+
+  explicit Triest(const Params& params);
+
+  // EdgeStreamAlgorithm:
+  int NumPasses() const override { return 1; }
+  void StartPass(int pass, std::size_t stream_length) override;
+  void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
+  void EndPass(int pass) override;
+
+  /// Current estimate of the global triangle count (valid at any time).
+  double EstimateTriangles() const;
+
+  Estimate Result() const;
+
+ private:
+  std::uint64_t CountReservoirTriangles(const Edge& e) const;
+  void AddToReservoir(const Edge& e);
+  void RemoveFromReservoir(const Edge& e);
+
+  Params params_;
+  Rng rng_;
+  std::size_t time_ = 0;  // Stream elements seen.
+  std::vector<Edge> reservoir_;
+  std::unordered_map<VertexId, std::unordered_set<VertexId>> adj_;
+  double tau_ = 0.0;  // Global triangle counter (semantics per variant).
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_BASELINES_TRIEST_H_

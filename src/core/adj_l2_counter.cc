@@ -1,0 +1,87 @@
+#include "core/adj_l2_counter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/types.h"
+#include "hash/rng.h"
+#include "util/check.h"
+
+namespace cyclestream {
+
+AdjL2FourCycleCounter::AdjL2FourCycleCounter(const Params& params)
+    : params_(params) {
+  CHECK_GE(params.num_vertices, 2u);
+  CHECK_GT(params.base.epsilon, 0.0);
+  CHECK_GE(params.base.t_guess, 1.0);
+  const double eps = params.base.epsilon;
+  const double n = static_cast<double>(params.num_vertices);
+  const double t = params.base.t_guess;
+
+  int copies = params.sampler_copies;
+  if (copies <= 0) {
+    // Need r = O(ε⁻²·F₂/T) accepted samples and each copy accepts with
+    // probability ≈ the sampler's threshold slack; F₂ ≤ n² + 6T.
+    const double r = std::min(4096.0, 8.0 / (eps * eps) *
+                                          std::max(1.0, (n * n + 6.0 * t) / t));
+    copies = static_cast<int>(std::max(32.0, r));
+  }
+  L2Sampler::Config config;
+  config.copies = static_cast<std::size_t>(copies);
+  config.sketch_depth = params.sketch_depth;
+  config.sketch_width = params.sketch_width;
+  config.epsilon = 0.25;
+  sampler_ = std::make_unique<L2Sampler>(config, params.base.seed ^ 0x4c32ULL);
+}
+
+AdjL2FourCycleCounter::~AdjL2FourCycleCounter() = default;
+
+void AdjL2FourCycleCounter::StartPass(int pass, std::size_t num_lists) {
+  (void)pass;
+  (void)num_lists;
+}
+
+void AdjL2FourCycleCounter::ProcessList(int pass, const AdjacencyList& list,
+                                        std::size_t position) {
+  CHECK_EQ(pass, 0);
+  (void)position;
+  max_list_len_ = std::max(max_list_len_, list.neighbors.size());
+  // Expand the buffered list into wedge-vector increments.
+  for (std::size_t i = 0; i < list.neighbors.size(); ++i) {
+    for (std::size_t j = i + 1; j < list.neighbors.size(); ++j) {
+      sampler_->Update(PairKey(list.neighbors[i], list.neighbors[j]), 1.0);
+    }
+  }
+  space_.Update(sampler_->SpaceWords() + max_list_len_);
+}
+
+void AdjL2FourCycleCounter::EndPass(int pass) {
+  CHECK_EQ(pass, 0);
+  const double f2 = std::max(sampler_->EstimateF2(), 0.0);
+  const auto samples = sampler_->DrawAll();
+  samples_used_ = samples.size();
+
+  Rng rng(params_.base.seed ^ 0xbe7ULL);
+  double x_sum = 0.0;
+  for (const auto& sample : samples) {
+    const double x_uv = std::max(sample.value_estimate, 0.0);
+    // X = 1 with probability (x−1)/(4x); E[X] = T / F₂.
+    const double p = x_uv > 1.0 ? (x_uv - 1.0) / (4.0 * x_uv) : 0.0;
+    x_sum += rng.Bernoulli(p) ? 1.0 : 0.0;
+  }
+  const double x_mean =
+      samples.empty() ? 0.0 : x_sum / static_cast<double>(samples.size());
+
+  space_.Update(sampler_->SpaceWords() + max_list_len_);
+  result_.value = x_mean * f2;
+  result_.space_words = space_.Peak();
+}
+
+Estimate CountFourCyclesAdjL2(const AdjacencyStream& stream,
+                              const AdjL2FourCycleCounter::Params& params) {
+  AdjL2FourCycleCounter counter(params);
+  RunAdjacencyStream(counter, stream);
+  return counter.Result();
+}
+
+}  // namespace cyclestream

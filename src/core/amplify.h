@@ -1,0 +1,67 @@
+#ifndef CYCLESTREAM_CORE_AMPLIFY_H_
+#define CYCLESTREAM_CORE_AMPLIFY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "util/check.h"
+
+namespace cyclestream {
+
+/// Success-probability amplification, as the paper prescribes after
+/// Theorems 5.3 and 5.6: "by running Θ(log 1/δ) copies of the algorithm in
+/// parallel and taking the median of their outputs, we can increase the
+/// success probability to 1 − δ."
+///
+/// `run` maps a seed to one independent Estimate (typically: construct the
+/// algorithm with that seed and replay the stream). Space is the sum over
+/// copies — the copies run in parallel in the model, so their space adds.
+///
+///   Estimate e = AmplifyMedian(0.05, seed, [&](std::uint64_t s) {
+///     auto p = params; p.base.seed = s;
+///     return CountFourCyclesArbThreePass(stream, p);
+///   });
+template <typename RunFn>
+Estimate AmplifyMedian(double delta, std::uint64_t seed, RunFn run) {
+  CHECK_GT(delta, 0.0);
+  CHECK_LT(delta, 1.0);
+  // ceil(c·log(1/δ)) copies, odd so the median is a single run's output.
+  int copies = static_cast<int>(std::ceil(2.0 * std::log(1.0 / delta))) | 1;
+  copies = std::max(copies, 1);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(copies));
+  std::size_t space = 0;
+  for (int i = 0; i < copies; ++i) {
+    const Estimate e = run(seed + 0x9e3779b9ULL * (i + 1));
+    values.push_back(e.value);
+    space += e.space_words;
+  }
+  std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                   values.end());
+  Estimate out;
+  out.value = values[values.size() / 2];
+  out.space_words = space;
+  return out;
+}
+
+/// Majority-vote amplification for boolean distinguishers (Theorem 5.6's
+/// variant). Returns the majority answer over Θ(log 1/δ) copies.
+template <typename RunFn>
+bool AmplifyMajority(double delta, std::uint64_t seed, RunFn run) {
+  CHECK_GT(delta, 0.0);
+  CHECK_LT(delta, 1.0);
+  int copies = static_cast<int>(std::ceil(2.0 * std::log(1.0 / delta))) | 1;
+  copies = std::max(copies, 1);
+  int yes = 0;
+  for (int i = 0; i < copies; ++i) {
+    yes += run(seed + 0x9e3779b9ULL * (i + 1)) ? 1 : 0;
+  }
+  return 2 * yes > copies;
+}
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_CORE_AMPLIFY_H_

@@ -1,0 +1,86 @@
+#include "core/arb_distinguisher.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+ArbTwoPassDistinguisher::ArbTwoPassDistinguisher(const Params& params)
+    : params_(params), sample_hash_(8, params.base.seed ^ 0x4453ULL) {
+  CHECK_GE(params.base.t_guess, 1.0);
+  p_ = std::min(1.0, params.base.c / std::sqrt(params.base.t_guess));
+}
+
+void ArbTwoPassDistinguisher::StartPass(int pass, std::size_t stream_length) {
+  (void)stream_length;
+  if (pass == 1) {
+    collect_cap_ =
+        params_.collect_cap > 0
+            ? params_.collect_cap
+            : static_cast<std::size_t>(
+                  2.0 * std::pow(static_cast<double>(sampled_vertices_.size()),
+                                 1.5)) +
+                  4;
+  }
+}
+
+bool ArbTwoPassDistinguisher::InsertAndCheck(const Edge& e) {
+  if (!collected_set_.insert(e.Key()).second) return false;
+  // A new 4-cycle through (u,v) is a pre-existing path u - x - w - v.
+  bool closes = false;
+  auto iu = collected_adj_.find(e.u);
+  auto iv = collected_adj_.find(e.v);
+  if (iu != collected_adj_.end() && iv != collected_adj_.end()) {
+    for (VertexId x : iu->second) {
+      if (x == e.v) continue;
+      for (VertexId w : iv->second) {
+        if (w == e.u || w == x) continue;
+        if (collected_set_.count(Edge(x, w).Key()) > 0) {
+          closes = true;
+          break;
+        }
+      }
+      if (closes) break;
+    }
+  }
+  collected_adj_[e.u].push_back(e.v);
+  collected_adj_[e.v].push_back(e.u);
+  ++collected_count_;
+  return closes;
+}
+
+void ArbTwoPassDistinguisher::ProcessEdge(int pass, const Edge& e,
+                                          std::size_t position) {
+  (void)position;
+  if (pass == 0) {
+    if (sample_hash_.ToUnit(e.Key()) < p_) {
+      sample_.push_back(e);
+      sampled_vertices_.insert(e.u);
+      sampled_vertices_.insert(e.v);
+    }
+  } else {
+    if (found_ || collected_count_ >= collect_cap_) return;
+    if (sampled_vertices_.count(e.u) == 0 ||
+        sampled_vertices_.count(e.v) == 0) {
+      return;
+    }
+    if (InsertAndCheck(e)) found_ = true;
+  }
+  space_.Update(2 * sample_.size() + sampled_vertices_.size() +
+                2 * collected_count_);
+}
+
+void ArbTwoPassDistinguisher::EndPass(int pass) { (void)pass; }
+
+bool DistinguishFourCycles(const EdgeStream& stream,
+                           const ArbTwoPassDistinguisher::Params& params,
+                           std::size_t* space_words) {
+  ArbTwoPassDistinguisher algo(params);
+  RunEdgeStream(algo, stream);
+  if (space_words != nullptr) *space_words = algo.SpaceWords();
+  return algo.FoundFourCycle();
+}
+
+}  // namespace cyclestream

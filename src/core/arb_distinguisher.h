@@ -1,0 +1,79 @@
+#ifndef CYCLESTREAM_CORE_ARB_DISTINGUISHER_H_
+#define CYCLESTREAM_CORE_ARB_DISTINGUISHER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "hash/kwise.h"
+#include "stream/driver.h"
+#include "stream/space.h"
+
+namespace cyclestream {
+
+/// The §5.2 algorithm (Theorem 5.6): two passes over an arbitrary-order
+/// stream, Õ(m^{3/2}/T^{3/4}) space, distinguishes graphs with no 4-cycles
+/// from graphs with at least T of them (success probability ≥ 2/3).
+///
+/// Pass 1 samples edges at rate p = c/√T (set S). If the graph has T
+/// 4-cycles then with constant probability S contains two vertex-disjoint
+/// edges of one 4-cycle (Lemma 5.5, using the structural Lemma 5.1 to
+/// discount heavy pairs). Pass 2 collects edges of the subgraph induced by
+/// S's endpoints: by the Kővári–Sós–Turán bound (Lemma 5.4), a C4-free
+/// graph on |V_S| vertices has < 2|V_S|^{3/2} edges, so either a 4-cycle
+/// appears within the budget or the instance is declared C4-free.
+class ArbTwoPassDistinguisher : public EdgeStreamAlgorithm {
+ public:
+  struct Params {
+    ApproxConfig base;    // Uses t_guess (the T to distinguish against),
+                          // c, and seed; epsilon is unused.
+    VertexId num_vertices = 0;
+    /// Override for the edge-collection cap; <= 0 means 2·|V_S|^{3/2}.
+    std::size_t collect_cap = 0;
+  };
+
+  explicit ArbTwoPassDistinguisher(const Params& params);
+
+  // EdgeStreamAlgorithm:
+  int NumPasses() const override { return 2; }
+  void StartPass(int pass, std::size_t stream_length) override;
+  void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
+  void EndPass(int pass) override;
+
+  /// True iff a 4-cycle was found (declare "at least T 4-cycles").
+  bool FoundFourCycle() const { return found_; }
+
+  std::size_t SpaceWords() const { return space_.Peak(); }
+
+  std::size_t SampledEdges() const { return sample_.size(); }
+  std::size_t CollectedEdges() const { return collected_count_; }
+
+ private:
+  /// Inserts an edge into the collected subgraph and reports whether it
+  /// closes a 4-cycle (a length-3 path between its endpoints existed).
+  bool InsertAndCheck(const Edge& e);
+
+  Params params_;
+  double p_ = 1.0;
+  KWiseHash sample_hash_;
+
+  std::vector<Edge> sample_;                          // S.
+  std::unordered_set<VertexId> sampled_vertices_;     // V_S.
+  std::unordered_map<VertexId, std::vector<VertexId>> collected_adj_;
+  std::unordered_set<std::uint64_t, Mix64Hash> collected_set_;
+  std::size_t collected_count_ = 0;
+  std::size_t collect_cap_ = 0;
+  bool found_ = false;
+  SpaceTracker space_;
+};
+
+/// Convenience wrapper: returns true iff a 4-cycle was found.
+bool DistinguishFourCycles(const EdgeStream& stream,
+                           const ArbTwoPassDistinguisher::Params& params,
+                           std::size_t* space_words = nullptr);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_CORE_ARB_DISTINGUISHER_H_

@@ -1,0 +1,109 @@
+#include "core/arb_f2_counter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/rng.h"
+#include "sketch/median_of_means.h"
+#include "util/check.h"
+
+namespace cyclestream {
+
+ArbF2FourCycleCounter::ArbF2FourCycleCounter(const Params& params)
+    : params_(params) {
+  CHECK_GE(params.num_vertices, 2u);
+  CHECK_GT(params.base.epsilon, 0.0);
+  const double eps = params.base.epsilon;
+  int per_group = params.copies_per_group;
+  if (per_group <= 0) {
+    per_group =
+        static_cast<int>(std::min(512.0, std::ceil(2.0 / (eps * eps))));
+    per_group = std::max(per_group, 1);
+  }
+  const int groups = std::max(params.groups, 1);
+  params_.copies_per_group = per_group;
+  params_.groups = groups;
+
+  std::uint64_t seed = params.base.seed ^ 0x41524246ULL;  // "ARBF"
+  copies_.reserve(static_cast<std::size_t>(groups * per_group));
+  for (int i = 0; i < groups * per_group; ++i) {
+    copies_.emplace_back(SplitMix64(seed), SplitMix64(seed),
+                         params.num_vertices);
+  }
+}
+
+ArbF2FourCycleCounter::Copy::Copy(std::uint64_t sa, std::uint64_t sb,
+                                  VertexId n)
+    : alpha(n), beta(n), acc(3 * static_cast<std::size_t>(n), 0.0) {
+  const KWiseHash ha(4, sa);
+  const KWiseHash hb(4, sb);
+  for (VertexId v = 0; v < n; ++v) {
+    alpha[v] = static_cast<signed char>(ha.Sign(v));
+    beta[v] = static_cast<signed char>(hb.Sign(v));
+  }
+}
+
+void ArbF2FourCycleCounter::Apply(const Edge& e, double sign) {
+  const std::size_t n = params_.num_vertices;
+  for (Copy& copy : copies_) {
+    const double au = copy.alpha[e.u];
+    const double bu = copy.beta[e.u];
+    const double av = copy.alpha[e.v];
+    const double bv = copy.beta[e.v];
+    // A_u += α_v etc. (the wedge centered at u gains neighbor v).
+    copy.acc[e.u] += sign * av;
+    copy.acc[n + e.u] += sign * bv;
+    copy.acc[2 * n + e.u] += sign * av * bv;
+    copy.acc[e.v] += sign * au;
+    copy.acc[n + e.v] += sign * bu;
+    copy.acc[2 * n + e.v] += sign * au * bu;
+  }
+}
+
+void ArbF2FourCycleCounter::StartPass(int pass, std::size_t stream_length) {
+  CHECK_EQ(pass, 0);
+  (void)stream_length;
+}
+
+void ArbF2FourCycleCounter::ProcessEdge(int pass, const Edge& e,
+                                        std::size_t position) {
+  (void)pass;
+  (void)position;
+  Insert(e);
+}
+
+void ArbF2FourCycleCounter::EndPass(int pass) { (void)pass; }
+
+double ArbF2FourCycleCounter::F2Estimate() const {
+  const std::size_t n = params_.num_vertices;
+  std::vector<double> squares(copies_.size());
+  for (std::size_t i = 0; i < copies_.size(); ++i) {
+    const Copy& copy = copies_[i];
+    double z = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      z += (copy.acc[t] * copy.acc[n + t] - copy.acc[2 * n + t]) / 2.0;
+    }
+    // E[Z²] = F₂/2 (see AdjF2FourCycleCounter::EndPass): rescale by 2.
+    squares[i] = 2.0 * z * z;
+  }
+  return MedianOfMeans(squares, static_cast<std::size_t>(params_.groups));
+}
+
+Estimate ArbF2FourCycleCounter::Result() const {
+  Estimate result;
+  result.value =
+      std::max(0.0, (F2Estimate() - params_.f1_correction) / 4.0);
+  // 3n accumulator words plus the two byte-packed ±1 sign caches per copy.
+  const std::size_t n = params_.num_vertices;
+  result.space_words = copies_.size() * (3 * n + 2 * n / 8 + 2);
+  return result;
+}
+
+Estimate CountFourCyclesArbF2(const EdgeStream& stream,
+                              const ArbF2FourCycleCounter::Params& params) {
+  ArbF2FourCycleCounter counter(params);
+  RunEdgeStream(counter, stream);
+  return counter.Result();
+}
+
+}  // namespace cyclestream

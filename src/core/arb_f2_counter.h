@@ -1,0 +1,81 @@
+#ifndef CYCLESTREAM_CORE_ARB_F2_COUNTER_H_
+#define CYCLESTREAM_CORE_ARB_F2_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "hash/kwise.h"
+#include "stream/driver.h"
+
+namespace cyclestream {
+
+/// The §5.3 algorithm (Theorem 5.7): one pass over an *arbitrary order* edge
+/// stream, Õ(ε⁻²·n) space, (1+ε)-approximation of the 4-cycle count when
+/// T = Ω(n²/ε²). Also correct in the dynamic (insert/delete) setting.
+///
+/// Same F₂-of-the-wedge-vector reduction as §4.2, but because lists are not
+/// grouped, each basic estimator maintains the three per-vertex accumulators
+/// A_t, B_t, C_t for *every* vertex (3n counters): when edge (u,v) arrives,
+/// A_u += α_v, B_u += β_v, C_u += α_v·β_v and symmetrically for v (deletions
+/// subtract). At the end, Z = Σ_t (A_t·B_t − C_t)/2 and E[Z²] = F₂(x).
+///
+/// In the theorem's regime the capped-F₁ term of Lemma 4.4 satisfies
+/// F₁(z) ≤ n²/ε ≤ O(ε)·T, so the estimate T̂ = F̂₂/4 is already (1+O(ε));
+/// the implementation therefore omits the F₁ correction (callers may
+/// subtract a known F₁ via `f1_correction` for out-of-regime studies).
+class ArbF2FourCycleCounter : public EdgeStreamAlgorithm {
+ public:
+  struct Params {
+    ApproxConfig base;
+    VertexId num_vertices = 0;
+    int copies_per_group = -1;  // <= 0 derives ⌈2/ε²⌉ capped at 512.
+    int groups = 9;
+    double f1_correction = 0.0;  // Optional known F₁(z) to subtract.
+  };
+
+  explicit ArbF2FourCycleCounter(const Params& params);
+
+  /// Dynamic interface.
+  void Insert(const Edge& e) { Apply(e, +1.0); }
+  void Delete(const Edge& e) { Apply(e, -1.0); }
+
+  // EdgeStreamAlgorithm (insert-only adapter):
+  int NumPasses() const override { return 1; }
+  void StartPass(int pass, std::size_t stream_length) override;
+  void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
+  void EndPass(int pass) override;
+
+  /// Computes the estimate from the current counters (may be called at any
+  /// time in the dynamic setting).
+  Estimate Result() const;
+
+  double F2Estimate() const;
+
+ private:
+  void Apply(const Edge& e, double sign);
+
+  struct Copy {
+    // The 4-wise sign hashes are evaluated once per vertex at construction
+    // and cached (the vertex universe is known up front); this keeps the
+    // per-edge work at six array lookups instead of six polynomial
+    // evaluations. The cache is Θ(n) per copy — the same order as the 3n
+    // accumulators the algorithm stores anyway.
+    std::vector<signed char> alpha;  // ±1 per vertex.
+    std::vector<signed char> beta;
+    // 3n accumulators, laid out [A_0..A_{n-1}, B_0.., C_0..].
+    std::vector<double> acc;
+    Copy(std::uint64_t sa, std::uint64_t sb, VertexId n);
+  };
+
+  Params params_;
+  std::vector<Copy> copies_;
+};
+
+/// Convenience wrapper over an insert-only stream.
+Estimate CountFourCyclesArbF2(const EdgeStream& stream,
+                              const ArbF2FourCycleCounter::Params& params);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_CORE_ARB_F2_COUNTER_H_

@@ -1,0 +1,433 @@
+#include "core/arb_three_pass.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/rng.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace cyclestream {
+namespace {
+
+// Order-sensitive 64-bit mix for dedup keys over pairs of edge keys.
+std::uint64_t MixPair(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9e3779b97f4a7c15ULL;
+  x ^= (b + 0x165667b19e3779f9ULL) + (x << 6) + (x >> 2);
+  x *= 0xbf58476d1ce4e5b9ULL;
+  return x ^ (x >> 29);
+}
+
+}  // namespace
+
+ArbThreePassFourCycleCounter::ArbThreePassFourCycleCounter(
+    const Params& params)
+    : params_(params),
+      s0_hash_(8, params.base.seed ^ 0x5330ULL),
+      q1_hash_(8, params.base.seed ^ 0x5131ULL),
+      q2_hash_(8, params.base.seed ^ 0x5132ULL),
+      sub_hash_(8, params.base.seed ^ 0x5347ULL) {
+  CHECK_GE(params.num_vertices, 2u);
+  CHECK_GT(params.base.epsilon, 0.0);
+  CHECK_GE(params.base.t_guess, 1.0);
+  CHECK_GT(params.eta, 0.0);
+
+  const double eps = params.base.epsilon;
+  const double log_n =
+      std::log2(static_cast<double>(params.num_vertices) + 2.0);
+  p_ = std::min(1.0, params.rate_scale * params.base.c * log_n /
+                         (eps * eps * std::pow(params.base.t_guess, 0.25)));
+
+  // The paper's q: p(0.4+q)² = q, so both copies of a doubly-incident
+  // sampled vertex enter R with probability exactly (p(0.4+q))² — restoring
+  // the independence the Useful Algorithm assumes. Real solutions require
+  // p ≲ 0.55; above that, saturate q at its 0.2 cap (the residual pair
+  // correlation only perturbs constants, and p that large means we are in a
+  // near-exhaustive regime anyway).
+  const double disc = (1.0 - 0.8 * p_) * (1.0 - 0.8 * p_) - 0.64 * p_ * p_;
+  if (p_ < 0.5 && disc >= 0.0) {
+    subsample_q_ = ((1.0 - 0.8 * p_) - std::sqrt(disc)) / (2.0 * p_);
+    subsample_q_ = std::clamp(subsample_q_, 0.0, 0.2);
+  } else {
+    subsample_q_ = 0.2;
+  }
+  p_prime_ = p_ * (0.4 + subsample_q_);
+  m_cap_ = params.eta * std::sqrt(params.base.t_guess);
+}
+
+void ArbThreePassFourCycleCounter::StartPass(int pass,
+                                             std::size_t stream_length) {
+  (void)stream_length;
+  if (pass == 2 && params_.use_oracle) PreparePassThree();
+}
+
+void ArbThreePassFourCycleCounter::ProcessEdge(int pass, const Edge& e,
+                                               std::size_t position) {
+  switch (pass) {
+    case 0: {
+      if (InS0(e)) {
+        if (s0_set_.insert(e.Key()).second) {
+          s0_adj_[e.u].push_back(e.v);
+          s0_adj_[e.v].push_back(e.u);
+        }
+      }
+      auto collect = [this, &e](bool in_q_u, bool in_q_v,
+                                std::unordered_map<
+                                    VertexId, std::vector<VertexId>>& rev,
+                                std::unordered_set<std::uint64_t, Mix64Hash>&
+                                    edge_set,
+                                std::size_t& size) {
+        if (!in_q_u && !in_q_v) return;
+        if (!edge_set.insert(e.Key()).second) return;
+        ++size;
+        // Reverse index: far vertex -> sampled vertices adjacent to it.
+        if (in_q_u) rev[e.v].push_back(e.u);
+        if (in_q_v) rev[e.u].push_back(e.v);
+      };
+      collect(InQ1(e.u), InQ1(e.v), s1_rev_, s1_edges_, s1_size_);
+      collect(InQ2(e.u), InQ2(e.v), s2_rev_, s2_edges_, s2_size_);
+      break;
+    }
+    case 1: {
+      if (cycle_cap_hit_) break;
+      // Does e = (u,v) close a 3-path u - x - w - v inside S0?
+      auto iu = s0_adj_.find(e.u);
+      auto iv = s0_adj_.find(e.v);
+      if (iu == s0_adj_.end() || iv == s0_adj_.end()) break;
+      for (VertexId x : iu->second) {
+        if (x == e.v) continue;
+        for (VertexId w : iv->second) {
+          if (w == e.u || w == x || w == e.v || x == e.u) continue;
+          if (s0_set_.count(Edge(x, w).Key()) == 0) continue;
+          StoredCycle cycle;
+          cycle.witness = e;
+          cycle.others[0] = Edge(e.u, x);
+          cycle.others[1] = Edge(x, w);
+          cycle.others[2] = Edge(w, e.v);
+          cycles_.push_back(cycle);
+          if (params_.max_stored_cycles > 0 &&
+              cycles_.size() >= params_.max_stored_cycles) {
+            cycle_cap_hit_ = true;
+            LOG(WARNING) << "stored-cycle cap reached ("
+                         << params_.max_stored_cycles
+                         << "); estimate will be truncated";
+          }
+        }
+        if (cycle_cap_hit_) break;
+      }
+      break;
+    }
+    case 2: {
+      if (!params_.use_oracle) break;
+      // (1) H_f vertex arrival: edges touching any target endpoint.
+      const bool touches_u = targets_by_endpoint_.count(e.u) > 0;
+      const bool touches_v = targets_by_endpoint_.count(e.v) > 0;
+      if (touches_u || touches_v) {
+        arrivals_.emplace(e.Key(), position);
+      }
+      // (2) Certificate witness bookkeeping: remember edges incident to any
+      // R-member far endpoint (shared across targets).
+      if (far_vertices_.count(e.u) > 0 || far_vertices_.count(e.v) > 0) {
+        far_incident_.insert(e.Key());
+      }
+      // (3) e as the closing edge (c,d): records the H_f edge when its g1
+      // endpoint arrived earlier.
+      auto certify = [this](VertexId far, VertexId other) {
+        auto it = rmembers_by_far_.find(far);
+        if (it == rmembers_by_far_.end()) return;
+        for (const RMemberRef& ref : it->second) {
+          const Edge& f = targets_[ref.target_idx].f;
+          if (other == f.u || other == f.v) continue;  // Degenerate cycle.
+          const VertexId member_side =
+              ref.member.Touches(f.u) ? f.u : f.v;
+          const VertexId g1_side = member_side == f.u ? f.v : f.u;
+          const Edge g1(g1_side, other);
+          if (g1 == f) continue;
+          if (arrivals_.count(g1.Key()) == 0) continue;  // Handled in (4).
+          Target::Observation obs;
+          obs.g1_key = g1.Key();
+          obs.g2_key = ref.member.Key();
+          obs.g2_in_r1 = ref.in_r1;
+          obs.g2_in_r2 = ref.in_r2;
+          Target& target = targets_[ref.target_idx];
+          if (target.seen_pairs.insert(MixPair(obs.g1_key, obs.g2_key))
+                  .second) {
+            target.observations.push_back(obs);
+          }
+        }
+      };
+      certify(e.u, e.v);
+      certify(e.v, e.u);
+      // (4) e as the H_f vertex g1 = (gs, c) whose closing edge (c, d)
+      // arrived earlier: pair it with each R-member on the other side of
+      // every target at gs.
+      auto late_g1 = [this, &e](VertexId gs, VertexId c) {
+        auto targets_it = targets_by_endpoint_.find(gs);
+        if (targets_it == targets_by_endpoint_.end()) return;
+        for (const std::size_t target_idx : targets_it->second) {
+          Target& target = targets_[target_idx];
+          const Edge& f = target.f;
+          if (c == f.u || c == f.v) continue;  // e is f itself or degenerate.
+          const int other_side_index = gs == f.u ? 1 : 0;
+          auto refs_it = refs_by_target_side_.find(f.Key());
+          if (refs_it == refs_by_target_side_.end()) continue;
+          for (const SideRef& ref : refs_it->second[other_side_index]) {
+            const VertexId member_side =
+                other_side_index == 0 ? f.u : f.v;
+            const VertexId d = ref.member.Other(member_side);
+            if (d == c) continue;  // Degenerate.
+            if (far_incident_.count(Edge(c, d).Key()) == 0) continue;
+            Target::Observation obs;
+            obs.g1_key = e.Key();
+            obs.g2_key = ref.member.Key();
+            obs.g2_in_r1 = ref.in_r1;
+            obs.g2_in_r2 = ref.in_r2;
+            if (target.seen_pairs.insert(MixPair(obs.g1_key, obs.g2_key))
+                    .second) {
+              target.observations.push_back(obs);
+            }
+          }
+        }
+      };
+      if (touches_u) late_g1(e.u, e.v);
+      if (touches_v) late_g1(e.v, e.u);
+      break;
+    }
+    default:
+      CHECK(false) << "unexpected pass " << pass;
+  }
+
+  if ((position & 0xff) == 0) {
+    std::size_t words = 2 * s0_set_.size() + 2 * (s1_size_ + s2_size_) +
+                        8 * cycles_.size() + 2 * arrivals_.size() +
+                        far_incident_.size();
+    for (const Target& target : targets_) {
+      words += 4 * target.observations.size();
+    }
+    space_.Update(words);
+  }
+}
+
+bool ArbThreePassFourCycleCounter::SubsampleKeep(std::size_t target_idx,
+                                                 int which_r, VertexId v,
+                                                 int side, bool both) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(v) << 20) ^
+      (static_cast<std::uint64_t>(target_idx) * 0x100000001b3ULL) ^
+      (static_cast<std::uint64_t>(which_r) << 62);
+  const double u = sub_hash_.ToUnit(key);
+  if (both) {
+    // f(v,e): 0 -> first copy, 1 -> second, 2 -> both, 3 -> neither.
+    if (u < 0.4) return side == 0;
+    if (u < 0.8) return side == 1;
+    if (u < 0.8 + subsample_q_) return true;
+    return false;
+  }
+  // g(v,e): keep with probability 0.4 + q.
+  return u < 0.4 + subsample_q_;
+}
+
+void ArbThreePassFourCycleCounter::RMembership(std::size_t target_idx,
+                                               const Edge& g, bool* in_r1,
+                                               bool* in_r2) const {
+  const Edge& f = targets_[target_idx].f;
+  const VertexId side_vertex = g.Touches(f.u) ? f.u : f.v;
+  const VertexId v = g.Other(side_vertex);
+  const int side = side_vertex == f.u ? 0 : 1;
+  const VertexId other_side = side_vertex == f.u ? f.v : f.u;
+  *in_r1 = false;
+  *in_r2 = false;
+  if (v == f.u || v == f.v) return;  // "Vertex involved in e itself": ignore.
+  if (InQ1(v)) {
+    const bool both = s1_edges_.count(Edge(v, other_side).Key()) > 0;
+    *in_r1 = SubsampleKeep(target_idx, 1, v, side, both);
+  }
+  if (InQ2(v)) {
+    const bool both = s2_edges_.count(Edge(v, other_side).Key()) > 0;
+    *in_r2 = SubsampleKeep(target_idx, 2, v, side, both);
+  }
+}
+
+void ArbThreePassFourCycleCounter::PreparePassThree() {
+  targets_.clear();
+  target_index_.clear();
+  targets_by_endpoint_.clear();
+  rmembers_by_far_.clear();
+  arrivals_.clear();
+  far_incident_.clear();
+  far_vertices_.clear();
+  refs_by_target_side_.clear();
+
+  auto add_target = [this](const Edge& f) {
+    if (target_index_.count(f.Key()) > 0) return;
+    const std::size_t idx = targets_.size();
+    target_index_.emplace(f.Key(), idx);
+    Target target;
+    target.f = f;
+    targets_.push_back(std::move(target));
+    targets_by_endpoint_[f.u].push_back(idx);
+    targets_by_endpoint_[f.v].push_back(idx);
+  };
+  for (const StoredCycle& cycle : cycles_) {
+    add_target(cycle.witness);
+    for (const Edge& g : cycle.others) add_target(g);
+  }
+
+  // Enumerate R-members per target: H_f vertices (v, c), c ∈ {f.u, f.v},
+  // with v in Q1/Q2 surviving the f/g subsampling. Indexed by far endpoint
+  // v so closing edges can find them in O(1).
+  for (std::size_t idx = 0; idx < targets_.size(); ++idx) {
+    const Edge f = targets_[idx].f;
+    for (const VertexId c : {f.u, f.v}) {
+      auto consider = [&](const std::unordered_map<
+                          VertexId, std::vector<VertexId>>& rev) {
+        auto it = rev.find(c);
+        if (it == rev.end()) return;
+        for (VertexId v : it->second) {
+          if (v == f.u || v == f.v) continue;
+          const Edge member(v, c);
+          bool in_r1 = false, in_r2 = false;
+          RMembership(idx, member, &in_r1, &in_r2);
+          if (!in_r1 && !in_r2) continue;
+          // Merge duplicate refs for the same member (v may be in both
+          // reverse indexes).
+          auto& refs = rmembers_by_far_[v];
+          bool merged = false;
+          for (RMemberRef& ref : refs) {
+            if (ref.target_idx == idx && ref.member == member) {
+              ref.in_r1 = ref.in_r1 || in_r1;
+              ref.in_r2 = ref.in_r2 || in_r2;
+              merged = true;
+              break;
+            }
+          }
+          if (!merged) refs.push_back(RMemberRef{idx, member, in_r1, in_r2});
+          far_vertices_.insert(v);
+          // Side-indexed view for the late-g1 path.
+          const int side_index = c == f.u ? 0 : 1;
+          auto& side_refs = refs_by_target_side_[f.Key()][side_index];
+          bool side_merged = false;
+          for (SideRef& sr : side_refs) {
+            if (sr.member == member) {
+              sr.in_r1 = sr.in_r1 || in_r1;
+              sr.in_r2 = sr.in_r2 || in_r2;
+              side_merged = true;
+              break;
+            }
+          }
+          if (!side_merged) side_refs.push_back(SideRef{member, in_r1, in_r2});
+        }
+      };
+      consider(s1_rev_);
+      consider(s2_rev_);
+    }
+  }
+}
+
+void ArbThreePassFourCycleCounter::FinishOracles() {
+  std::unordered_map<std::uint64_t, bool, Mix64Hash> heavy_by_edge;
+  for (Target& target : targets_) {
+    // Assemble the H_f vertex set (edges of G) with arrival positions and
+    // per-vertex reveal lists, then replay the §3 recurrence in order.
+    struct HVertex {
+      std::size_t position = 0;
+      bool in_r1 = false, in_r2 = false;
+      std::vector<UsefulAlgorithm::IncidentEdge> reveals;
+    };
+    std::unordered_map<std::uint64_t, HVertex, Mix64Hash> vertices;
+    auto vertex_slot = [&](std::uint64_t key) -> HVertex& {
+      auto [it, inserted] = vertices.try_emplace(key);
+      if (inserted) {
+        auto pos_it = arrivals_.find(key);
+        CHECK(pos_it != arrivals_.end()) << "H_f vertex never arrived";
+        it->second.position = pos_it->second;
+        bool r1 = false, r2 = false;
+        RMembership(target_index_.at(target.f.Key()), PairFromKey(key), &r1,
+                    &r2);
+        it->second.in_r1 = r1;
+        it->second.in_r2 = r2;
+      }
+      return it->second;
+    };
+    for (const Target::Observation& obs : target.observations) {
+      HVertex& g1 = vertex_slot(obs.g1_key);
+      g1.reveals.push_back(UsefulAlgorithm::IncidentEdge{
+          obs.g2_key, 1.0, obs.g2_in_r1, obs.g2_in_r2});
+      HVertex& g2 = vertex_slot(obs.g2_key);
+      const HVertex& g1_ref = vertices.at(obs.g1_key);
+      if (g1_ref.in_r1 || g1_ref.in_r2) {
+        g2.reveals.push_back(UsefulAlgorithm::IncidentEdge{
+            obs.g1_key, 1.0, g1_ref.in_r1, g1_ref.in_r2});
+      }
+    }
+    std::vector<std::pair<std::uint64_t, const HVertex*>> ordered;
+    ordered.reserve(vertices.size());
+    for (const auto& [key, hv] : vertices) ordered.emplace_back(key, &hv);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) {
+                return a.second->position < b.second->position;
+              });
+    UsefulAlgorithm useful(UsefulAlgorithm::Config{p_prime_, m_cap_});
+    for (const auto& [key, hv] : ordered) {
+      useful.OnVertex(key, hv->in_r1, hv->in_r2, hv->reveals);
+    }
+    target.heavy = useful.Estimate() >= m_cap_;
+    heavy_by_edge[target.f.Key()] = target.heavy;
+    if (target.heavy) ++diagnostics_.heavy_edges;
+  }
+  diagnostics_.classified_edges = targets_.size();
+
+  auto is_heavy = [&heavy_by_edge, this](const Edge& e) {
+    if (!params_.use_oracle) return false;
+    auto it = heavy_by_edge.find(e.Key());
+    return it != heavy_by_edge.end() && it->second;
+  };
+  double a0 = 0.0, a1 = 0.0;
+  for (const StoredCycle& cycle : cycles_) {
+    const bool witness_heavy = is_heavy(cycle.witness);
+    int others_heavy = 0;
+    for (const Edge& g : cycle.others) others_heavy += is_heavy(g) ? 1 : 0;
+    if (!witness_heavy && others_heavy == 0) {
+      a0 += 1.0;
+    } else if (witness_heavy && others_heavy == 0) {
+      a1 += 1.0;
+    }
+  }
+  diagnostics_.a0 = a0;
+  diagnostics_.a1 = a1;
+  diagnostics_.stored_cycles = cycles_.size();
+  diagnostics_.p = p_;
+  const double p3 = p_ * p_ * p_;
+  result_.value = a0 / (4.0 * p3) + a1 / p3;
+}
+
+void ArbThreePassFourCycleCounter::EndPass(int pass) {
+  if (pass == 2 || (!params_.use_oracle && pass == 1)) {
+    if (params_.use_oracle) {
+      FinishOracles();
+    } else {
+      double a0 = static_cast<double>(cycles_.size());
+      diagnostics_.a0 = a0;
+      diagnostics_.stored_cycles = cycles_.size();
+      diagnostics_.p = p_;
+      result_.value = a0 / (4.0 * p_ * p_ * p_);
+    }
+    std::size_t words = 2 * s0_set_.size() + 2 * (s1_size_ + s2_size_) +
+                        8 * cycles_.size() + 2 * arrivals_.size();
+    for (const Target& target : targets_) {
+      words += 4 * target.observations.size();
+    }
+    space_.Update(words);
+    result_.space_words = space_.Peak();
+  }
+}
+
+Estimate CountFourCyclesArbThreePass(
+    const EdgeStream& stream,
+    const ArbThreePassFourCycleCounter::Params& params) {
+  ArbThreePassFourCycleCounter counter(params);
+  RunEdgeStream(counter, stream);
+  return counter.Result();
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,197 @@
+#ifndef CYCLESTREAM_CORE_ARB_THREE_PASS_H_
+#define CYCLESTREAM_CORE_ARB_THREE_PASS_H_
+
+#include <cstdint>
+#include <array>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/useful_algorithm.h"
+#include "hash/kwise.h"
+#include "stream/driver.h"
+#include "stream/space.h"
+
+namespace cyclestream {
+
+/// The §5.1 algorithm (Theorem 5.3): three passes over an arbitrary-order
+/// edge stream, Õ(m/T^{1/4}) space, (1+ε)-approximation of the 4-cycle
+/// count. First sublinear-space arbitrary-order 4-cycle counter for any
+/// T = ω(1).
+///
+/// Pass 1: sample edge set S0 and two vertex sets Q1, Q2 (rate
+///         p = c·log n/(ε²·T^{1/4})), collecting all edges incident to
+///         Q1/Q2 as S1/S2.
+/// Pass 2: every stream edge e that completes three S0-edges into a 4-cycle
+///         is stored with its cycle τ.
+/// Pass 3: every edge of every stored cycle is classified heavy/light by an
+///         oracle: for edge f, the graph H_f has the edges sharing an
+///         endpoint with f as vertices and the 4-cycles through f as edges;
+///         |E(H_f)| — the number of 4-cycles on f — is estimated by the §3
+///         Useful Algorithm with R1/R2 derived from S1/S2 via the paper's
+///         f/g subsampling (which restores sample independence). f is heavy
+///         iff the estimate is ≥ η√T.
+/// Output: A0/(4p³) + A1/p³, where A0 counts stored (e,τ) with no heavy
+///         edge and A1 those with e heavy and the rest light. By the
+///         structural Lemma 5.1 at most a 82/η fraction of cycles have ≥2
+///         heavy edges, so these two terms capture (1−O(1/η))·T.
+///
+/// Implementation note (see DESIGN.md §4): the paper leaves the online
+/// observation of H_f's edges implicit. Here each H_f edge
+/// (f₁=(b,c), f₂=(a,d)) — certified by the closing edge (c,d) — is recorded
+/// when its certificate and both endpoints have streamed by, and the §3
+/// recurrence is evaluated at end of pass 3 over the recorded observations
+/// in true arrival order. This yields exactly the estimate the idealized
+/// Useful Algorithm would produce with H_f vertex order = stream order.
+class ArbThreePassFourCycleCounter : public EdgeStreamAlgorithm {
+ public:
+  struct Params {
+    ApproxConfig base;
+    VertexId num_vertices = 0;
+    /// Heaviness scale η of Lemma 5.1 (structural loss ≤ 164/η of T).
+    double eta = 24.0;
+    /// Scales the sampling rate p.
+    double rate_scale = 1.0;
+    /// Ablation switch: classify every edge light (estimate = A0-only).
+    bool use_oracle = true;
+    /// Safety cap on stored cycles (0 = unlimited).
+    std::size_t max_stored_cycles = 1u << 20;
+  };
+
+  explicit ArbThreePassFourCycleCounter(const Params& params);
+
+  // EdgeStreamAlgorithm:
+  int NumPasses() const override { return 3; }
+  void StartPass(int pass, std::size_t stream_length) override;
+  void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
+  void EndPass(int pass) override;
+
+  Estimate Result() const { return result_; }
+
+  struct Diagnostics {
+    std::size_t stored_cycles = 0;
+    std::size_t classified_edges = 0;
+    std::size_t heavy_edges = 0;
+    double a0 = 0.0;
+    double a1 = 0.0;
+    double p = 0.0;
+  };
+  const Diagnostics& diagnostics() const { return diagnostics_; }
+
+ private:
+  struct StoredCycle {
+    Edge witness;            // The pass-2 edge e.
+    Edge others[3];          // The three S0 edges of τ.
+  };
+
+  /// Oracle bookkeeping for one classification target f = (a,b).
+  struct Target {
+    Edge f;
+    // H_f-edge observations: (g1 = non-R-certified endpoint, g2 = R member).
+    struct Observation {
+      std::uint64_t g1_key = 0;
+      std::uint64_t g2_key = 0;
+      bool g2_in_r1 = false;
+      bool g2_in_r2 = false;
+    };
+    std::vector<Observation> observations;
+    std::unordered_set<std::uint64_t, Mix64Hash> seen_pairs;  // Dedup.
+    bool heavy = false;
+  };
+
+  bool InQ1(VertexId v) const { return q1_hash_.ToUnit(v) < p_; }
+  bool InQ2(VertexId v) const { return q2_hash_.ToUnit(v) < p_; }
+  bool InS0(const Edge& e) const { return s0_hash_.ToUnit(e.Key()) < p_; }
+
+  /// f/g subsampling (§5.1): is the H_f-vertex "edge (v,c)" kept in R given
+  /// that v ∈ Q (already required)? `both` says whether v has edges to both
+  /// endpoints of f; `side` identifies which copy this is (0: edge to f.u,
+  /// 1: edge to f.v).
+  bool SubsampleKeep(std::size_t target_idx, int which_r, VertexId v,
+                     int side, bool both) const;
+
+  /// Full R-membership test for H_f vertex (v, c) where c ∈ {f.u, f.v}.
+  void RMembership(std::size_t target_idx, const Edge& g, bool* in_r1,
+                   bool* in_r2) const;
+
+  void PreparePassThree();
+  void RecordCertificate(std::size_t target_idx, const Edge& g1,
+                         const Edge& g2, std::size_t g1_arrived);
+  void FinishOracles();
+
+  Params params_;
+  double p_ = 1.0;
+  double p_prime_ = 1.0;     // Effective R rate after subsampling.
+  double subsample_q_ = 0.0; // The paper's q.
+  double m_cap_ = 1.0;       // η√T oracle scale.
+
+  KWiseHash s0_hash_;
+  KWiseHash q1_hash_;
+  KWiseHash q2_hash_;
+  KWiseHash sub_hash_;       // Drives the f/g subsampling.
+
+  // Pass-1 collections. S1/S2 (edges incident to Q1/Q2) are stored as a
+  // membership set plus a reverse index far-vertex -> sampled neighbors,
+  // which is what the pass-3 oracle needs.
+  std::unordered_set<std::uint64_t, Mix64Hash> s0_set_;
+  std::unordered_map<VertexId, std::vector<VertexId>> s0_adj_;
+  std::unordered_set<std::uint64_t, Mix64Hash> s1_edges_;
+  std::unordered_set<std::uint64_t, Mix64Hash> s2_edges_;
+  std::unordered_map<VertexId, std::vector<VertexId>> s1_rev_;
+  std::unordered_map<VertexId, std::vector<VertexId>> s2_rev_;
+  std::size_t s1_size_ = 0;
+  std::size_t s2_size_ = 0;
+
+  // Pass-2 collections.
+  std::vector<StoredCycle> cycles_;
+  bool cycle_cap_hit_ = false;
+
+  // Pass-3 oracle state.
+  std::vector<Target> targets_;
+  std::unordered_map<std::uint64_t, std::size_t, Mix64Hash> target_index_;
+  // Vertex -> targets having it as an endpoint.
+  std::unordered_map<VertexId, std::vector<std::size_t>> targets_by_endpoint_;
+  // Far endpoint d -> (target, R-member edge (d, side)). Built before pass 3.
+  struct RMemberRef {
+    std::size_t target_idx = 0;
+    Edge member;        // The R-member H_f vertex (an edge of G).
+    bool in_r1 = false;
+    bool in_r2 = false;
+  };
+  std::unordered_map<VertexId, std::vector<RMemberRef>> rmembers_by_far_;
+  // Arrival positions of edges incident to any target endpoint.
+  std::unordered_map<std::uint64_t, std::size_t, Mix64Hash> arrivals_;
+  // Keys of already-arrived edges incident to any R-member far endpoint —
+  // the certificate witnesses. Shared (deduped) across all targets, so an
+  // H_f edge can be recorded at whichever of its two witnesses (the
+  // H_f-vertex g1 or the closing edge ek) arrives later, with no pending
+  // queues.
+  std::unordered_set<std::uint64_t, Mix64Hash> far_incident_;
+  // Far endpoints that appear in at least one RMemberRef (gates insertion
+  // into far_incident_).
+  std::unordered_set<VertexId> far_vertices_;
+  // Per-target refs grouped by which endpoint of f the member touches
+  // (0: f.u side, 1: f.v side) — used when g1 arrives after its
+  // certificate.
+  struct SideRef {
+    Edge member;
+    bool in_r1 = false;
+    bool in_r2 = false;
+  };
+  std::unordered_map<std::uint64_t, std::array<std::vector<SideRef>, 2>,
+                     Mix64Hash>
+      refs_by_target_side_;
+
+  SpaceTracker space_;
+  Estimate result_;
+  Diagnostics diagnostics_;
+};
+
+/// Convenience wrapper.
+Estimate CountFourCyclesArbThreePass(
+    const EdgeStream& stream, const ArbThreePassFourCycleCounter::Params& params);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_CORE_ARB_THREE_PASS_H_

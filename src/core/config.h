@@ -1,0 +1,37 @@
+#ifndef CYCLESTREAM_CORE_CONFIG_H_
+#define CYCLESTREAM_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cyclestream {
+
+/// Shared knobs for the paper's approximation algorithms.
+///
+/// `t_guess` is the advance estimate of T (the number of triangles or
+/// 4-cycles) that parameterizes sampling rates. The paper: "Obviously, we do
+/// not know T in advance, but this convention is widely adopted in the
+/// literature. ... In practice, the quantities in the algorithms would be
+/// initialized based on a lower or upper bound (as appropriate) for T."
+/// Robustness experiments feed deliberate misestimates.
+///
+/// `c` is the oversampling constant appearing in the sampling probabilities
+/// (the paper's c); larger c = more space, higher success probability. The
+/// paper's log n factors are included in the rates; c scales them.
+struct ApproxConfig {
+  double epsilon = 0.1;
+  double c = 1.0;
+  double t_guess = 1.0;
+  std::uint64_t seed = 0;
+};
+
+/// Result of a streaming estimation: the estimate plus the peak space the
+/// algorithm retained, in words (see SpaceTracker for the accounting rules).
+struct Estimate {
+  double value = 0.0;
+  std::size_t space_words = 0;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_CORE_CONFIG_H_

@@ -1,0 +1,231 @@
+#include "core/diamond_counter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/rng.h"
+#include "util/check.h"
+
+namespace cyclestream {
+
+namespace {
+
+// Normalization for class weights: C(sk,2) guarded away from zero so the
+// smallest class (sk near 1) stays well-defined. The normalization cancels
+// exactly when converting Ŵ back to a cycle count.
+double ClassNorm(double sk) { return std::max(sk * (sk - 1.0) / 2.0, 0.5); }
+
+double Choose2(double x) { return x * (x - 1.0) / 2.0; }
+
+}  // namespace
+
+/// One (shift, level) size-class estimator: its own vertex/edge samples and
+/// its own Useful-Algorithm instance.
+struct DiamondFourCycleCounter::ClassInstance {
+  int shift_index = 0;
+  double sk = 1.0;       // Class base size.
+  double pv = 1.0;       // Vertex sampling rate (both V¹ and V²).
+  double pe = 1.0;       // Edge sampling rate within sampled vertices.
+  double lo = 0.0;       // Window: lo <= d̂ < hi.
+  double hi = 0.0;
+
+  KWiseHash v1_hash;     // V¹ membership.
+  KWiseHash v2_hash;     // V² membership.
+  KWiseHash e1_hash;     // E¹ per-(owner, neighbor) sampling.
+  KWiseHash e2_hash;
+
+  // Reverse indexes built in pass 1: for each vertex w, the sampled owners
+  // u with (u → w) ∈ E. Used in pass 2 to accumulate a(u, v) as v's list
+  // streams by.
+  std::unordered_map<VertexId, std::vector<VertexId>> rev1;
+  std::unordered_map<VertexId, std::vector<VertexId>> rev2;
+  std::size_t e1_size = 0;
+  std::size_t e2_size = 0;
+
+  UsefulAlgorithm useful;
+
+  // Pass-2 per-vertex scratch: a(u, v) accumulators.
+  std::unordered_map<VertexId, std::uint32_t> a1_scratch;
+  std::unordered_map<VertexId, std::uint32_t> a2_scratch;
+
+  ClassInstance(int shift, double sk_in, double pv_in, double pe_in,
+                double epsilon, double m_cap, std::uint64_t seed)
+      : shift_index(shift),
+        sk(sk_in),
+        pv(pv_in),
+        pe(pe_in),
+        lo((1.0 + epsilon / 6.0) * sk_in),
+        hi(2.0 * (1.0 - epsilon / 6.0) * sk_in),
+        v1_hash(8, seed ^ 0x11ULL),
+        v2_hash(8, seed ^ 0x22ULL),
+        e1_hash(8, seed ^ 0x33ULL),
+        e2_hash(8, seed ^ 0x44ULL),
+        useful(UsefulAlgorithm::Config{pv_in, m_cap,
+                                       /*external_arrivals=*/true}) {}
+
+  bool InV1(VertexId v) const { return v1_hash.ToUnit(v) < pv; }
+  bool InV2(VertexId v) const { return v2_hash.ToUnit(v) < pv; }
+
+  void Pass1List(const AdjacencyList& list) {
+    const bool in1 = InV1(list.vertex);
+    const bool in2 = InV2(list.vertex);
+    if (!in1 && !in2) return;
+    for (VertexId w : list.neighbors) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(list.vertex) << 32) | w;
+      if (in1 && e1_hash.ToUnit(key) < pe) {
+        rev1[w].push_back(list.vertex);
+        ++e1_size;
+      }
+      if (in2 && e2_hash.ToUnit(key) < pe) {
+        rev2[w].push_back(list.vertex);
+        ++e2_size;
+      }
+    }
+  }
+
+  void Pass2List(const AdjacencyList& list,
+                 const std::vector<bool>& arrived) {
+    a1_scratch.clear();
+    a2_scratch.clear();
+    for (VertexId w : list.neighbors) {
+      if (auto it = rev1.find(w); it != rev1.end()) {
+        for (VertexId u : it->second) {
+          if (u != list.vertex) ++a1_scratch[u];
+        }
+      }
+      if (auto it = rev2.find(w); it != rev2.end()) {
+        for (VertexId u : it->second) {
+          if (u != list.vertex) ++a2_scratch[u];
+        }
+      }
+    }
+    // Assemble the revealed H-edges between v and R1 ∪ R2. A vertex u in
+    // both samples is revealed through both roles independently (the paper
+    // runs "two copies in parallel"); split into two half-edges so each
+    // role uses its own d̂.
+    std::vector<UsefulAlgorithm::IncidentEdge> revealed;
+    const double norm = ClassNorm(sk);
+    auto emit = [&](VertexId u, std::uint32_t a_count, bool r1, bool r2) {
+      const double d_hat = static_cast<double>(a_count) / pe;
+      if (d_hat < lo || d_hat >= hi) return;
+      UsefulAlgorithm::IncidentEdge edge;
+      edge.neighbor = u;
+      edge.weight = Choose2(d_hat) / norm;
+      edge.in_r1 = r1;
+      edge.in_r2 = r2;
+      edge.neighbor_arrived = arrived[u];
+      revealed.push_back(edge);
+    };
+    for (const auto& [u, count] : a1_scratch) emit(u, count, true, false);
+    for (const auto& [u, count] : a2_scratch) emit(u, count, false, true);
+
+    useful.OnVertex(list.vertex, InV1(list.vertex), InV2(list.vertex),
+                    revealed);
+  }
+
+  /// T̂_sk = Ŵ_sk · norm (the normalization cancels).
+  double ClassEstimate() const { return useful.Estimate() * ClassNorm(sk); }
+
+  std::size_t SpaceWords() const {
+    return 2 * (e1_size + e2_size) + useful.SpaceWords() + 4 * 8;
+  }
+};
+
+DiamondFourCycleCounter::DiamondFourCycleCounter(const Params& params)
+    : params_(params) {
+  CHECK_GE(params.base.t_guess, 1.0);
+  CHECK_GT(params.base.epsilon, 0.0);
+  CHECK_GE(params.num_vertices, 2u);
+
+  const double eps = params.base.epsilon;
+  const double sqrt_t = std::sqrt(params.base.t_guess);
+  const double log_n =
+      std::log2(static_cast<double>(params.num_vertices) + 2.0);
+
+  int full_shifts =
+      static_cast<int>(std::ceil(std::log(2.0) / std::log1p(eps)));
+  full_shifts = std::max(full_shifts, 1);
+  num_shifts_ =
+      params.max_shifts > 0 ? std::min(params.max_shifts, full_shifts)
+                            : full_shifts;
+
+  const int max_level = std::max(
+      1, static_cast<int>(
+             std::ceil(std::log2(static_cast<double>(params.num_vertices)))));
+
+  std::uint64_t seed = params.base.seed ^ 0x4449414dULL;  // "DIAM"
+  for (int shift = 0; shift < num_shifts_; ++shift) {
+    const double s = std::pow(1.0 + eps, shift);
+    for (int k = 0; k <= max_level; ++k) {
+      const double sk = s * std::pow(2.0, k);
+      if (sk > static_cast<double>(params.num_vertices)) break;
+      const double pv = std::min(
+          1.0, params.vertex_rate_scale * params.base.c * sk /
+                   (sqrt_t * eps * eps));
+      const double pe = std::min(
+          1.0, params.edge_rate_scale * params.base.c * log_n /
+                   (eps * eps * sk));
+      const double m_cap = 2.0 * params.base.t_guess / ClassNorm(sk);
+      instances_.push_back(std::make_unique<ClassInstance>(
+          shift, sk, pv, pe, eps, m_cap, SplitMix64(seed)));
+    }
+  }
+  shift_sums_.assign(static_cast<std::size_t>(num_shifts_), 0.0);
+}
+
+DiamondFourCycleCounter::~DiamondFourCycleCounter() = default;
+
+void DiamondFourCycleCounter::StartPass(int pass, std::size_t num_lists) {
+  (void)num_lists;
+  if (pass == 1) {
+    // One arrival bitmap shared by every class instance (the per-instance
+    // seen-sets would otherwise dominate the space of saturated classes).
+    arrived_.assign(params_.num_vertices, false);
+  }
+}
+
+void DiamondFourCycleCounter::ProcessList(int pass, const AdjacencyList& list,
+                                          std::size_t position) {
+  (void)position;
+  for (auto& instance : instances_) {
+    if (pass == 0) {
+      instance->Pass1List(list);
+    } else {
+      instance->Pass2List(list, arrived_);
+    }
+  }
+  if (pass == 1) arrived_[list.vertex] = true;
+  if ((position & 0xff) == 0 || pass == 1) {
+    std::size_t words = arrived_.size() / 64 + 1;
+    for (const auto& instance : instances_) words += instance->SpaceWords();
+    space_.Update(words);
+  }
+}
+
+void DiamondFourCycleCounter::EndPass(int pass) {
+  if (pass != 1) return;
+  std::fill(shift_sums_.begin(), shift_sums_.end(), 0.0);
+  for (const auto& instance : instances_) {
+    shift_sums_[static_cast<std::size_t>(instance->shift_index)] +=
+        instance->ClassEstimate();
+  }
+  const double best =
+      *std::max_element(shift_sums_.begin(), shift_sums_.end());
+  std::size_t words = arrived_.size() / 64 + 1;
+  for (const auto& instance : instances_) words += instance->SpaceWords();
+  space_.Update(words);
+
+  result_.value = best / 2.0;  // Each 4-cycle lies in exactly two diamonds.
+  result_.space_words = space_.Peak();
+}
+
+Estimate CountFourCyclesDiamond(
+    const AdjacencyStream& stream,
+    const DiamondFourCycleCounter::Params& params) {
+  DiamondFourCycleCounter counter(params);
+  RunAdjacencyStream(counter, stream);
+  return counter.Result();
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,237 @@
+#include "core/random_order_triangles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/rng.h"
+#include "util/check.h"
+
+namespace cyclestream {
+namespace {
+
+// Common-neighbor walk over hash-map adjacency: iterates the smaller
+// endpoint list and membership-tests the closing edge.
+template <typename Adj, typename HasEdgeFn, typename Visit>
+void ForEachCommonNeighbor(const Adj& adj, const Edge& e, HasEdgeFn has_edge,
+                           Visit visit) {
+  auto iu = adj.find(e.u);
+  auto iv = adj.find(e.v);
+  if (iu == adj.end() || iv == adj.end()) return;
+  const bool u_smaller = iu->second.size() <= iv->second.size();
+  const VertexId base = u_smaller ? e.u : e.v;
+  const VertexId other = u_smaller ? e.v : e.u;
+  (void)base;
+  const auto& list = u_smaller ? iu->second : iv->second;
+  for (VertexId w : list) {
+    if (w == e.u || w == e.v) continue;
+    if (has_edge(Edge(other, w))) visit(w);
+  }
+}
+
+}  // namespace
+
+void RandomOrderTriangleCounter::Level::AddEdge(const Edge& e) {
+  if (edges.insert(e.Key()).second) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+}
+
+bool RandomOrderTriangleCounter::Level::ClosesTriangle(const Edge& e) const {
+  bool found = false;
+  ForEachCommonNeighbor(
+      adj, e,
+      [this](const Edge& f) { return edges.count(f.Key()) > 0; },
+      [&found](VertexId) { found = true; });
+  return found;
+}
+
+RandomOrderTriangleCounter::RandomOrderTriangleCounter(const Params& params)
+    : params_(params) {
+  CHECK_GE(params.base.t_guess, 1.0);
+  CHECK_GT(params.base.epsilon, 0.0);
+  CHECK_GE(params.num_vertices, 1u);
+
+  const double sqrt_t = std::sqrt(params.base.t_guess);
+  num_levels_ =
+      1 + std::max(0, static_cast<int>(std::ceil(std::log2(std::max(1.0, sqrt_t)))));
+
+  const double eps = params.base.epsilon;
+  const double log_n = std::log2(static_cast<double>(params.num_vertices) + 2.0);
+  const double cv = params.level_rate > 0.0
+                        ? params.level_rate
+                        : params.base.c / (eps * eps) * log_n;
+
+  std::uint64_t hash_seed = params.base.seed ^ 0x524f54ULL;  // "ROT"
+  levels_.reserve(static_cast<std::size_t>(num_levels_));
+  for (int i = 0; i < num_levels_; ++i) {
+    const double pi = std::min(1.0, cv / std::pow(2.0, i));
+    const double qi = std::min(1.0, std::pow(2.0, i) / sqrt_t);
+    levels_.emplace_back(pi, qi, KWiseHash(/*k=*/8, SplitMix64(hash_seed)));
+  }
+  // The top level serves as the oracle O; it must span the entire stream.
+  levels_.back().q = 1.0;
+  p_oracle_ = levels_.back().p;
+  heavy_cut_ = p_oracle_ * sqrt_t;
+
+  r_ = params.prefix_rate > 0.0
+           ? std::min(1.0, params.prefix_rate)
+           : std::min(1.0, params.base.c / (eps * sqrt_t));
+}
+
+void RandomOrderTriangleCounter::StartPass(int pass,
+                                           std::size_t stream_length) {
+  CHECK_EQ(pass, 0);
+  for (Level& level : levels_) {
+    level.prefix_edges = static_cast<std::size_t>(
+        std::ceil(level.q * static_cast<double>(stream_length)));
+  }
+  s_prefix_edges_ = static_cast<std::size_t>(
+      std::ceil(r_ * static_cast<double>(stream_length)));
+}
+
+void RandomOrderTriangleCounter::ProcessEdge(int pass, const Edge& e,
+                                             std::size_t position) {
+  (void)pass;
+  // Level structures: grow E_i inside the prefix, test P-membership after.
+  bool in_p = p_set_.count(e.Key()) > 0;
+  for (Level& level : levels_) {
+    if (position < level.prefix_edges) {
+      if (level.InVi(e.u) || level.InVi(e.v)) level.AddEdge(e);
+    } else if (!in_p && level.ClosesTriangle(e)) {
+      p_set_.insert(e.Key());
+      p_edges_.push_back(e);
+      in_p = true;
+    }
+  }
+
+  // Rough estimator: store the S prefix; later edges enter C if they close a
+  // wedge of S (S is complete once position >= s_prefix_edges_).
+  if (position < s_prefix_edges_) {
+    s_edges_.push_back(e);
+    s_adj_[e.u].push_back(e.v);
+    s_adj_[e.v].push_back(e.u);
+  } else {
+    bool closes = false;
+    ForEachCommonNeighbor(
+        s_adj_, e,
+        [this](const Edge& f) {
+          auto it = s_adj_.find(f.u);
+          if (it == s_adj_.end()) return false;
+          const auto& lst = it->second;
+          return std::find(lst.begin(), lst.end(), f.v) != lst.end();
+        },
+        [&closes](VertexId) { closes = true; });
+    if (closes && c_set_.insert(e.Key()).second) c_edges_.push_back(e);
+  }
+
+  // Space accounting (words): level edges (2 words each), S, C, P.
+  std::size_t words = 0;
+  for (const Level& level : levels_) words += 2 * level.edges.size();
+  words += 2 * s_edges_.size() + 2 * c_edges_.size() + 2 * p_edges_.size();
+  words += static_cast<std::size_t>(num_levels_) * 8;  // Hash coefficients.
+  space_.Update(words);
+}
+
+std::vector<VertexId> RandomOrderTriangleCounter::OracleCommonNeighbors(
+    const Edge& e) const {
+  const Level& oracle = levels_.back();
+  std::vector<VertexId> common;
+  ForEachCommonNeighbor(
+      oracle.adj, e,
+      [&oracle](const Edge& f) { return oracle.edges.count(f.Key()) > 0; },
+      [&common](VertexId w) { common.push_back(w); });
+  return common;
+}
+
+std::uint64_t RandomOrderTriangleCounter::OracleTriangleCount(
+    const Edge& e) const {
+  auto it = oracle_cache_.find(e.Key());
+  if (it != oracle_cache_.end()) return it->second;
+  const std::uint64_t count = OracleCommonNeighbors(e).size();
+  oracle_cache_.emplace(e.Key(), count);
+  return count;
+}
+
+bool RandomOrderTriangleCounter::IsHeavy(const Edge& e) const {
+  return static_cast<double>(OracleTriangleCount(e)) >= heavy_cut_;
+}
+
+double RandomOrderTriangleCounter::TermLight() const {
+  // (1/3r²)·Σ_{e ∈ C, light} t_e^{S_L}: for each light C edge, count common
+  // S-neighbors reachable through two *light* S edges.
+  double sum = 0.0;
+  auto s_has_edge = [this](const Edge& f) {
+    auto it = s_adj_.find(f.u);
+    if (it == s_adj_.end()) return false;
+    const auto& lst = it->second;
+    return std::find(lst.begin(), lst.end(), f.v) != lst.end();
+  };
+  for (const Edge& e : c_edges_) {
+    if (IsHeavy(e)) continue;
+    ForEachCommonNeighbor(s_adj_, e, s_has_edge, [&](VertexId w) {
+      if (!IsHeavy(Edge(e.u, w)) && !IsHeavy(Edge(e.v, w))) sum += 1.0;
+    });
+  }
+  return sum / (3.0 * r_ * r_);
+}
+
+double RandomOrderTriangleCounter::TermHeavy() {
+  // (1/p)·Σ_{e ∈ P, heavy} Σ over oracle triangles of e, weighted by
+  // 1/(1 + #heavy among the other two edges).
+  double sum = 0.0;
+  for (const Edge& e : p_edges_) {
+    if (!IsHeavy(e)) continue;
+    ++diagnostics_.oracle_heavy_in_p;
+    for (VertexId w : OracleCommonNeighbors(e)) {
+      const int other_heavy =
+          (IsHeavy(Edge(e.u, w)) ? 1 : 0) + (IsHeavy(Edge(e.v, w)) ? 1 : 0);
+      sum += 1.0 / (1.0 + other_heavy);
+    }
+  }
+  return sum / p_oracle_;
+}
+
+void RandomOrderTriangleCounter::EndPass(int pass) {
+  CHECK_EQ(pass, 0);
+  // Complete C with the S-internal candidates: any S edge closing a wedge of
+  // S belongs in C (its t_e^S counts triangles regardless of arrival order
+  // inside the prefix).
+  auto s_has_edge = [this](const Edge& f) {
+    auto it = s_adj_.find(f.u);
+    if (it == s_adj_.end()) return false;
+    const auto& lst = it->second;
+    return std::find(lst.begin(), lst.end(), f.v) != lst.end();
+  };
+  for (const Edge& e : s_edges_) {
+    bool closes = false;
+    ForEachCommonNeighbor(s_adj_, e, s_has_edge,
+                          [&closes](VertexId) { closes = true; });
+    if (closes && c_set_.insert(e.Key()).second) c_edges_.push_back(e);
+  }
+
+  diagnostics_.candidate_heavy_edges = p_edges_.size();
+  diagnostics_.rough_set_size = c_edges_.size();
+  diagnostics_.light_term = TermLight();
+  diagnostics_.heavy_term = TermHeavy();
+
+  std::size_t words = 0;
+  for (const Level& level : levels_) words += 2 * level.edges.size();
+  words += 2 * s_edges_.size() + 2 * c_edges_.size() + 2 * p_edges_.size();
+  words += static_cast<std::size_t>(num_levels_) * 8;
+  space_.Update(words);
+
+  result_.value = diagnostics_.light_term + diagnostics_.heavy_term;
+  result_.space_words = space_.Peak();
+  finished_ = true;
+}
+
+Estimate CountTrianglesRandomOrder(
+    const EdgeStream& stream,
+    const RandomOrderTriangleCounter::Params& params) {
+  RandomOrderTriangleCounter counter(params);
+  RunEdgeStream(counter, stream);
+  return counter.Result();
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,139 @@
+#ifndef CYCLESTREAM_CORE_RANDOM_ORDER_TRIANGLES_H_
+#define CYCLESTREAM_CORE_RANDOM_ORDER_TRIANGLES_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "hash/kwise.h"
+#include "stream/driver.h"
+#include "stream/space.h"
+
+namespace cyclestream {
+
+/// The §2.1 algorithm (Theorem 2.1): one pass over a *randomly ordered* edge
+/// stream, Õ(ε⁻²·m/√T) space, (1+ε)-approximation of the triangle count.
+///
+/// Components (names follow the paper):
+///  - Level structures (i = 0..log√T): vertex samples V_i at rate
+///    p_i = min(1, cv/2^i), and E_i = edges incident to V_i among the first
+///    q_i·m stream positions, q_i = 2^i/√T. An edge arriving after position
+///    q_i·m that closes a triangle with two E_i edges enters the candidate
+///    set P — the paper's novel mechanism for spotting heavy edges online in
+///    a random-order stream.
+///  - Rough estimator: S = the first r·m stream edges (r = c·ε⁻¹/√T); C =
+///    edges closing a triangle with two S edges. Estimates the count of
+///    triangles whose edges are all light.
+///  - Oracle: O = E_{log√T} (the top level, built over the whole stream);
+///    e is heavy iff t_e^O ≥ p·√T where p = p_{log√T}. The oracle is a
+///    function of the sampled set, not the stream order.
+///
+/// Final estimate:
+///   (1/3r²)·Σ_{e∈C_L} t_e^{S_L}
+///     + (1/p)·Σ_{e∈P_H} ( t_{e,0}^O + t_{e,1}^O/2 + t_{e,2}^O/3 )
+/// where the coefficients undo the multiple counting of triangles with
+/// several heavy edges.
+///
+/// Practical notes:
+///  - `t_guess` stands in for T (paper convention).
+///  - The theoretical vertex-sampling constant is 10·c·ε⁻²·log n, which
+///    saturates p_i = 1 on laptop-scale graphs; `level_rate` exposes the
+///    cv constant directly (default: c·ε⁻²·log₂n) so space/accuracy
+///    trade-offs are measurable. All clamping behavior matches the paper
+///    (probabilities and prefix fractions cap at 1).
+class RandomOrderTriangleCounter : public EdgeStreamAlgorithm {
+ public:
+  struct Params {
+    ApproxConfig base;
+    VertexId num_vertices = 0;
+    /// Override for cv in p_i = min(1, cv/2^i); <= 0 means use the default
+    /// c·ε⁻²·log₂(n).
+    double level_rate = -1.0;
+    /// Override for r in S = first r·m edges; <= 0 means c·ε⁻¹/√T.
+    double prefix_rate = -1.0;
+  };
+
+  explicit RandomOrderTriangleCounter(const Params& params);
+
+  // EdgeStreamAlgorithm:
+  int NumPasses() const override { return 1; }
+  void StartPass(int pass, std::size_t stream_length) override;
+  void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
+  void EndPass(int pass) override;
+
+  /// Final estimate; valid after the pass completes.
+  Estimate Result() const { return result_; }
+
+  /// Oracle heaviness of an edge (exposed for the oracle-quality tests).
+  /// Valid after the pass.
+  bool IsHeavy(const Edge& e) const;
+
+  /// Diagnostics for the ablation experiment.
+  struct Diagnostics {
+    double light_term = 0.0;
+    double heavy_term = 0.0;
+    std::size_t candidate_heavy_edges = 0;  // |P|
+    std::size_t oracle_heavy_in_p = 0;      // |P_H|
+    std::size_t rough_set_size = 0;         // |C|
+  };
+  const Diagnostics& diagnostics() const { return diagnostics_; }
+
+ private:
+  struct Level {
+    double p = 1.0;                 // Vertex sampling probability.
+    double q = 1.0;                 // Prefix fraction.
+    std::size_t prefix_edges = 0;   // q·m, fixed at StartPass.
+    KWiseHash vertex_hash;          // Defines V_i = {v : h(v) < p}.
+    std::unordered_set<std::uint64_t, Mix64Hash> edges;  // E_i keys.
+    std::unordered_map<VertexId, std::vector<VertexId>> adj;  // E_i adjacency.
+
+    Level(double p_in, double q_in, KWiseHash hash)
+        : p(p_in), q(q_in), vertex_hash(std::move(hash)) {}
+
+    bool InVi(VertexId v) const { return vertex_hash.ToUnit(v) < p; }
+    void AddEdge(const Edge& e);
+    /// t_e^{E_i} >= 1 ?
+    bool ClosesTriangle(const Edge& e) const;
+  };
+
+  // Oracle helpers (level L is the oracle set O).
+  std::uint64_t OracleTriangleCount(const Edge& e) const;  // t_e^O, memoized.
+  std::vector<VertexId> OracleCommonNeighbors(const Edge& e) const;
+
+  double TermLight() const;
+  double TermHeavy();
+
+  Params params_;
+  int num_levels_ = 1;       // L+1 level structures.
+  double p_oracle_ = 1.0;    // p_{log√T} after clamping.
+  double heavy_cut_ = 0.0;   // p·√T oracle threshold.
+  double r_ = 1.0;           // Prefix rate for S.
+  std::size_t s_prefix_edges_ = 0;
+
+  std::vector<Level> levels_;
+  std::vector<Edge> s_edges_;  // S.
+  std::unordered_map<VertexId, std::vector<VertexId>> s_adj_;
+  std::unordered_set<std::uint64_t, Mix64Hash> c_set_;  // C keys.
+  std::vector<Edge> c_edges_;
+  std::unordered_set<std::uint64_t, Mix64Hash> p_set_;  // P keys.
+  std::vector<Edge> p_edges_;
+
+  mutable std::unordered_map<std::uint64_t, std::uint64_t, Mix64Hash>
+      oracle_cache_;
+
+  SpaceTracker space_;
+  Estimate result_;
+  Diagnostics diagnostics_;
+  bool finished_ = false;
+};
+
+/// Convenience wrapper: runs the counter over `stream` and returns the
+/// estimate.
+Estimate CountTrianglesRandomOrder(const EdgeStream& stream,
+                                   const RandomOrderTriangleCounter::Params& params);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_CORE_RANDOM_ORDER_TRIANGLES_H_

@@ -1,0 +1,67 @@
+#include "core/useful_algorithm.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+UsefulAlgorithm::UsefulAlgorithm(const Config& config) : config_(config) {
+  CHECK_GT(config.p, 0.0);
+  CHECK_LE(config.p, 1.0);
+  CHECK_GT(config.m_cap, 0.0);
+  heavy_threshold_ = config.p * std::sqrt(config.m_cap);
+}
+
+void UsefulAlgorithm::OnVertex(std::uint64_t v_key, bool v_in_r1,
+                               bool v_in_r2,
+                               std::span<const IncidentEdge> edges) {
+  double w_out_2 = 0.0;  // Edges v -> already-arrived u ∈ R2.
+  double w_in_1 = 0.0;   // Edges from not-yet-arrived u ∈ R1 into v.
+  double w_in_2 = 0.0;   // Edges from not-yet-arrived u ∈ R2 into v.
+  for (const IncidentEdge& e : edges) {
+    const bool arrived = config_.external_arrivals
+                             ? e.neighbor_arrived
+                             : seen_r_.count(e.neighbor) > 0;
+    if (arrived) {
+      if (e.in_r2) w_out_2 += e.weight;
+      // Arrived heavy R2 neighbors accumulate their exact in-weight a(u):
+      // the edge v -> u points into u (u is earlier).
+      if (e.in_r2) {
+        auto it = heavy_in_r2_.find(e.neighbor);
+        if (it != heavy_in_r2_.end()) it->second += e.weight;
+      }
+    } else {
+      if (e.in_r1) w_in_1 += e.weight;
+      if (e.in_r2) w_in_2 += e.weight;
+    }
+  }
+  // A accumulates w_out_2 over every vertex; at end of stream
+  // A = Σ_{u ∈ R2} w_in(u).
+  a_total_ += w_out_2;
+
+  if (w_in_1 >= heavy_threshold_) {
+    // v is heavy. If v ∈ R2, track its exact in-weight from now on.
+    if (v_in_r2) heavy_in_r2_.emplace(v_key, 0.0);
+    a_heavy_ += w_in_2;
+  }
+
+  if (!config_.external_arrivals && (v_in_r1 || v_in_r2)) {
+    seen_r_.insert(v_key);
+  }
+}
+
+double UsefulAlgorithm::Estimate() const {
+  double a_light = a_total_;
+  for (const auto& [key, a_v] : heavy_in_r2_) {
+    (void)key;
+    a_light -= a_v;
+  }
+  return (a_light + a_heavy_) / config_.p;
+}
+
+std::size_t UsefulAlgorithm::SpaceWords() const {
+  return seen_r_.size() + 2 * heavy_in_r2_.size() + 4;
+}
+
+}  // namespace cyclestream

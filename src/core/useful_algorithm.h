@@ -1,0 +1,91 @@
+#ifndef CYCLESTREAM_CORE_USEFUL_ALGORITHM_H_
+#define CYCLESTREAM_CORE_USEFUL_ALGORITHM_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/types.h"
+
+namespace cyclestream {
+
+/// The "Useful Algorithm" of §3: estimates the total edge weight W of a
+/// weighted graph G' = (V', E') (weights in [1, λ]) observed as a *vertex*
+/// stream in which, on the arrival of vertex v, all edges between v and the
+/// pre-sampled vertex sets R1, R2 are revealed. R1 and R2 are independent
+/// p-samples of V'.
+///
+/// Guarantees (Lemma 3.1, w.h.p., for p ≥ λ·c·log n / (ε²√M)):
+///   a. if W ≤ M then the returned Ŵ = W ± εM,
+///   b. if Ŵ < M then W ≤ 2M,
+///   c. if Ŵ ≥ M then W ≥ M/2.
+///
+/// Mechanics: every edge is directed toward its earlier endpoint, so
+/// Σ_v w_in(v) = W. Edges into R1 classify vertices as heavy
+/// (w_in_1(v) ≥ p√M) or light at their arrival; edges into R2 estimate the
+/// total light in-weight (AL) and, for heavy vertices in R2, the exact
+/// in-weight via dedicated counters (the a(v) of the paper). The two
+/// independent sets exist purely to decouple the classification from the
+/// estimation.
+///
+/// The caller drives the stream: one OnVertex call per arriving vertex, with
+/// the incident edges to R1 ∪ R2. The caller owns the sampling of R1/R2 (it
+/// knows the vertex universe); this class only needs the membership flags on
+/// each revealed edge and on the arriving vertex itself.
+class UsefulAlgorithm {
+ public:
+  struct Config {
+    double p = 1.0;        // Sampling probability of R1 and R2.
+    double m_cap = 1.0;    // The scale M.
+    /// When true, the caller supplies each revealed edge's
+    /// `neighbor_arrived` flag and this instance keeps no seen-set of its
+    /// own. Callers running many parallel instances over the same vertex
+    /// stream (the §4.1 size classes) share one arrival bitmap this way
+    /// instead of paying |R| marks per instance.
+    bool external_arrivals = false;
+  };
+
+  explicit UsefulAlgorithm(const Config& config);
+
+  /// One revealed edge between the arriving vertex and u ∈ R1 ∪ R2.
+  struct IncidentEdge {
+    std::uint64_t neighbor = 0;  // Key of u.
+    double weight = 1.0;         // w(vu) ∈ [1, λ].
+    bool in_r1 = false;
+    bool in_r2 = false;          // Not mutually exclusive with in_r1.
+    bool neighbor_arrived = false;  // Used only with external_arrivals.
+  };
+
+  /// Processes the arrival of vertex `v_key`. `edges` lists every edge
+  /// between v and R1 ∪ R2 (regardless of whether the neighbor has already
+  /// arrived — the algorithm tracks arrivals itself). The v_in_r* flags give
+  /// v's own membership.
+  void OnVertex(std::uint64_t v_key, bool v_in_r1, bool v_in_r2,
+                std::span<const IncidentEdge> edges);
+
+  /// Ŵ = (AL + AH) / p.
+  double Estimate() const;
+
+  /// Heavy-classification decision for the whole observed graph: Ŵ ≥ M.
+  bool IsHeavy() const { return Estimate() >= config_.m_cap; }
+
+  /// Words retained: seen-marks for R-vertices (internal mode only) plus
+  /// one counter per tracked heavy vertex plus the global counters.
+  std::size_t SpaceWords() const;
+
+  std::size_t NumTrackedHeavy() const { return heavy_in_r2_.size(); }
+
+ private:
+  Config config_;
+  double heavy_threshold_ = 0.0;  // p√M.
+
+  std::unordered_set<std::uint64_t, Mix64Hash> seen_r_;   // Arrived R-vertices.
+  std::unordered_map<std::uint64_t, double, Mix64Hash> heavy_in_r2_;  // a(v).
+  double a_total_ = 0.0;   // A : Σ w_out_2(v).
+  double a_heavy_ = 0.0;   // AH: Σ over heavy v of w_in_2(v).
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_CORE_USEFUL_ALGORITHM_H_

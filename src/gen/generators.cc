@@ -1,0 +1,390 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/check.h"
+
+namespace cyclestream {
+namespace {
+
+// Maximum possible edges for n vertices; guards against impossible requests.
+std::uint64_t MaxEdges(VertexId n) {
+  return static_cast<std::uint64_t>(n) * (n - 1) / 2;
+}
+
+}  // namespace
+
+EdgeList ErdosRenyiGnm(VertexId n, std::size_t m, Rng& rng) {
+  CHECK_GE(n, 2u);
+  CHECK_LE(m, MaxEdges(n)) << "G(n,m) request exceeds complete graph";
+  EdgeList list(n);
+  std::unordered_set<std::uint64_t, Mix64Hash> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    const VertexId a = static_cast<VertexId>(rng.UniformInt(n));
+    const VertexId b = static_cast<VertexId>(rng.UniformInt(n));
+    if (a == b) continue;
+    if (seen.insert(PairKey(a, b)).second) list.Add(a, b);
+  }
+  list.Finalize();
+  return list;
+}
+
+EdgeList ErdosRenyiGnp(VertexId n, double p, Rng& rng) {
+  CHECK_GE(n, 2u);
+  CHECK_GE(p, 0.0);
+  CHECK_LE(p, 1.0);
+  EdgeList list(n);
+  if (p <= 0.0) {
+    list.Finalize();
+    return list;
+  }
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) list.Add(u, v);
+    }
+    list.Finalize();
+    return list;
+  }
+  // Geometric skipping over the lexicographic enumeration of pairs.
+  const double log1mp = std::log1p(-p);
+  std::uint64_t index = 0;  // Next candidate pair index.
+  const std::uint64_t total = MaxEdges(n);
+  while (true) {
+    const double u = 1.0 - rng.UniformDouble();  // (0, 1].
+    const std::uint64_t skip =
+        static_cast<std::uint64_t>(std::floor(std::log(u) / log1mp));
+    index += skip;
+    if (index >= total) break;
+    // Decode pair index -> (row, col) in the upper triangle.
+    // Row r occupies indices [r*n - r*(r+1)/2, ...) of length n-1-r.
+    VertexId r = 0;
+    std::uint64_t rem = index;
+    // Binary search the row.
+    VertexId lo = 0, hi = n - 1;
+    while (lo < hi) {
+      const VertexId mid = lo + (hi - lo) / 2;
+      const std::uint64_t start =
+          static_cast<std::uint64_t>(mid) * n -
+          static_cast<std::uint64_t>(mid) * (mid + 1) / 2;
+      if (start <= index) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    r = lo - 1;
+    rem = index - (static_cast<std::uint64_t>(r) * n -
+                   static_cast<std::uint64_t>(r) * (r + 1) / 2);
+    const VertexId c = static_cast<VertexId>(r + 1 + rem);
+    list.Add(r, c);
+    ++index;
+  }
+  list.Finalize();
+  return list;
+}
+
+EdgeList BarabasiAlbert(VertexId n, std::size_t edges_per_vertex, Rng& rng) {
+  CHECK_GE(edges_per_vertex, 1u);
+  CHECK_GT(n, edges_per_vertex);
+  EdgeList list(n);
+  // `targets` holds one entry per edge endpoint: sampling uniformly from it
+  // is sampling proportionally to degree.
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(2 * n * edges_per_vertex);
+  // Seed: a star among the first m0+1 vertices so the pool is non-empty.
+  const VertexId m0 = static_cast<VertexId>(edges_per_vertex);
+  for (VertexId v = 1; v <= m0; ++v) {
+    list.Add(0, v);
+    endpoint_pool.push_back(0);
+    endpoint_pool.push_back(v);
+  }
+  std::unordered_set<VertexId> picked;
+  for (VertexId v = m0 + 1; v < n; ++v) {
+    picked.clear();
+    while (picked.size() < edges_per_vertex) {
+      const VertexId target =
+          endpoint_pool[rng.UniformInt(endpoint_pool.size())];
+      if (target != v) picked.insert(target);
+    }
+    for (VertexId target : picked) {
+      list.Add(v, target);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(target);
+    }
+  }
+  list.Finalize();
+  return list;
+}
+
+EdgeList ChungLuPowerLaw(VertexId n, double avg_degree, double beta,
+                         Rng& rng) {
+  CHECK_GE(n, 2u);
+  CHECK_GT(beta, 2.0);
+  // Power-law weights w_i ∝ (i + i0)^{-1/(beta-1)}, descending in i, scaled
+  // to hit the requested average degree.
+  const double exponent = -1.0 / (beta - 1.0);
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + 1.0, exponent);
+    sum += w[i];
+  }
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  for (auto& wi : w) wi *= scale;
+  sum *= scale;
+
+  // Miller–Hagberg style sampling: weights are sorted descending, so for
+  // fixed i the probabilities p_ij = min(1, w_i w_j / S) are non-increasing
+  // in j; sample with geometric skips at rate q = p(i, j_current), accepting
+  // with probability p_ij / q.
+  EdgeList list(n);
+  for (VertexId i = 0; i + 1 < n; ++i) {
+    VertexId j = i + 1;
+    double p = std::min(1.0, w[i] * w[j] / sum);
+    while (j < n && p > 0.0) {
+      if (p < 1.0) {
+        const double u = 1.0 - rng.UniformDouble();
+        const double skip = std::floor(std::log(u) / std::log1p(-p));
+        // Guard against inf/NaN for very small p.
+        if (!(skip >= 0.0) || skip > static_cast<double>(n)) break;
+        j += static_cast<VertexId>(skip);
+      }
+      if (j >= n) break;
+      const double pj = std::min(1.0, w[i] * w[j] / sum);
+      if (rng.UniformDouble() < pj / p) list.Add(i, j);
+      p = pj;
+      ++j;
+    }
+  }
+  list.Finalize();
+  return list;
+}
+
+EdgeList CompleteBipartite(VertexId a, VertexId b) {
+  CHECK_GE(a, 1u);
+  CHECK_GE(b, 1u);
+  EdgeList list(a + b);
+  for (VertexId i = 0; i < a; ++i) {
+    for (VertexId j = 0; j < b; ++j) list.Add(i, a + j);
+  }
+  list.Finalize();
+  return list;
+}
+
+EdgeList Grid2d(VertexId rows, VertexId cols) {
+  CHECK_GE(rows, 1u);
+  CHECK_GE(cols, 1u);
+  EdgeList list(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) list.Add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) list.Add(id(r, c), id(r + 1, c));
+    }
+  }
+  list.Finalize();
+  return list;
+}
+
+EdgeList PlantTriangles(EdgeList base, std::size_t count, Rng& rng) {
+  (void)rng;
+  VertexId next = base.num_vertices();
+  for (std::size_t i = 0; i < count; ++i) {
+    base.Add(next, next + 1);
+    base.Add(next + 1, next + 2);
+    base.Add(next, next + 2);
+    next += 3;
+  }
+  base.Finalize();
+  return base;
+}
+
+EdgeList PlantBook(EdgeList base, std::size_t pages, Rng& rng) {
+  (void)rng;
+  CHECK_GE(pages, 1u);
+  const VertexId u = base.num_vertices();
+  const VertexId v = u + 1;
+  base.Add(u, v);
+  for (std::size_t p = 0; p < pages; ++p) {
+    const VertexId w = v + 1 + static_cast<VertexId>(p);
+    base.Add(u, w);
+    base.Add(v, w);
+  }
+  base.Finalize();
+  return base;
+}
+
+EdgeList PlantDiamonds(EdgeList base, const std::vector<DiamondSpec>& specs,
+                       Rng& rng) {
+  (void)rng;
+  VertexId next = base.num_vertices();
+  for (const DiamondSpec& spec : specs) {
+    CHECK_GE(spec.size, 2u);
+    for (std::size_t c = 0; c < spec.count; ++c) {
+      const VertexId u = next;
+      const VertexId v = next + 1;
+      next += 2;
+      for (std::uint32_t h = 0; h < spec.size; ++h) {
+        const VertexId w = next++;
+        base.Add(u, w);
+        base.Add(v, w);
+      }
+    }
+  }
+  base.Finalize();
+  return base;
+}
+
+EdgeList PlantFourCycles(EdgeList base, std::size_t count, Rng& rng) {
+  (void)rng;
+  VertexId next = base.num_vertices();
+  for (std::size_t i = 0; i < count; ++i) {
+    base.Add(next, next + 1);
+    base.Add(next + 1, next + 2);
+    base.Add(next + 2, next + 3);
+    base.Add(next, next + 3);
+    next += 4;
+  }
+  base.Finalize();
+  return base;
+}
+
+EdgeList PlantTheta(EdgeList base, std::size_t k, Rng& rng) {
+  (void)rng;
+  CHECK_GE(k, 2u);
+  const VertexId u = base.num_vertices();
+  const VertexId v = u + 1;
+  const VertexId x0 = v + 1;
+  const VertexId y0 = x0 + static_cast<VertexId>(k);
+  base.Add(u, v);
+  for (std::size_t i = 0; i < k; ++i) {
+    const VertexId xi = x0 + static_cast<VertexId>(i);
+    const VertexId yi = y0 + static_cast<VertexId>(i);
+    const VertexId yi1 = y0 + static_cast<VertexId>((i + 1) % k);
+    base.Add(u, xi);
+    base.Add(v, yi);
+    base.Add(xi, yi);
+    base.Add(xi, yi1);
+  }
+  base.Finalize();
+  return base;
+}
+
+EdgeList FourCycleFreeRandom(VertexId n, std::size_t target_m,
+                             bool also_triangle_free, Rng& rng) {
+  CHECK_GE(n, 2u);
+  // Greedy insertion with incremental adjacency sets; an edge (u,v) closes a
+  // 4-cycle iff u and some neighbor of v already share a neighbor, i.e. iff
+  // there is a path of length 3 between u and v; it closes a triangle iff
+  // they share a neighbor. Both are checked against the partial graph.
+  std::vector<std::unordered_set<VertexId>> adj(n);
+  EdgeList list(n);
+  std::size_t added = 0;
+  // Bound attempts so dense/impossible requests terminate.
+  const std::size_t max_attempts = 64 * (target_m + 16);
+  std::size_t attempts = 0;
+  auto share_neighbor = [&adj](VertexId a, VertexId b) {
+    const auto& sa = adj[a].size() <= adj[b].size() ? adj[a] : adj[b];
+    const auto& sb = adj[a].size() <= adj[b].size() ? adj[b] : adj[a];
+    for (VertexId w : sa) {
+      if (sb.count(w)) return true;
+    }
+    return false;
+  };
+  while (added < target_m && attempts < max_attempts) {
+    ++attempts;
+    const VertexId a = static_cast<VertexId>(rng.UniformInt(n));
+    const VertexId b = static_cast<VertexId>(rng.UniformInt(n));
+    if (a == b || adj[a].count(b)) continue;
+    if (also_triangle_free && share_neighbor(a, b)) continue;
+    // Path of length 3: some neighbor w of b has a common neighbor with a
+    // (other than b), or a and b share two neighbors (C4 via a wedge pair).
+    bool closes_c4 = false;
+    // a - x - w - b with x in Γ(a), w in Γ(b), (x,w) edge.
+    for (VertexId w : adj[b]) {
+      if (w == a) continue;
+      for (VertexId x : adj[w]) {
+        if (x != b && x != a && adj[a].count(x)) {
+          closes_c4 = true;
+          break;
+        }
+      }
+      if (closes_c4) break;
+    }
+    // Two common neighbors would make (a,b) a diamond diagonal; the C4
+    // a-x-b-y exists already only if (a,b) need not be an edge — adding the
+    // edge (a,b) does not create that cycle, so no extra check needed.
+    if (closes_c4) continue;
+    adj[a].insert(b);
+    adj[b].insert(a);
+    list.Add(a, b);
+    ++added;
+  }
+  list.Finalize();
+  return list;
+}
+
+EdgeList DisjointUnion(const std::vector<EdgeList>& parts) {
+  EdgeList out;
+  VertexId offset = 0;
+  for (const EdgeList& part : parts) {
+    for (const Edge& e : part.edges()) {
+      out.Add(offset + e.u, offset + e.v);
+    }
+    offset += part.num_vertices();
+    out.EnsureVertices(offset);
+  }
+  out.Finalize();
+  return out;
+}
+
+EdgeList RandomTree(VertexId n, Rng& rng) {
+  CHECK_GE(n, 1u);
+  EdgeList list(n);
+  for (VertexId v = 1; v < n; ++v) {
+    list.Add(v, static_cast<VertexId>(rng.UniformInt(v)));
+  }
+  list.Finalize();
+  return list;
+}
+
+EdgeList WattsStrogatz(VertexId n, std::uint32_t k, double beta, Rng& rng) {
+  CHECK_GE(n, 4u);
+  CHECK_EQ(k % 2, 0u);
+  CHECK_GE(k, 2u);
+  CHECK_LT(k, n);
+  CHECK_GE(beta, 0.0);
+  CHECK_LE(beta, 1.0);
+  std::unordered_set<std::uint64_t, Mix64Hash> present;
+  EdgeList list(n);
+  auto try_add = [&](VertexId a, VertexId b) {
+    if (a == b) return false;
+    if (!present.insert(PairKey(a, b)).second) return false;
+    list.Add(a, b);
+    return true;
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      const VertexId nbr = static_cast<VertexId>((v + j) % n);
+      if (rng.Bernoulli(beta)) {
+        // Rewire: pick a fresh uniform far endpoint (retry on collisions).
+        bool added = false;
+        for (int attempt = 0; attempt < 32 && !added; ++attempt) {
+          added = try_add(v, static_cast<VertexId>(rng.UniformInt(n)));
+        }
+        if (!added) try_add(v, nbr);  // Fall back to the lattice edge.
+      } else {
+        try_add(v, nbr);
+      }
+    }
+  }
+  list.Finalize();
+  return list;
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,97 @@
+#ifndef CYCLESTREAM_GEN_GENERATORS_H_
+#define CYCLESTREAM_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "hash/rng.h"
+
+namespace cyclestream {
+
+/// Synthetic graph generators. These stand in for the public SNAP graphs the
+/// streaming-triangles literature evaluates on (no network access in this
+/// environment; see DESIGN.md §4): Barabási–Albert and Chung–Lu produce the
+/// heavy-tailed degree distributions of social/web graphs, Erdős–Rényi gives
+/// the unstructured control, and the planted-structure generators let
+/// experiments sweep the subgraph count T independently of m — something no
+/// fixed real graph allows.
+
+/// Erdős–Rényi G(n, m): exactly m distinct uniform edges.
+EdgeList ErdosRenyiGnm(VertexId n, std::size_t m, Rng& rng);
+
+/// Erdős–Rényi G(n, p): each edge present independently with probability p.
+/// Uses geometric skipping, O(n + m) expected time.
+EdgeList ErdosRenyiGnp(VertexId n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: vertices arrive one at a time and
+/// attach to `edges_per_vertex` existing vertices chosen proportionally to
+/// degree. Heavy-tailed degrees, many triangles around hubs.
+EdgeList BarabasiAlbert(VertexId n, std::size_t edges_per_vertex, Rng& rng);
+
+/// Chung–Lu model with power-law expected degrees: weight(i) ∝ (i+i0)^{-1/(β-1)}
+/// scaled so the expected average degree is `avg_degree`; edge {i,j} appears
+/// with probability min(1, w_i w_j / Σw). β in (2, 3] matches social networks.
+EdgeList ChungLuPowerLaw(VertexId n, double avg_degree, double beta, Rng& rng);
+
+/// Complete bipartite graph K_{a,b} (vertex ids: side A = 0..a-1,
+/// side B = a..a+b-1). Contains C(a,2)·C(b,2) four-cycles and no triangles.
+EdgeList CompleteBipartite(VertexId a, VertexId b);
+
+/// 2D grid graph (rows × cols, 4-neighborhood). Every internal square is a
+/// 4-cycle; triangle-free. Models the "road network" regime.
+EdgeList Grid2d(VertexId rows, VertexId cols);
+
+/// Adds `count` vertex-disjoint triangles on fresh vertices to `base`.
+/// If the base graph is triangle-free the result has exactly `count`
+/// triangles. Returns the modified edge list.
+EdgeList PlantTriangles(EdgeList base, std::size_t count, Rng& rng);
+
+/// A "book" graph: one spine edge (u,v) plus `pages` fresh common neighbors.
+/// The spine edge is contained in `pages` triangles — the canonical heavy
+/// edge of §2.1. Appends the structure to `base` on fresh vertices.
+EdgeList PlantBook(EdgeList base, std::size_t pages, Rng& rng);
+
+/// Specification for a pack of planted diamonds (K_{2,h} blocks, §4.1).
+struct DiamondSpec {
+  std::uint32_t size = 2;   // h = number of common neighbors (>= 2).
+  std::size_t count = 1;    // How many vertex-disjoint copies.
+};
+
+/// Appends vertex-disjoint diamonds to `base`. A diamond of size h adds
+/// 2 + h fresh vertices, 2h edges and C(h,2) four-cycles.
+EdgeList PlantDiamonds(EdgeList base, const std::vector<DiamondSpec>& specs,
+                       Rng& rng);
+
+/// Adds `count` vertex-disjoint 4-cycles on fresh vertices.
+EdgeList PlantFourCycles(EdgeList base, std::size_t count, Rng& rng);
+
+/// Theta gadget: one edge (u,v) plus k fresh neighbors x_i of u and k fresh
+/// neighbors y_i of v, connected by the two matchings x_i—y_i and
+/// x_i—y_{i+1}. The spine (u,v) lies in 2k of the gadget's ~4k 4-cycles —
+/// the canonical *heavy edge* for 4-cycle counting (§5.1): t(spine) = 2k
+/// ≫ η√T while every other gadget edge is light.
+EdgeList PlantTheta(EdgeList base, std::size_t k, Rng& rng);
+
+/// Random graph that is certified 4-cycle-free: G(n,m) edges are inserted
+/// greedily, skipping any edge that would close a 4-cycle (or a triangle if
+/// `also_triangle_free`). May return fewer than m edges on dense requests.
+EdgeList FourCycleFreeRandom(VertexId n, std::size_t target_m, bool also_triangle_free,
+                             Rng& rng);
+
+/// Disjoint union of `parts` (vertex ids shifted); convenience for building
+/// experiment workloads.
+EdgeList DisjointUnion(const std::vector<EdgeList>& parts);
+
+/// Random tree on n vertices (uniform attachment). Triangle- and C4-free.
+EdgeList RandomTree(VertexId n, Rng& rng);
+
+/// Watts–Strogatz small-world graph: a ring lattice where every vertex
+/// connects to its k nearest neighbors (k even), with each edge's far
+/// endpoint rewired to a uniform vertex with probability beta. High
+/// clustering at small beta — the classic "social network" control.
+EdgeList WattsStrogatz(VertexId n, std::uint32_t k, double beta, Rng& rng);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GEN_GENERATORS_H_

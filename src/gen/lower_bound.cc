@@ -1,0 +1,117 @@
+#include "gen/lower_bound.h"
+
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+TriangleGadget MakeTriangleLowerBoundGadget(VertexId n, std::uint64_t t,
+                                            bool planted_bit, Rng& rng) {
+  CHECK_GE(n, 2u);
+  CHECK_GE(t, 1u);
+  TriangleGadget gadget;
+  gadget.planted_bit = planted_bit;
+  gadget.expected_triangles = planted_bit ? t : 0;
+
+  const VertexId w_base = 2 * n;
+  const std::uint64_t w_count = 2ull * n * t;
+  EdgeList list(static_cast<VertexId>(w_base + w_count));
+
+  // Random disjoint neighborhoods in W: shuffle W and hand out consecutive
+  // blocks of size T. u_{i*} and v_{j*} receive the *same* block.
+  std::vector<VertexId> w_pool(w_count);
+  std::iota(w_pool.begin(), w_pool.end(), w_base);
+  rng.Shuffle(w_pool);
+
+  const VertexId i_star = static_cast<VertexId>(rng.UniformInt(n));
+  const VertexId j_star = static_cast<VertexId>(rng.UniformInt(n));
+  gadget.u_star = i_star;
+  gadget.v_star = static_cast<VertexId>(n + j_star);
+
+  std::size_t next_block = 0;
+  auto take_block = [&]() {
+    const std::size_t start = next_block * t;
+    next_block++;
+    CHECK_LE(start + t, w_pool.size());
+    return start;
+  };
+
+  // U side: every u_i gets a fresh block; remember u_{i*}'s block.
+  std::size_t star_block_start = 0;
+  for (VertexId i = 0; i < n; ++i) {
+    const std::size_t start = take_block();
+    if (i == i_star) star_block_start = start;
+    for (std::uint64_t z = 0; z < t; ++z) {
+      list.Add(i, w_pool[start + z]);
+    }
+  }
+  // V side: v_{j*} mirrors u_{i*}'s neighborhood, everyone else fresh.
+  for (VertexId j = 0; j < n; ++j) {
+    const VertexId vj = static_cast<VertexId>(n + j);
+    const std::size_t start = (j == j_star) ? star_block_start : take_block();
+    for (std::uint64_t z = 0; z < t; ++z) {
+      list.Add(vj, w_pool[start + z]);
+    }
+  }
+
+  // Random bipartite pattern E_x with the starred entry forced.
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = 0; j < n; ++j) {
+      bool bit;
+      if (i == i_star && j == j_star) {
+        bit = planted_bit;
+      } else {
+        bit = rng.Bernoulli(0.5);
+      }
+      if (bit) list.Add(i, static_cast<VertexId>(n + j));
+    }
+  }
+
+  list.Finalize();
+  gadget.graph = std::move(list);
+  return gadget;
+}
+
+FourCycleGadget MakeFourCycleLowerBoundGadget(std::uint32_t num_groups,
+                                              std::uint32_t k, double density,
+                                              bool intersecting, Rng& rng) {
+  CHECK_GE(num_groups, 1u);
+  CHECK_GE(k, 2u);
+  FourCycleGadget gadget;
+  gadget.u = 0;
+  gadget.w = 1;
+  gadget.intersecting = intersecting;
+
+  std::vector<bool> s1(num_groups), s2(num_groups);
+  for (std::uint32_t i = 0; i < num_groups; ++i) {
+    s1[i] = rng.Bernoulli(density);
+    s2[i] = rng.Bernoulli(density);
+    if (s1[i] && s2[i]) s2[i] = false;  // Keep the base strings disjoint.
+  }
+  if (intersecting) {
+    const std::uint32_t shared =
+        static_cast<std::uint32_t>(rng.UniformInt(num_groups));
+    s1[shared] = true;
+    s2[shared] = true;
+    gadget.expected_four_cycles =
+        static_cast<std::uint64_t>(k) * (k - 1) / 2;
+  } else {
+    gadget.expected_four_cycles = 0;
+  }
+
+  EdgeList list(static_cast<VertexId>(2 + num_groups * k));
+  for (std::uint32_t i = 0; i < num_groups; ++i) {
+    const VertexId group_base = static_cast<VertexId>(2 + i * k);
+    for (std::uint32_t z = 0; z < k; ++z) {
+      if (s1[i]) list.Add(gadget.u, group_base + z);
+      if (s2[i]) list.Add(gadget.w, group_base + z);
+    }
+  }
+  list.Finalize();
+  gadget.graph = std::move(list);
+  return gadget;
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,55 @@
+#ifndef CYCLESTREAM_GEN_LOWER_BOUND_H_
+#define CYCLESTREAM_GEN_LOWER_BOUND_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "hash/rng.h"
+
+namespace cyclestream {
+
+/// The §2.2 / Figure 1 lower-bound construction for triangle counting in
+/// random-order streams. Tripartite graph on (U, V, W): |U| = |V| = n,
+/// |W| = 2nT. Every r ∈ U ∪ V gets T neighbors in W; all neighborhoods are
+/// pairwise disjoint except Γ(u_{i*}) = Γ(v_{j*}), which are identical.
+/// A random bipartite pattern E_x ⊆ U × V is added (each pair present w.p.
+/// 1/2), with the (i*, j*) entry forced to `planted_bit`. The graph contains
+/// exactly T triangles if planted_bit is true and none otherwise — yet the
+/// identity of (i*, j*) is information-theoretically hidden in any short
+/// prefix of a random-order stream (Theorem 2.6).
+struct TriangleGadget {
+  EdgeList graph;
+  VertexId u_star = 0;     // Vertex id of u_{i*}.
+  VertexId v_star = 0;     // Vertex id of v_{j*}.
+  bool planted_bit = false;
+  std::uint64_t expected_triangles = 0;  // T if planted, else 0.
+};
+
+/// Builds the gadget. Vertex layout: U = [0, n), V = [n, 2n),
+/// W = [2n, 2n + 2nT).
+TriangleGadget MakeTriangleLowerBoundGadget(VertexId n, std::uint64_t t,
+                                            bool planted_bit, Rng& rng);
+
+/// The §5.4 lower-bound construction for 4-cycle counting (reduction from
+/// set disjointness). Two special vertices u and w plus `num_groups` groups
+/// of `k` vertices. Alice's string s1 adds k edges u–V_i per set bit; Bob's
+/// string s2 adds k edges V_j–w per set bit. If the strings intersect in one
+/// index the graph contains C(k,2) four-cycles; if disjoint, none.
+struct FourCycleGadget {
+  EdgeList graph;
+  VertexId u = 0;
+  VertexId w = 0;
+  bool intersecting = false;
+  std::uint64_t expected_four_cycles = 0;  // C(k,2) · #shared indices.
+};
+
+/// Builds the gadget with random strings of the given density; if
+/// `intersecting`, one shared index is forced (and removed elsewhere so the
+/// disjoint case stays disjoint).
+FourCycleGadget MakeFourCycleLowerBoundGadget(std::uint32_t num_groups,
+                                              std::uint32_t k, double density,
+                                              bool intersecting, Rng& rng);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GEN_LOWER_BOUND_H_

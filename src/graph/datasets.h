@@ -1,0 +1,15 @@
+#ifndef CYCLESTREAM_GRAPH_DATASETS_H_
+#define CYCLESTREAM_GRAPH_DATASETS_H_
+
+#include "graph/edge_list.h"
+
+namespace cyclestream {
+
+/// Zachary's karate club network (34 vertices, 78 edges, 45 triangles) —
+/// the classic small social network, embedded so examples and tests have one
+/// *real* graph available without any data download.
+EdgeList KarateClub();
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GRAPH_DATASETS_H_

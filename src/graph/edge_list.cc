@@ -1,0 +1,38 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+EdgeList EdgeList::FromPairs(
+    VertexId num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  EdgeList list(num_vertices);
+  for (const auto& [a, b] : pairs) {
+    if (a == b) continue;  // Drop self-loops silently in the lenient builder.
+    list.edges_.emplace_back(a, b);
+    list.EnsureVertices(std::max(a, b) + 1);
+  }
+  list.Finalize();
+  return list;
+}
+
+void EdgeList::Add(VertexId a, VertexId b) {
+  CHECK_NE(a, b) << "self-loop";
+  edges_.emplace_back(a, b);
+  EnsureVertices(std::max(a, b) + 1);
+  finalized_ = false;
+}
+
+void EdgeList::Finalize() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  if (!edges_.empty()) {
+    CHECK_LT(edges_.back().v, num_vertices_) << "edge endpoint out of range";
+  }
+  finalized_ = true;
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,58 @@
+#ifndef CYCLESTREAM_GRAPH_EDGE_LIST_H_
+#define CYCLESTREAM_GRAPH_EDGE_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace cyclestream {
+
+/// A simple undirected graph as a list of canonical edges plus a vertex
+/// count. This is the interchange format: generators produce EdgeLists,
+/// streams are orderings of an EdgeList, and Graph (CSR) is built from one.
+///
+/// Invariants (established by Finalize or the named constructors):
+///   - every edge has u < v < num_vertices
+///   - no duplicate edges
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Builds a validated EdgeList from raw pairs: canonicalizes, drops
+  /// self-loops and duplicates, and grows the vertex count to cover all ids.
+  static EdgeList FromPairs(
+      VertexId num_vertices,
+      const std::vector<std::pair<VertexId, VertexId>>& pairs);
+
+  /// Adds an edge (canonicalized). Self-loops are rejected with a CHECK.
+  /// Duplicate detection is deferred to Finalize for speed.
+  void Add(VertexId a, VertexId b);
+
+  /// Sorts, deduplicates, and validates. Must be called after a sequence of
+  /// Add()s before handing the list to a Graph/stream. Idempotent.
+  void Finalize();
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Edge& edge(std::size_t i) const { return edges_[i]; }
+
+  /// Raises the vertex count (never lowers it).
+  void EnsureVertices(VertexId n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+  bool finalized_ = false;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GRAPH_EDGE_LIST_H_

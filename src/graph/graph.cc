@@ -1,0 +1,63 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+Graph::Graph(const EdgeList& edges) {
+  CHECK(edges.finalized()) << "EdgeList must be finalized before Graph()";
+  const VertexId n = edges.num_vertices();
+  edge_list_ = edges.edges();
+
+  std::vector<std::size_t> degree(n, 0);
+  for (const Edge& e : edge_list_) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + degree[v];
+    max_degree_ = std::max(max_degree_, degree[v]);
+  }
+  adjacency_.resize(offsets_[n]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edge_list_) {
+    adjacency_[cursor[e.u]++] = e.v;
+    adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]),
+              adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]));
+  }
+}
+
+bool Graph::HasEdge(VertexId a, VertexId b) const {
+  if (a >= num_vertices() || b >= num_vertices()) return false;
+  // Search the smaller list.
+  if (Degree(a) > Degree(b)) std::swap(a, b);
+  const auto nbrs = Neighbors(a);
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+std::size_t Graph::CommonNeighborCount(VertexId a, VertexId b) const {
+  const auto na = Neighbors(a);
+  const auto nb = Neighbors(b);
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < na.size() && j < nb.size()) {
+    if (na[i] < nb[j]) {
+      ++i;
+    } else if (na[i] > nb[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace cyclestream

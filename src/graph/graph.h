@@ -1,0 +1,58 @@
+#ifndef CYCLESTREAM_GRAPH_GRAPH_H_
+#define CYCLESTREAM_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace cyclestream {
+
+/// Immutable undirected graph in compressed-sparse-row form. Neighbor lists
+/// are sorted, enabling O(log d) adjacency queries and linear-time sorted
+/// intersections (the workhorse of the exact counters).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from a finalized EdgeList.
+  explicit Graph(const EdgeList& edges);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Sorted neighbors of v.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return std::span<const VertexId>(adjacency_.data() + offsets_[v],
+                                     offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::size_t Degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  std::size_t MaxDegree() const { return max_degree_; }
+
+  /// O(log d) adjacency test.
+  bool HasEdge(VertexId a, VertexId b) const;
+
+  /// |Γ(a) ∩ Γ(b)| via sorted-list intersection.
+  std::size_t CommonNeighborCount(VertexId a, VertexId b) const;
+
+  /// The canonical edge list this graph was built from (sorted).
+  const std::vector<Edge>& edges() const { return edge_list_; }
+
+ private:
+  std::vector<std::size_t> offsets_;   // n+1 entries.
+  std::vector<VertexId> adjacency_;    // 2m entries, sorted per vertex.
+  std::vector<Edge> edge_list_;        // m canonical edges, sorted.
+  std::size_t max_degree_ = 0;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GRAPH_GRAPH_H_

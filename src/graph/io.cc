@@ -1,0 +1,57 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/types.h"
+#include "util/logging.h"
+
+namespace cyclestream {
+
+std::optional<EdgeList> LoadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    LOG(WARNING) << "cannot open edge list file: " << path;
+    return std::nullopt;
+  }
+  std::unordered_map<std::uint64_t, VertexId> remap;
+  auto densify = [&remap](std::uint64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<VertexId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::uint64_t a, b;
+    if (!(ls >> a)) continue;  // Blank or comment-only line.
+    if (!(ls >> b)) {
+      LOG(WARNING) << path << ":" << lineno << ": malformed line";
+      return std::nullopt;
+    }
+    pairs.emplace_back(densify(a), densify(b));
+  }
+  return EdgeList::FromPairs(static_cast<VertexId>(remap.size()), pairs);
+}
+
+bool SaveEdgeListText(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# cyclestream edge list: " << edges.num_vertices() << " vertices, "
+      << edges.num_edges() << " edges\n";
+  for (const Edge& e : edges.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace cyclestream

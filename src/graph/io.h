@@ -1,0 +1,23 @@
+#ifndef CYCLESTREAM_GRAPH_IO_H_
+#define CYCLESTREAM_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/edge_list.h"
+
+namespace cyclestream {
+
+/// Loads a graph from a SNAP-style text edge list: one "u v" pair per line,
+/// '#' starts a comment, blank lines ignored, arbitrary non-contiguous vertex
+/// ids are densified to {0..n-1}. Self-loops and duplicate edges are dropped.
+/// Returns nullopt if the file cannot be opened or contains a malformed line.
+std::optional<EdgeList> LoadEdgeListText(const std::string& path);
+
+/// Writes the edge list in the same format (with a small header comment).
+/// Returns false on IO failure.
+bool SaveEdgeListText(const EdgeList& edges, const std::string& path);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GRAPH_IO_H_

@@ -1,0 +1,70 @@
+#ifndef CYCLESTREAM_GRAPH_TYPES_H_
+#define CYCLESTREAM_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace cyclestream {
+
+/// Vertex identifier. Graphs are always on the vertex set {0, ..., n-1}.
+using VertexId = std::uint32_t;
+
+/// Invalid/absent vertex sentinel.
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+/// An undirected edge stored in canonical form (u < v). Self-loops are not
+/// representable; the builders reject them.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  Edge() = default;
+  /// Canonicalizes the endpoint order.
+  Edge(VertexId a, VertexId b) : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  friend bool operator==(const Edge& a, const Edge& b) = default;
+  friend auto operator<=>(const Edge& a, const Edge& b) = default;
+
+  /// Packs the edge into a single 64-bit key (u in the high half). Hash maps
+  /// over edges key on this.
+  std::uint64_t Key() const {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  /// Given one endpoint, returns the other. The argument must be an endpoint.
+  VertexId Other(VertexId x) const { return x == u ? v : u; }
+
+  /// True if `x` is one of the endpoints.
+  bool Touches(VertexId x) const { return x == u || x == v; }
+};
+
+/// Packs an *unordered* vertex pair (not necessarily an edge) into a 64-bit
+/// key; used for wedge-count maps x_{uv}.
+inline std::uint64_t PairKey(VertexId a, VertexId b) {
+  if (a > b) {
+    const VertexId t = a;
+    a = b;
+    b = t;
+  }
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Unpacks a PairKey.
+inline Edge PairFromKey(std::uint64_t key) {
+  return Edge(static_cast<VertexId>(key >> 32),
+              static_cast<VertexId>(key & 0xffffffffULL));
+}
+
+/// Mixing hasher for 64-bit keys in std::unordered_* containers (the identity
+/// hash of libstdc++ clusters badly on packed pair keys).
+struct Mix64Hash {
+  std::size_t operator()(std::uint64_t x) const {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GRAPH_TYPES_H_

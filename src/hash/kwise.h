@@ -1,0 +1,57 @@
+#ifndef CYCLESTREAM_HASH_KWISE_H_
+#define CYCLESTREAM_HASH_KWISE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cyclestream {
+
+/// k-wise independent hash family: a random degree-(k-1) polynomial over
+/// GF(p) with p = 2^61 - 1 (a Mersenne prime, enabling fast modular
+/// reduction). For inputs x < p, the values h(x) are exactly k-wise
+/// independent and uniform over [0, p).
+///
+/// The paper's algorithms require limited independence in several places:
+/// the level sets V_i of §2.1 are defined via hash functions f_i with "the
+/// appropriate degree of independence", and the AMS sign vectors α, β of
+/// §4.2 need 4-wise independence. This family serves both.
+class KWiseHash {
+ public:
+  static constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+  /// Constructs a hash drawn from the k-wise independent family, using
+  /// `seed` to pick the polynomial coefficients. Requires k >= 1.
+  KWiseHash(int k, std::uint64_t seed);
+
+  /// Hash value in [0, kPrime).
+  std::uint64_t operator()(std::uint64_t x) const;
+
+  /// Uniform double in [0, 1) derived from the hash value. Together with a
+  /// threshold this gives k-wise independent Bernoulli indicators, which is
+  /// how the algorithms materialize "sample each vertex with probability p"
+  /// in small space (store the seed, not the set).
+  double ToUnit(std::uint64_t x) const {
+    return static_cast<double>(operator()(x)) / static_cast<double>(kPrime);
+  }
+
+  /// k-wise independent Bernoulli indicator with success probability p.
+  bool Keep(std::uint64_t x, double p) const { return ToUnit(x) < p; }
+
+  /// Rademacher sign in {-1, +1} from the hash's low bit. With k = 4 this is
+  /// the 4-wise independent sign family the AMS estimator needs.
+  int Sign(std::uint64_t x) const {
+    return (operator()(x) & 1ULL) ? 1 : -1;
+  }
+
+  int k() const { return static_cast<int>(coeffs_.size()); }
+
+  /// Number of 64-bit words of state (for space accounting).
+  std::size_t SpaceWords() const { return coeffs_.size(); }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // c_0 .. c_{k-1}, c_{k-1} may be 0.
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_HASH_KWISE_H_

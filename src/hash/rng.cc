@@ -1,0 +1,105 @@
+#include "hash/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cyclestream {
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = SplitMix64(s);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint64_t Rng::Binomial(std::uint64_t n, double p) {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  const double variance = static_cast<double>(n) * p * (1.0 - p);
+  if (variance > 100.0) {
+    const double mean = static_cast<double>(n) * p;
+    double draw = mean + std::sqrt(variance) * Normal();
+    if (draw < 0.0) draw = 0.0;
+    if (draw > static_cast<double>(n)) draw = static_cast<double>(n);
+    return static_cast<std::uint64_t>(std::llround(draw));
+  }
+  std::uint64_t count = 0;
+  for (std::uint64_t i = 0; i < n; ++i) count += Bernoulli(p) ? 1 : 0;
+  return count;
+}
+
+Rng Rng::Fork(std::uint64_t stream) const {
+  // Mix the original seed with the stream id through splitmix so that forks
+  // are independent of both each other and the parent's current state.
+  std::uint64_t s = seed_ ^ (0x5851f42d4c957f2dULL * (stream + 1));
+  return Rng(SplitMix64(s));
+}
+
+}  // namespace cyclestream

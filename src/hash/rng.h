@@ -1,0 +1,74 @@
+#ifndef CYCLESTREAM_HASH_RNG_H_
+#define CYCLESTREAM_HASH_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cyclestream {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**),
+/// seeded via splitmix64. Every randomized component in the library takes an
+/// explicit seed so experiments are reproducible run-to-run.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept, so it also works with
+/// <random> distributions if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box–Muller (used by a couple of synthetic workloads).
+  double Normal();
+
+  /// Binomial(n, p) draw. Exact summation for small n, normal approximation
+  /// with rounding for large n (n*p*(1-p) > 100) — accurate enough for the
+  /// lower-bound gadget generator that needs Bin(T, p) counts.
+  std::uint64_t Binomial(std::uint64_t n, double p);
+
+  /// Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(UniformInt(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; stream `i` of the same parent is
+  /// stable across runs. Used to give each trial / each sub-structure its own
+  /// reproducible randomness.
+  Rng Fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t state_[4];
+  // Cached second Box–Muller variate.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+  std::uint64_t seed_ = 0;
+};
+
+/// splitmix64 step; exposed because hash-family seeding uses it directly.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_HASH_RNG_H_

@@ -1,0 +1,14 @@
+#include "hash/tabulation.h"
+
+#include "hash/rng.h"
+
+namespace cyclestream {
+
+TabulationHash::TabulationHash(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = SplitMix64(s);
+  }
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,41 @@
+#ifndef CYCLESTREAM_HASH_TABULATION_H_
+#define CYCLESTREAM_HASH_TABULATION_H_
+
+#include <array>
+#include <cstdint>
+
+namespace cyclestream {
+
+/// Simple tabulation hashing over 64-bit keys: the key is split into eight
+/// bytes and each byte indexes an independent random table; the results are
+/// XORed. Simple tabulation is 3-wise independent and behaves far better than
+/// that in practice (Pătraşcu–Thorup); the library uses it where speed matters
+/// more than provable independence degree (hash-map mixing, CountSketch
+/// bucket choice paired with a k-wise sign).
+class TabulationHash {
+ public:
+  explicit TabulationHash(std::uint64_t seed);
+
+  std::uint64_t operator()(std::uint64_t key) const {
+    std::uint64_t h = 0;
+    for (int b = 0; b < 8; ++b) {
+      h ^= tables_[b][static_cast<std::uint8_t>(key >> (8 * b))];
+    }
+    return h;
+  }
+
+  /// Uniform double in [0, 1).
+  double ToUnit(std::uint64_t key) const {
+    return static_cast<double>(operator()(key) >> 11) * 0x1.0p-53;
+  }
+
+  /// Space in 64-bit words (8 tables of 256 entries).
+  static constexpr std::size_t SpaceWords() { return 8 * 256; }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_HASH_TABULATION_H_

@@ -1,0 +1,36 @@
+#include "sketch/ams_f2.h"
+
+#include "hash/rng.h"
+#include "sketch/median_of_means.h"
+#include "util/check.h"
+
+namespace cyclestream {
+
+AmsF2::AmsF2(std::size_t groups, std::size_t per_group, std::uint64_t seed)
+    : groups_(groups) {
+  CHECK_GE(groups, 1u);
+  CHECK_GE(per_group, 1u);
+  const std::size_t total = groups * per_group;
+  std::uint64_t s = seed;
+  signs_.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    signs_.emplace_back(/*k=*/4, SplitMix64(s));
+  }
+  counters_.assign(total, 0.0);
+}
+
+void AmsF2::Update(std::uint64_t key, double delta) {
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += static_cast<double>(signs_[i].Sign(key)) * delta;
+  }
+}
+
+double AmsF2::Estimate() const {
+  std::vector<double> squares(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    squares[i] = counters_[i] * counters_[i];
+  }
+  return MedianOfMeans(squares, groups_);
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,43 @@
+#ifndef CYCLESTREAM_SKETCH_AMS_F2_H_
+#define CYCLESTREAM_SKETCH_AMS_F2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/kwise.h"
+
+namespace cyclestream {
+
+/// Alon–Matias–Szegedy F₂ sketch over a vector x indexed by 64-bit keys and
+/// updated by (key, delta) increments (deltas may be negative — turnstile).
+///
+/// Each basic estimator keeps Z = Σ_i σ(i)·x_i with a 4-wise independent
+/// sign σ; Z² is an unbiased estimate of F₂(x) with variance ≤ 2·F₂².
+/// The sketch runs `groups` × `per_group` independent estimators and returns
+/// the median of the group means: a (1+γ) approximation needs
+/// per_group = O(1/γ²) and groups = O(log 1/δ).
+class AmsF2 {
+ public:
+  AmsF2(std::size_t groups, std::size_t per_group, std::uint64_t seed);
+
+  /// x[key] += delta.
+  void Update(std::uint64_t key, double delta);
+
+  /// Median-of-means estimate of F₂(x).
+  double Estimate() const;
+
+  /// Space in words: one counter plus one 4-wise hash (4 coefficients) per
+  /// basic estimator.
+  std::size_t SpaceWords() const { return counters_.size() * 5; }
+
+  std::size_t groups() const { return groups_; }
+
+ private:
+  std::size_t groups_;
+  std::vector<KWiseHash> signs_;   // One 4-wise hash per basic estimator.
+  std::vector<double> counters_;   // Z per basic estimator.
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_SKETCH_AMS_F2_H_

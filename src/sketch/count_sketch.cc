@@ -1,0 +1,46 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+#include "hash/rng.h"
+#include "util/check.h"
+
+namespace cyclestream {
+
+CountSketch::CountSketch(std::size_t depth, std::size_t width,
+                         std::uint64_t seed)
+    : depth_(depth), width_(width) {
+  CHECK_GE(depth, 1u);
+  CHECK_GE(width, 1u);
+  std::uint64_t s = seed;
+  bucket_hashes_.reserve(depth);
+  sign_hashes_.reserve(depth);
+  for (std::size_t r = 0; r < depth; ++r) {
+    bucket_hashes_.emplace_back(/*k=*/2, SplitMix64(s));
+    sign_hashes_.emplace_back(/*k=*/4, SplitMix64(s));
+  }
+  table_.assign(depth * width, 0.0);
+}
+
+void CountSketch::Update(std::uint64_t key, double delta) {
+  for (std::size_t r = 0; r < depth_; ++r) {
+    const std::size_t bucket = bucket_hashes_[r](key) % width_;
+    const double sign = static_cast<double>(sign_hashes_[r].Sign(key));
+    table_[r * width_ + bucket] += sign * delta;
+  }
+}
+
+double CountSketch::Query(std::uint64_t key) const {
+  std::vector<double> row_estimates(depth_);
+  for (std::size_t r = 0; r < depth_; ++r) {
+    const std::size_t bucket = bucket_hashes_[r](key) % width_;
+    const double sign = static_cast<double>(sign_hashes_[r].Sign(key));
+    row_estimates[r] = sign * table_[r * width_ + bucket];
+  }
+  std::nth_element(row_estimates.begin(),
+                   row_estimates.begin() + row_estimates.size() / 2,
+                   row_estimates.end());
+  return row_estimates[row_estimates.size() / 2];
+}
+
+}  // namespace cyclestream

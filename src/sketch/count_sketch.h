@@ -1,0 +1,43 @@
+#ifndef CYCLESTREAM_SKETCH_COUNT_SKETCH_H_
+#define CYCLESTREAM_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/kwise.h"
+
+namespace cyclestream {
+
+/// CountSketch (Charikar–Chen–Farach-Colton): `depth` rows of `width`
+/// buckets. Each row hashes a key to a bucket (2-wise) and a sign (4-wise);
+/// Query returns the median over rows of sign·bucket, an unbiased estimate
+/// of x[key] with error O(√(F₂/width)) per row. Supports turnstile updates.
+class CountSketch {
+ public:
+  CountSketch(std::size_t depth, std::size_t width, std::uint64_t seed);
+
+  /// x[key] += delta.
+  void Update(std::uint64_t key, double delta);
+
+  /// Median-over-rows point estimate of x[key].
+  double Query(std::uint64_t key) const;
+
+  /// Space in words: counters plus hash coefficients.
+  std::size_t SpaceWords() const {
+    return table_.size() + (bucket_hashes_.size() + sign_hashes_.size()) * 4;
+  }
+
+  std::size_t depth() const { return depth_; }
+  std::size_t width() const { return width_; }
+
+ private:
+  std::size_t depth_;
+  std::size_t width_;
+  std::vector<KWiseHash> bucket_hashes_;  // One per row (2-wise).
+  std::vector<KWiseHash> sign_hashes_;    // One per row (4-wise).
+  std::vector<double> table_;             // depth × width, row-major.
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,77 @@
+#include "sketch/l2_sampler.h"
+
+#include <cmath>
+
+#include "hash/rng.h"
+#include "util/check.h"
+
+namespace cyclestream {
+
+L2Sampler::L2Sampler(const Config& config, std::uint64_t seed)
+    : config_(config),
+      f2_(/*groups=*/9, /*per_group=*/64, seed ^ 0xf2f2f2f2ULL) {
+  CHECK_GE(config.copies, 1u);
+  CHECK_GT(config.epsilon, 0.0);
+  std::uint64_t s = seed;
+  copies_.reserve(config.copies);
+  for (std::size_t c = 0; c < config.copies; ++c) {
+    copies_.push_back(Copy{
+        KWiseHash(/*k=*/2, SplitMix64(s)),
+        CountSketch(config.sketch_depth, config.sketch_width, SplitMix64(s)),
+        0, 0.0, false});
+  }
+}
+
+double L2Sampler::ScaledWeight(const Copy& copy, std::uint64_t key) const {
+  // u in (0, 1]; clamp away from 0 so 1/√u stays finite.
+  double u = copy.u_hash.ToUnit(key);
+  if (u < 1e-12) u = 1e-12;
+  return 1.0 / std::sqrt(u);
+}
+
+void L2Sampler::Update(std::uint64_t key, double delta) {
+  f2_.Update(key, delta);
+  for (Copy& copy : copies_) {
+    const double scale = ScaledWeight(copy, key);
+    copy.sketch.Update(key, delta * scale);
+    const double z = std::abs(copy.sketch.Query(key));
+    // Track the largest sketched |z|; refresh the stored value whenever the
+    // current best key is touched again (its magnitude may have changed).
+    if (!copy.has_candidate || z > copy.best_z || key == copy.best_key) {
+      copy.best_key = key;
+      copy.best_z = z;
+      copy.has_candidate = true;
+    }
+  }
+}
+
+std::vector<L2Sampler::Sample> L2Sampler::DrawAll() const {
+  std::vector<Sample> samples;
+  const double f2 = std::max(EstimateF2(), 0.0);
+  const double threshold = std::sqrt(f2 / config_.epsilon);
+  for (const Copy& copy : copies_) {
+    if (!copy.has_candidate) continue;
+    const double z = std::abs(copy.sketch.Query(copy.best_key));
+    if (z >= threshold && threshold > 0.0) {
+      const double scale = ScaledWeight(copy, copy.best_key);
+      samples.push_back(Sample{copy.best_key, z / scale});
+    }
+  }
+  return samples;
+}
+
+std::optional<L2Sampler::Sample> L2Sampler::Draw() const {
+  auto all = DrawAll();
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::size_t L2Sampler::SpaceWords() const {
+  std::size_t words = f2_.SpaceWords();
+  for (const Copy& copy : copies_) {
+    words += copy.sketch.SpaceWords() + copy.u_hash.SpaceWords() + 2;
+  }
+  return words;
+}
+
+}  // namespace cyclestream

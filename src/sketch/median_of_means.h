@@ -1,0 +1,36 @@
+#ifndef CYCLESTREAM_SKETCH_MEDIAN_OF_MEANS_H_
+#define CYCLESTREAM_SKETCH_MEDIAN_OF_MEANS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+/// Median-of-means combiner: `estimates` holds groups · per_group basic
+/// estimates laid out group-major; returns the median of the group means.
+/// The standard amplification: means shrink variance, the median boosts the
+/// success probability exponentially in the number of groups.
+inline double MedianOfMeans(const std::vector<double>& estimates,
+                            std::size_t groups) {
+  CHECK_GE(groups, 1u);
+  CHECK_EQ(estimates.size() % groups, 0u);
+  const std::size_t per_group = estimates.size() / groups;
+  CHECK_GE(per_group, 1u);
+  std::vector<double> means(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < per_group; ++i) {
+      sum += estimates[g * per_group + i];
+    }
+    means[g] = sum / static_cast<double>(per_group);
+  }
+  std::nth_element(means.begin(), means.begin() + means.size() / 2,
+                   means.end());
+  return means[means.size() / 2];
+}
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_SKETCH_MEDIAN_OF_MEANS_H_

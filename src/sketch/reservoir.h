@@ -1,0 +1,66 @@
+#ifndef CYCLESTREAM_SKETCH_RESERVOIR_H_
+#define CYCLESTREAM_SKETCH_RESERVOIR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "hash/rng.h"
+#include "util/check.h"
+
+namespace cyclestream {
+
+/// Classic reservoir sampler: maintains a uniform sample (without
+/// replacement) of fixed capacity from a stream of unknown length. This is
+/// the storage discipline behind the TRIEST baseline.
+template <typename T>
+class Reservoir {
+ public:
+  Reservoir(std::size_t capacity, Rng rng)
+      : capacity_(capacity), rng_(rng) {
+    CHECK_GE(capacity, 1u);
+    items_.reserve(capacity);
+  }
+
+  /// Result of offering one element.
+  struct Offer {
+    bool inserted = false;
+    bool evicted = false;
+    T evicted_item{};  // Valid only when evicted.
+  };
+
+  /// Offers the t-th stream element (t counts from 1 internally).
+  Offer Add(const T& item) {
+    ++seen_;
+    Offer result;
+    if (items_.size() < capacity_) {
+      items_.push_back(item);
+      result.inserted = true;
+      return result;
+    }
+    // Keep with probability capacity/seen, evicting a uniform victim.
+    if (rng_.UniformDouble() <
+        static_cast<double>(capacity_) / static_cast<double>(seen_)) {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng_.UniformInt(capacity_));
+      result.evicted = true;
+      result.evicted_item = items_[victim];
+      items_[victim] = item;
+      result.inserted = true;
+    }
+    return result;
+  }
+
+  const std::vector<T>& items() const { return items_; }
+  std::size_t seen() const { return seen_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::size_t seen_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_SKETCH_RESERVOIR_H_

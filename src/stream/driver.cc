@@ -1,0 +1,26 @@
+#include "stream/driver.h"
+
+namespace cyclestream {
+
+void RunEdgeStream(EdgeStreamAlgorithm& alg, const EdgeStream& stream) {
+  for (int pass = 0; pass < alg.NumPasses(); ++pass) {
+    alg.StartPass(pass, stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      alg.ProcessEdge(pass, stream[i], i);
+    }
+    alg.EndPass(pass);
+  }
+}
+
+void RunAdjacencyStream(AdjacencyStreamAlgorithm& alg,
+                        const AdjacencyStream& stream) {
+  for (int pass = 0; pass < alg.NumPasses(); ++pass) {
+    alg.StartPass(pass, stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      alg.ProcessList(pass, stream[i], i);
+    }
+    alg.EndPass(pass);
+  }
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,47 @@
+#ifndef CYCLESTREAM_STREAM_DRIVER_H_
+#define CYCLESTREAM_STREAM_DRIVER_H_
+
+#include <cstddef>
+
+#include "stream/order.h"
+
+namespace cyclestream {
+
+/// Interface for algorithms over edge streams (arbitrary / random order).
+/// The driver calls, for each pass p in [0, NumPasses()):
+///   StartPass(p); ProcessEdge(e, position) for each stream element;
+///   EndPass(p).
+/// Positions are 0-based and identical across passes (the stream is fixed).
+class EdgeStreamAlgorithm {
+ public:
+  virtual ~EdgeStreamAlgorithm() = default;
+
+  virtual int NumPasses() const = 0;
+  virtual void StartPass(int pass, std::size_t stream_length) = 0;
+  virtual void ProcessEdge(int pass, const Edge& e, std::size_t position) = 0;
+  virtual void EndPass(int pass) = 0;
+};
+
+/// Interface for algorithms over adjacency-list streams. Position is the
+/// index of the adjacency list (i.e. the vertex arrival index).
+class AdjacencyStreamAlgorithm {
+ public:
+  virtual ~AdjacencyStreamAlgorithm() = default;
+
+  virtual int NumPasses() const = 0;
+  virtual void StartPass(int pass, std::size_t num_lists) = 0;
+  virtual void ProcessList(int pass, const AdjacencyList& list,
+                           std::size_t position) = 0;
+  virtual void EndPass(int pass) = 0;
+};
+
+/// Runs all passes of `alg` over `stream`.
+void RunEdgeStream(EdgeStreamAlgorithm& alg, const EdgeStream& stream);
+
+/// Runs all passes of `alg` over the adjacency stream.
+void RunAdjacencyStream(AdjacencyStreamAlgorithm& alg,
+                        const AdjacencyStream& stream);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_STREAM_DRIVER_H_

@@ -1,0 +1,60 @@
+#include "stream/order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cyclestream {
+
+EdgeStream MakeRandomOrderStream(const EdgeList& edges, Rng& rng) {
+  EdgeStream stream = edges.edges();
+  rng.Shuffle(stream);
+  return stream;
+}
+
+EdgeStream MakeArbitraryOrderStream(const EdgeList& edges, ArbitraryOrder kind,
+                                    Rng& rng) {
+  EdgeStream stream = edges.edges();  // Already sorted (canonical).
+  switch (kind) {
+    case ArbitraryOrder::kSorted:
+      break;
+    case ArbitraryOrder::kReverseSorted:
+      std::reverse(stream.begin(), stream.end());
+      break;
+    case ArbitraryOrder::kShuffled:
+      rng.Shuffle(stream);
+      break;
+  }
+  return stream;
+}
+
+AdjacencyStream MakeAdjacencyStream(const Graph& g, Rng& rng) {
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  AdjacencyStream stream;
+  stream.reserve(order.size());
+  for (VertexId v : order) {
+    AdjacencyList list;
+    list.vertex = v;
+    const auto nbrs = g.Neighbors(v);
+    list.neighbors.assign(nbrs.begin(), nbrs.end());
+    rng.Shuffle(list.neighbors);
+    stream.push_back(std::move(list));
+  }
+  return stream;
+}
+
+AdjacencyStream MakeAdjacencyStreamById(const Graph& g) {
+  AdjacencyStream stream;
+  stream.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    AdjacencyList list;
+    list.vertex = v;
+    const auto nbrs = g.Neighbors(v);
+    list.neighbors.assign(nbrs.begin(), nbrs.end());
+    stream.push_back(std::move(list));
+  }
+  return stream;
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,57 @@
+#ifndef CYCLESTREAM_STREAM_ORDER_H_
+#define CYCLESTREAM_STREAM_ORDER_H_
+
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+#include "hash/rng.h"
+
+namespace cyclestream {
+
+/// The three stream models of the paper (§1):
+///  - arbitrary order: edges in any (possibly adversarial) order,
+///  - random order:    a uniformly random permutation of the edges,
+///  - adjacency list:  each edge appears twice, grouped by endpoint.
+
+/// A materialized single-pass edge stream. Multi-pass algorithms replay the
+/// same ordering on every pass (the model fixes the stream across passes).
+using EdgeStream = std::vector<Edge>;
+
+/// Random-order stream: uniform permutation of the edges.
+EdgeStream MakeRandomOrderStream(const EdgeList& edges, Rng& rng);
+
+/// Arbitrary-order streams used by experiments. `kSorted` is the canonical
+/// lexicographic order (a plausibly adversarial, highly local order);
+/// `kShuffled` is one fixed random permutation (drawn once — an "arbitrary"
+/// order the algorithm cannot rely on being random across repetitions).
+enum class ArbitraryOrder {
+  kSorted,
+  kReverseSorted,
+  kShuffled,
+};
+EdgeStream MakeArbitraryOrderStream(const EdgeList& edges, ArbitraryOrder kind,
+                                    Rng& rng);
+
+/// One adjacency list: the owning vertex and its full neighbor list (the
+/// neighbors appear consecutively in the stream, per the paper's footnote 1).
+struct AdjacencyList {
+  VertexId vertex = 0;
+  std::vector<VertexId> neighbors;
+};
+
+/// Adjacency-list stream: every vertex's list appears exactly once; each
+/// edge {u,v} therefore appears twice (in u's list and in v's list).
+using AdjacencyStream = std::vector<AdjacencyList>;
+
+/// Builds the adjacency-list stream with a uniformly random vertex order and
+/// random order within each list.
+AdjacencyStream MakeAdjacencyStream(const Graph& g, Rng& rng);
+
+/// Builds the adjacency-list stream with vertices in id order (deterministic
+/// variant for tests).
+AdjacencyStream MakeAdjacencyStreamById(const Graph& g);
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_STREAM_ORDER_H_

@@ -1,0 +1,44 @@
+#ifndef CYCLESTREAM_STREAM_SPACE_H_
+#define CYCLESTREAM_STREAM_SPACE_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace cyclestream {
+
+/// Peak-space tracker. Streaming algorithms report their space in "words":
+/// one word per stored edge endpoint pair, per counter, and per hash-seed
+/// coefficient. Algorithms call Update with their current word count (e.g.
+/// once per processed element); the space-scaling experiments read Peak().
+///
+/// This measures the *information the algorithm retains*, which is the
+/// quantity the paper's Õ(·) bounds are about — independent of container
+/// overheads like hash-table load factors.
+class SpaceTracker {
+ public:
+  /// Records the current footprint and folds it into the peak.
+  void Update(std::size_t words) {
+    current_ = words;
+    peak_ = std::max(peak_, words);
+  }
+
+  /// Adds a fixed baseline (e.g. hash seeds) counted in every Update.
+  void SetBaseline(std::size_t words) { baseline_ = words; }
+
+  std::size_t Current() const { return current_ + baseline_; }
+  std::size_t Peak() const { return peak_ + baseline_; }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  std::size_t baseline_ = 0;
+  std::size_t current_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_STREAM_SPACE_H_

@@ -1,0 +1,99 @@
+#ifndef CYCLESTREAM_UTIL_CHECK_H_
+#define CYCLESTREAM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// CHECK macros in the spirit of glog. The project builds without exceptions;
+// invariant violations are programmer errors and abort with a diagnostic.
+//
+//   CHECK(cond) << "message";
+//   CHECK_GE(space_budget, 0) << "negative budget";
+//
+// CHECK is always on (the algorithms here are statistical; silently corrupt
+// state would be far worse than the branch cost). DCHECK compiles out in
+// release builds.
+
+namespace cyclestream::internal {
+
+// Accumulates a failure message and aborts on destruction. The operator<<
+// chain on the temporary runs before the destructor fires.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << ": CHECK failed: " << condition << " ";
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  [[noreturn]] ~CheckFailure() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace cyclestream::internal
+
+#define CYCLESTREAM_CHECK_IMPL(cond, text)                             \
+  (cond) ? (void)0                                                     \
+         : (void)(::cyclestream::internal::CheckFailure(__FILE__,      \
+                                                        __LINE__, text))
+
+// The ternary-with-void trick does not allow chaining <<, so CHECK expands to
+// an if/else that exposes the CheckFailure stream on the failure path.
+#define CHECK(cond)                                                  \
+  if (cond) {                                                        \
+  } else /* NOLINT */                                                \
+    ::cyclestream::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define CHECK_OP(a, b, op, text)                                      \
+  if ((a)op(b)) {                                                     \
+  } else /* NOLINT */                                                 \
+    ::cyclestream::internal::CheckFailure(__FILE__, __LINE__, text)   \
+        << "(" << (a) << " vs " << (b) << ") "
+
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==, #a " == " #b)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=, #a " != " #b)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <, #a " < " #b)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=, #a " <= " #b)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >, #a " > " #b)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=, #a " >= " #b)
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  if (true) {        \
+  } else /* NOLINT */ \
+    ::cyclestream::internal::NullStream()
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#else
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#endif
+
+#endif  // CYCLESTREAM_UTIL_CHECK_H_

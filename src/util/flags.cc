@@ -1,0 +1,85 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace cyclestream {
+namespace {
+
+bool IsFlag(const char* arg) { return std::strncmp(arg, "--", 2) == 0; }
+
+}  // namespace
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!IsFlag(arg)) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    std::string body(arg + 2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && !IsFlag(argv[i + 1])) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";  // Bare boolean flag.
+    }
+  }
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& def) {
+  used_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t FlagParser::GetInt(const std::string& name, std::int64_t def) {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  CHECK(end != nullptr && *end == '\0')
+      << "flag --" << name << " expects an integer, got '" << it->second
+      << "'";
+  return v;
+}
+
+double FlagParser::GetDouble(const std::string& name, double def) {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  CHECK(end != nullptr && *end == '\0')
+      << "flag --" << name << " expects a number, got '" << it->second << "'";
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool def) {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  CHECK(false) << "flag --" << name << " expects a boolean, got '" << v << "'";
+  return def;
+}
+
+std::vector<std::string> FlagParser::Unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (used_.find(name) == used_.end()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,44 @@
+#ifndef CYCLESTREAM_UTIL_FLAGS_H_
+#define CYCLESTREAM_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cyclestream {
+
+/// Minimal command-line flag parser for the experiment binaries.
+///
+///   FlagParser flags(argc, argv);
+///   int trials = flags.GetInt("trials", 30);
+///   double eps = flags.GetDouble("epsilon", 0.1);
+///   if (flags.GetBool("csv", false)) ...
+///
+/// Accepted syntaxes: --name=value, --name value, --bool_flag (implies true).
+/// Unknown flags are collected and reported by `Unused()` so experiment
+/// binaries can warn about typos.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  std::string GetString(const std::string& name, const std::string& def);
+  std::int64_t GetInt(const std::string& name, std::int64_t def);
+  double GetDouble(const std::string& name, double def);
+  bool GetBool(const std::string& name, bool def);
+
+  /// Flags present on the command line that were never queried.
+  std::vector<std::string> Unused() const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_UTIL_FLAGS_H_

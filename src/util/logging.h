@@ -1,0 +1,67 @@
+#ifndef CYCLESTREAM_UTIL_LOGGING_H_
+#define CYCLESTREAM_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// Minimal leveled logging to stderr.
+//
+//   LOG(INFO) << "sampled " << k << " edges";
+//
+// The global minimum level is controlled with SetMinLogLevel; experiment
+// binaries default to INFO, tests raise it to WARNING to keep output clean.
+
+namespace cyclestream {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetMinLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel MinLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cyclestream
+
+#define LOG_DEBUG                                             \
+  ::cyclestream::internal::LogMessage(                        \
+      ::cyclestream::LogLevel::kDebug, __FILE__, __LINE__)
+#define LOG_INFO                                              \
+  ::cyclestream::internal::LogMessage(                        \
+      ::cyclestream::LogLevel::kInfo, __FILE__, __LINE__)
+#define LOG_WARNING                                           \
+  ::cyclestream::internal::LogMessage(                        \
+      ::cyclestream::LogLevel::kWarning, __FILE__, __LINE__)
+#define LOG_ERROR                                             \
+  ::cyclestream::internal::LogMessage(                        \
+      ::cyclestream::LogLevel::kError, __FILE__, __LINE__)
+#define LOG(severity) LOG_##severity
+
+#endif  // CYCLESTREAM_UTIL_LOGGING_H_

@@ -1,0 +1,61 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  CHECK(!sorted.empty());
+  CHECK_GE(q, 0.0);
+  CHECK_LE(q, 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.median = QuantileSorted(values, 0.5);
+  s.p10 = QuantileSorted(values, 0.1);
+  s.p90 = QuantileSorted(values, 0.9);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+double RelativeError(double estimate, double truth) {
+  if (truth == 0.0) return std::abs(estimate);
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+void RunningStat::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::Variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,52 @@
+#ifndef CYCLESTREAM_UTIL_STATS_H_
+#define CYCLESTREAM_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cyclestream {
+
+/// Summary statistics over a sample of doubles. Used by the experiment
+/// harnesses to aggregate per-trial estimates and relative errors.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p10 = 0.0;  // 10th percentile.
+  double p90 = 0.0;  // 90th percentile.
+};
+
+/// Computes summary statistics of `values`. An empty input yields a
+/// zero-initialized Summary.
+Summary Summarize(std::vector<double> values);
+
+/// Returns the q-quantile (0 <= q <= 1) of a *sorted* sample using linear
+/// interpolation between order statistics.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// |estimate - truth| / truth. Returns |estimate| when truth == 0 so that a
+/// correct zero estimate scores 0 and anything else scores its magnitude.
+double RelativeError(double estimate, double truth);
+
+/// Accumulates mean/variance online (Welford). Useful inside estimators that
+/// repeat a basic estimator many times.
+class RunningStat {
+ public:
+  void Add(double x);
+  std::size_t Count() const { return n_; }
+  double Mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double Variance() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_UTIL_STATS_H_

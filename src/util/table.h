@@ -1,0 +1,49 @@
+#ifndef CYCLESTREAM_UTIL_TABLE_H_
+#define CYCLESTREAM_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cyclestream {
+
+/// Accumulates rows and renders them as an aligned ASCII table (the format the
+/// experiment binaries print) or CSV (for downstream plotting).
+///
+///   Table t({"graph", "m", "err%", "space"});
+///   t.AddRow({"ba-20k", Table::Num(59970), Table::Pct(0.031), ...});
+///   t.Print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a title, column alignment, and a separator rule.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (no alignment padding).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Optional title printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string Num(double v, int precision = 3);
+  static std::string Int(std::int64_t v);
+  /// Formats a fraction (e.g. 0.0314) as a percentage ("3.14%").
+  static std::string Pct(double fraction, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+#ifndef CYCLESTREAM_UTIL_TIMER_H_
+#define CYCLESTREAM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cyclestream {
+
+/// Wall-clock stopwatch used by the experiment harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_UTIL_TIMER_H_

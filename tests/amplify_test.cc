@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/amplify.h"
+#include "core/arb_distinguisher.h"
+#include "core/random_order_triangles.h"
+#include "gen/generators.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "stream/order.h"
+
+namespace cyclestream {
+namespace {
+
+TEST(AmplifyMedianTest, MedianKillsOutlierRuns) {
+  // A fake estimator that is wildly wrong on some seeds: the median must
+  // land on the common value.
+  int calls = 0;
+  const Estimate e = AmplifyMedian(0.05, 1, [&calls](std::uint64_t seed) {
+    ++calls;
+    Estimate out;
+    out.value = (seed % 5 == 0) ? 1e9 : 100.0;
+    out.space_words = 10;
+    return out;
+  });
+  EXPECT_DOUBLE_EQ(e.value, 100.0);
+  EXPECT_EQ(e.space_words, static_cast<std::size_t>(10 * calls));
+  EXPECT_GE(calls, 3);
+  EXPECT_EQ(calls % 2, 1);  // Odd copy count.
+}
+
+TEST(AmplifyMedianTest, StabilizesTriangleCounter) {
+  Rng gen(1);
+  EdgeList graph = PlantTriangles(ErdosRenyiGnm(1500, 3000, gen), 400, gen);
+  const double exact = static_cast<double>(CountTriangles(Graph(graph)));
+  Rng rng(2);
+  const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+  const Estimate e = AmplifyMedian(0.1, 3, [&](std::uint64_t seed) {
+    RandomOrderTriangleCounter::Params params;
+    params.base.epsilon = 0.3;
+    params.base.c = 1.5;
+    params.base.t_guess = exact;
+    params.base.seed = seed;
+    params.num_vertices = graph.num_vertices();
+    return CountTrianglesRandomOrder(stream, params);
+  });
+  EXPECT_NEAR(e.value, exact, 0.25 * exact);
+}
+
+TEST(AmplifyMajorityTest, BoostsDistinguisher) {
+  Rng gen(4);
+  EdgeList base(1);
+  base.Finalize();
+  const EdgeList cyclic = PlantFourCycles(std::move(base), 60, gen);
+  Rng rng(5);
+  EdgeStream stream = cyclic.edges();
+  rng.Shuffle(stream);
+  const bool found = AmplifyMajority(0.05, 6, [&](std::uint64_t seed) {
+    ArbTwoPassDistinguisher::Params params;
+    params.base.t_guess = 60.0;
+    params.base.c = 1.0;
+    params.base.seed = seed;
+    params.num_vertices = cyclic.num_vertices();
+    return DistinguishFourCycles(stream, params);
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(AmplifyMajorityTest, MajorityOfConstantRuns) {
+  EXPECT_TRUE(AmplifyMajority(0.2, 1, [](std::uint64_t) { return true; }));
+  EXPECT_FALSE(AmplifyMajority(0.2, 1, [](std::uint64_t) { return false; }));
+}
+
+}  // namespace
+}  // namespace cyclestream

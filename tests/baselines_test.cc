@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bera_chakrabarti.h"
+#include "baselines/cormode_jowhari.h"
+#include "baselines/naive_sampling.h"
+#include "baselines/triest.h"
+#include "baselines/wedge_sampler.h"
+#include "gen/generators.h"
+#include "graph/datasets.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "stream/order.h"
+#include "util/stats.h"
+
+namespace cyclestream {
+namespace {
+
+TEST(TriestTest, ExactWhenReservoirHoldsEverything) {
+  const EdgeList graph = KarateClub();
+  for (const auto variant : {Triest::Variant::kBase, Triest::Variant::kImproved}) {
+    Rng rng(1);
+    const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+    Triest::Params params;
+    params.reservoir_capacity = 1000;  // > m.
+    params.variant = variant;
+    params.seed = 2;
+    Triest triest(params);
+    RunEdgeStream(triest, stream);
+    EXPECT_NEAR(triest.EstimateTriangles(), 45.0, 1e-9);
+  }
+}
+
+TEST(TriestTest, ImprovedIsAccurateUnderMemoryPressure) {
+  Rng gen(3);
+  EdgeList graph = PlantTriangles(ErdosRenyiGnm(2000, 8000, gen), 300, gen);
+  const double exact = static_cast<double>(CountTriangles(Graph(graph)));
+  std::vector<double> estimates;
+  for (int t = 0; t < 15; ++t) {
+    Rng rng(10 + t);
+    const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+    Triest::Params params;
+    params.reservoir_capacity = 2000;  // m/4ish.
+    params.variant = Triest::Variant::kImproved;
+    params.seed = 20 + t;
+    Triest triest(params);
+    RunEdgeStream(triest, stream);
+    estimates.push_back(triest.EstimateTriangles());
+  }
+  EXPECT_NEAR(Summarize(estimates).median, exact, 0.35 * exact);
+}
+
+TEST(TriestTest, BaseVariantUnbiasedOverTrials) {
+  Rng gen(4);
+  EdgeList graph = PlantTriangles(ErdosRenyiGnm(800, 2400, gen), 150, gen);
+  const double exact = static_cast<double>(CountTriangles(Graph(graph)));
+  std::vector<double> estimates;
+  for (int t = 0; t < 40; ++t) {
+    Rng rng(30 + t);
+    const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+    Triest::Params params;
+    params.reservoir_capacity = 1200;
+    params.variant = Triest::Variant::kBase;
+    params.seed = 40 + t;
+    Triest triest(params);
+    RunEdgeStream(triest, stream);
+    estimates.push_back(triest.EstimateTriangles());
+  }
+  EXPECT_NEAR(Summarize(estimates).mean, exact, 0.35 * exact);
+}
+
+TEST(CormodeJowhariTest, AccurateOnLightGraphs) {
+  Rng gen(5);
+  EdgeList graph = PlantTriangles(ErdosRenyiGnm(2000, 6000, gen), 400, gen);
+  const double exact = static_cast<double>(CountTriangles(Graph(graph)));
+  std::vector<double> estimates;
+  for (int t = 0; t < 15; ++t) {
+    Rng rng(50 + t);
+    const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+    CormodeJowhariCounter::Params params;
+    params.base.epsilon = 0.2;
+    params.base.c = 2.0;
+    params.base.t_guess = exact;
+    params.base.seed = 60 + t;
+    estimates.push_back(CountTrianglesCormodeJowhari(stream, params).value);
+  }
+  EXPECT_NEAR(Summarize(estimates).median, exact, 0.35 * exact);
+}
+
+TEST(CormodeJowhariTest, HeavyEdgeGraphUnderestimates) {
+  // The (3+ε) weakness: when most triangles share one edge, the cap
+  // suppresses their contribution and the estimate falls well below T —
+  // precisely the barrier the §2.1 algorithm was built to break.
+  Rng gen(6);
+  EdgeList graph = PlantBook(ErdosRenyiGnm(2000, 6000, gen), 600, gen);
+  const double exact = static_cast<double>(CountTriangles(Graph(graph)));
+  std::vector<double> estimates;
+  for (int t = 0; t < 15; ++t) {
+    Rng rng(70 + t);
+    const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+    CormodeJowhariCounter::Params params;
+    params.base.epsilon = 0.2;
+    params.base.c = 2.0;
+    params.base.t_guess = exact;
+    params.base.seed = 80 + t;
+    estimates.push_back(CountTrianglesCormodeJowhari(stream, params).value);
+  }
+  EXPECT_LT(Summarize(estimates).median, 0.75 * exact);
+}
+
+TEST(NaiveSamplingTest, UnbiasedTriangles) {
+  Rng gen(7);
+  EdgeList graph = PlantTriangles(ErdosRenyiGnm(500, 1500, gen), 2000, gen);
+  const double exact = static_cast<double>(CountTriangles(Graph(graph)));
+  std::vector<double> estimates;
+  for (int t = 0; t < 30; ++t) {
+    Rng rng(90 + t);
+    const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+    estimates.push_back(
+        NaiveSampleTriangles(stream, {0.5, 100 + static_cast<std::uint64_t>(t)})
+            .value);
+  }
+  EXPECT_NEAR(Summarize(estimates).mean, exact, 0.2 * exact);
+}
+
+TEST(NaiveSamplingTest, UnbiasedFourCycles) {
+  Rng gen(8);
+  EdgeList base(1);
+  base.Finalize();
+  EdgeList graph = PlantFourCycles(std::move(base), 3000, gen);
+  std::vector<double> estimates;
+  for (int t = 0; t < 30; ++t) {
+    Rng rng(110 + t);
+    EdgeStream stream = graph.edges();
+    rng.Shuffle(stream);
+    estimates.push_back(
+        NaiveSampleFourCycles(stream, {0.6, 200 + static_cast<std::uint64_t>(t)})
+            .value);
+  }
+  EXPECT_NEAR(Summarize(estimates).mean, 3000.0, 0.2 * 3000.0);
+}
+
+TEST(NaiveSamplingTest, FullSampleIsExact) {
+  const EdgeList graph = KarateClub();
+  Rng rng(9);
+  const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+  EXPECT_DOUBLE_EQ(NaiveSampleTriangles(stream, {1.0, 1}).value, 45.0);
+}
+
+TEST(BeraChakrabartiTest, UnbiasedOnPlantedCycles) {
+  Rng gen(10);
+  EdgeList base = ErdosRenyiGnm(500, 800, gen);
+  const Graph g(PlantFourCycles(std::move(base), 400, gen));
+  const double exact = static_cast<double>(CountFourCycles(g));
+  std::vector<double> estimates;
+  for (int t = 0; t < 15; ++t) {
+    Rng rng(120 + t);
+    EdgeStream stream = g.edges();
+    rng.Shuffle(stream);
+    BeraChakrabartiCounter::Params params;
+    params.base.epsilon = 0.2;
+    params.base.t_guess = exact;
+    params.base.seed = 130 + t;
+    params.num_pairs = 300000;
+    estimates.push_back(CountFourCyclesBeraChakrabarti(stream, params).value);
+  }
+  EXPECT_NEAR(Summarize(estimates).mean, exact, 0.3 * exact);
+}
+
+TEST(WedgeSamplerTest, ExactAtFullRates) {
+  Rng gen(20);
+  EdgeList base(1);
+  base.Finalize();
+  const Graph g(PlantDiamonds(std::move(base), {DiamondSpec{5, 8}}, gen));
+  const double exact = static_cast<double>(CountFourCycles(g));
+  Rng rng(21);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  WedgeSamplingFourCycleCounter::Params params;
+  params.base.seed = 22;
+  params.num_vertices = g.num_vertices();
+  params.vertex_rate = 1.0;
+  params.edge_rate = 1.0;
+  EXPECT_NEAR(CountFourCyclesWedgeSampling(stream, params).value, exact,
+              1e-9);
+}
+
+TEST(WedgeSamplerTest, UnbiasedUnderSampling) {
+  Rng gen(23);
+  EdgeList base = ErdosRenyiGnm(400, 800, gen);
+  const Graph g(PlantDiamonds(std::move(base), {DiamondSpec{6, 20}}, gen));
+  const double exact = static_cast<double>(CountFourCycles(g));
+  std::vector<double> estimates;
+  for (int t = 0; t < 40; ++t) {
+    Rng rng(24 + t);
+    const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+    WedgeSamplingFourCycleCounter::Params params;
+    params.base.seed = 100 + t;
+    params.num_vertices = g.num_vertices();
+    params.vertex_rate = 0.6;
+    params.edge_rate = 0.6;
+    estimates.push_back(CountFourCyclesWedgeSampling(stream, params).value);
+  }
+  EXPECT_NEAR(Summarize(estimates).mean, exact, 0.2 * exact);
+}
+
+TEST(BeraChakrabartiTest, ZeroOnCycleFreeGraph) {
+  Rng gen(11);
+  const EdgeList graph = FourCycleFreeRandom(400, 800, false, gen);
+  Rng rng(12);
+  EdgeStream stream = graph.edges();
+  rng.Shuffle(stream);
+  BeraChakrabartiCounter::Params params;
+  params.base.t_guess = 100.0;
+  params.base.seed = 13;
+  params.num_pairs = 50000;
+  EXPECT_DOUBLE_EQ(CountFourCyclesBeraChakrabarti(stream, params).value, 0.0);
+}
+
+}  // namespace
+}  // namespace cyclestream

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/diamond_counter.h"
+#include "gen/generators.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "stream/order.h"
+#include "util/stats.h"
+
+namespace cyclestream {
+namespace {
+
+DiamondFourCycleCounter::Params MakeParams(const Graph& g, double t_guess,
+                                           double epsilon, std::uint64_t seed,
+                                           double c = 1.0) {
+  DiamondFourCycleCounter::Params params;
+  params.base.epsilon = epsilon;
+  params.base.c = c;
+  params.base.t_guess = std::max(1.0, t_guess);
+  params.base.seed = seed;
+  params.num_vertices = g.num_vertices();
+  return params;
+}
+
+double MedianEstimate(const Graph& g, double t_guess, double epsilon,
+                      int trials, double c = 1.0, int max_shifts = -1) {
+  std::vector<double> estimates;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(7000 + t);
+    const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+    auto params = MakeParams(g, t_guess, epsilon, 60 + t, c);
+    params.max_shifts = max_shifts;
+    estimates.push_back(CountFourCyclesDiamond(stream, params).value);
+  }
+  return Summarize(estimates).median;
+}
+
+TEST(DiamondCounterTest, ExactRegimeOnPlantedDiamonds) {
+  // Saturated rates (huge c): d̂ = d exactly, the Useful instances run at
+  // p = 1, and the only slack left is the shift/window bookkeeping, which
+  // must not lose diamonds that sit strictly inside some window.
+  Rng gen(1);
+  EdgeList base(1);
+  base.Finalize();
+  const EdgeList list =
+      PlantDiamonds(std::move(base), {DiamondSpec{6, 10}}, gen);
+  const Graph g(list);
+  const double exact = static_cast<double>(CountFourCycles(g));  // 150.
+  ASSERT_EQ(exact, 150.0);
+  Rng rng(2);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  const Estimate est = CountFourCyclesDiamond(
+      stream, MakeParams(g, exact, 0.2, 3, /*c=*/1e5));
+  EXPECT_NEAR(est.value, exact, 0.1 * exact);
+}
+
+TEST(DiamondCounterTest, MixedDiamondSizes) {
+  Rng gen(4);
+  EdgeList base(1);
+  base.Finalize();
+  const EdgeList list = PlantDiamonds(
+      std::move(base),
+      {DiamondSpec{2, 40}, DiamondSpec{5, 12}, DiamondSpec{17, 3}}, gen);
+  const Graph g(list);
+  const double exact = static_cast<double>(CountFourCycles(g));
+  Rng rng(5);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  const Estimate est = CountFourCyclesDiamond(
+      stream, MakeParams(g, exact, 0.15, 6, /*c=*/1e5));
+  EXPECT_NEAR(est.value, exact, 0.15 * exact);
+}
+
+TEST(DiamondCounterTest, MedianAccurateUnderRealSampling) {
+  // Moderate c so pv/pe are genuinely < 1 for the relevant classes.
+  Rng gen(7);
+  EdgeList base = ErdosRenyiGnm(800, 1600, gen);
+  const EdgeList list = PlantDiamonds(
+      std::move(base), {DiamondSpec{12, 30}, DiamondSpec{4, 50}}, gen);
+  const Graph g(list);
+  const double exact = static_cast<double>(CountFourCycles(g));
+  const double median = MedianEstimate(g, exact, 0.25, 10, /*c=*/3.0);
+  EXPECT_NEAR(median, exact, 0.35 * exact);
+}
+
+TEST(DiamondCounterTest, FourCycleFreeGivesNearZero) {
+  Rng gen(8);
+  const Graph g(FourCycleFreeRandom(400, 800, false, gen));
+  ASSERT_EQ(CountFourCycles(g), 0u);
+  Rng rng(9);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  const Estimate est =
+      CountFourCyclesDiamond(stream, MakeParams(g, 64.0, 0.25, 10, 2.0));
+  EXPECT_LT(est.value, 32.0);
+}
+
+TEST(DiamondCounterTest, ShiftEstimatesExposed) {
+  Rng gen(11);
+  EdgeList base(1);
+  base.Finalize();
+  const Graph g(PlantDiamonds(std::move(base), {DiamondSpec{3, 5}}, gen));
+  Rng rng(12);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  DiamondFourCycleCounter counter(MakeParams(g, 15.0, 0.2, 13, 1e4));
+  RunAdjacencyStream(counter, stream);
+  EXPECT_FALSE(counter.ShiftEstimates().empty());
+  // The result is max-over-shifts / 2.
+  double best = 0.0;
+  for (double s : counter.ShiftEstimates()) best = std::max(best, s);
+  EXPECT_DOUBLE_EQ(counter.Result().value, best / 2.0);
+}
+
+TEST(DiamondCounterTest, SpaceShrinksWithT) {
+  // At fixed m, planting more cycles (larger T-guess) must cut the space.
+  Rng gen(14);
+  const EdgeList base = ErdosRenyiGnm(3000, 9000, gen);
+  std::vector<std::size_t> spaces;
+  for (const std::uint32_t h : {4u, 16u, 64u}) {
+    Rng g2(15);
+    EdgeList graph = base;
+    const Graph g(PlantDiamonds(std::move(graph), {DiamondSpec{h, 20}}, g2));
+    const double t = static_cast<double>(CountFourCycles(g));
+    Rng rng(16);
+    const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+    auto params = MakeParams(g, t, 0.3, 17, 1.0);
+    params.max_shifts = 2;
+    const Estimate est = CountFourCyclesDiamond(stream, params);
+    spaces.push_back(est.space_words);
+  }
+  EXPECT_GT(spaces.front(), spaces.back());
+}
+
+}  // namespace
+}  // namespace cyclestream

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adj_f2_counter.h"
+#include "core/adj_l2_counter.h"
+#include "core/arb_f2_counter.h"
+#include "gen/generators.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "stream/order.h"
+#include "util/stats.h"
+
+namespace cyclestream {
+namespace {
+
+// Dense random graph where T = Θ(n²·d⁴) dominates n² — the regime of
+// Theorems 4.3 / 5.7.
+Graph DenseGraph(VertexId n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  return Graph(ErdosRenyiGnp(n, p, rng));
+}
+
+TEST(AdjF2CounterTest, F2EstimateMatchesExactWedgeVector) {
+  const Graph g = DenseGraph(300, 0.15, 1);
+  const WedgeVector x = ComputeWedgeVector(g);
+  const double f2 = static_cast<double>(WedgeVectorF2(x));
+
+  AdjF2FourCycleCounter::Params params;
+  params.base.epsilon = 0.2;
+  params.base.t_guess = static_cast<double>(CountFourCyclesFromWedges(x));
+  params.base.seed = 2;
+  params.num_vertices = g.num_vertices();
+  params.copies_per_group = 128;
+  Rng rng(3);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  AdjF2FourCycleCounter counter(params);
+  RunAdjacencyStream(counter, stream);
+  EXPECT_NEAR(counter.F2Estimate(), f2, 0.2 * f2);
+}
+
+TEST(AdjF2CounterTest, F1EstimateMatchesExactCappedF1) {
+  const Graph g = DenseGraph(250, 0.12, 4);
+  const WedgeVector x = ComputeWedgeVector(g);
+  AdjF2FourCycleCounter::Params params;
+  params.base.epsilon = 0.25;  // cap = 4.
+  params.base.t_guess = std::max<double>(1.0, CountFourCyclesFromWedges(x));
+  params.base.seed = 5;
+  params.num_vertices = g.num_vertices();
+  params.copies_per_group = 8;
+  params.pair_rate = 1.0;  // Exhaustive pairs: F1 must be exact.
+  Rng rng(6);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  AdjF2FourCycleCounter counter(params);
+  RunAdjacencyStream(counter, stream);
+  const double exact_f1 = static_cast<double>(WedgeVectorCappedF1(x, 4));
+  EXPECT_NEAR(counter.F1Estimate(), exact_f1, 1e-6);
+}
+
+TEST(AdjF2CounterTest, EndToEndOnDenseGraph) {
+  const Graph g = DenseGraph(220, 0.25, 7);
+  const double exact = static_cast<double>(CountFourCycles(g));
+  std::vector<double> estimates;
+  for (int t = 0; t < 7; ++t) {
+    AdjF2FourCycleCounter::Params params;
+    params.base.epsilon = 0.1;
+    params.base.t_guess = exact;
+    params.base.seed = 100 + t;
+    params.num_vertices = g.num_vertices();
+    params.copies_per_group = 96;
+    Rng rng(8 + t);
+    const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+    estimates.push_back(CountFourCyclesAdjF2(stream, params).value);
+  }
+  EXPECT_NEAR(Summarize(estimates).median, exact, 0.2 * exact);
+}
+
+TEST(AdjF2CounterTest, SubsampledF1IsUnbiasedEnough) {
+  const Graph g = DenseGraph(250, 0.2, 9);
+  const WedgeVector x = ComputeWedgeVector(g);
+  const double exact_f1 = static_cast<double>(WedgeVectorCappedF1(x, 10));
+  std::vector<double> estimates;
+  for (int t = 0; t < 9; ++t) {
+    AdjF2FourCycleCounter::Params params;
+    params.base.epsilon = 0.1;  // cap = 10.
+    params.base.t_guess = 1e9;  // Irrelevant here.
+    params.base.seed = 200 + t;
+    params.num_vertices = g.num_vertices();
+    params.copies_per_group = 4;
+    params.pair_rate = 0.3;
+    Rng rng(10 + t);
+    const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+    AdjF2FourCycleCounter counter(params);
+    RunAdjacencyStream(counter, stream);
+    estimates.push_back(counter.F1Estimate());
+  }
+  EXPECT_NEAR(Summarize(estimates).median, exact_f1, 0.1 * exact_f1);
+}
+
+TEST(ArbF2CounterTest, MatchesAdjacencyVariantSemantics) {
+  // Same reduction, arbitrary order: F2 estimate should match the exact F2.
+  const Graph g = DenseGraph(200, 0.2, 11);
+  const WedgeVector x = ComputeWedgeVector(g);
+  const double f2 = static_cast<double>(WedgeVectorF2(x));
+  ArbF2FourCycleCounter::Params params;
+  params.base.epsilon = 0.15;
+  params.base.seed = 12;
+  params.num_vertices = g.num_vertices();
+  params.copies_per_group = 128;
+  Rng rng(13);
+  EdgeStream stream = g.edges();
+  rng.Shuffle(stream);
+  ArbF2FourCycleCounter counter(params);
+  RunEdgeStream(counter, stream);
+  EXPECT_NEAR(counter.F2Estimate(), f2, 0.2 * f2);
+}
+
+TEST(ArbF2CounterTest, DynamicDeletionsCancelExactly) {
+  // Insert a dense graph, then delete a planted block: the counters must
+  // equal a fresh run on the residual graph (same seeds).
+  const Graph g = DenseGraph(150, 0.2, 14);
+  ArbF2FourCycleCounter::Params params;
+  params.base.epsilon = 0.2;
+  params.base.seed = 15;
+  params.num_vertices = g.num_vertices();
+  params.copies_per_group = 32;
+
+  ArbF2FourCycleCounter dynamic(params);
+  for (const Edge& e : g.edges()) dynamic.Insert(e);
+  // Delete every edge incident to vertices < 30.
+  std::vector<Edge> kept;
+  for (const Edge& e : g.edges()) {
+    if (e.u < 30 || e.v < 30) {
+      dynamic.Delete(e);
+    } else {
+      kept.push_back(e);
+    }
+  }
+  ArbF2FourCycleCounter fresh(params);
+  for (const Edge& e : kept) fresh.Insert(e);
+  EXPECT_NEAR(dynamic.F2Estimate(), fresh.F2Estimate(), 1e-6);
+}
+
+TEST(ArbF2CounterTest, EndToEndInRegime) {
+  const Graph g = DenseGraph(180, 0.3, 16);
+  const double exact = static_cast<double>(CountFourCycles(g));
+  std::vector<double> estimates;
+  for (int t = 0; t < 7; ++t) {
+    ArbF2FourCycleCounter::Params params;
+    params.base.epsilon = 0.1;
+    params.base.seed = 300 + t;
+    params.num_vertices = g.num_vertices();
+    params.copies_per_group = 64;
+    Rng rng(17 + t);
+    EdgeStream stream = g.edges();
+    rng.Shuffle(stream);
+    estimates.push_back(CountFourCyclesArbF2(stream, params).value);
+  }
+  // T̂ = F2/4 carries the +F1(z)/4 structural bias; in this dense regime
+  // F1 ≲ a few percent of 4T.
+  EXPECT_NEAR(Summarize(estimates).median, exact, 0.2 * exact);
+}
+
+TEST(AdjL2CounterTest, EndToEndOnDenseGraph) {
+  const Graph g = DenseGraph(90, 0.35, 18);
+  const double exact = static_cast<double>(CountFourCycles(g));
+  std::vector<double> estimates;
+  for (int t = 0; t < 5; ++t) {
+    AdjL2FourCycleCounter::Params params;
+    params.base.epsilon = 0.2;
+    params.base.t_guess = exact;
+    params.base.seed = 400 + t;
+    params.num_vertices = g.num_vertices();
+    params.sampler_copies = 160;
+    Rng rng(19 + t);
+    const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+    estimates.push_back(CountFourCyclesAdjL2(stream, params).value);
+  }
+  EXPECT_NEAR(Summarize(estimates).median, exact, 0.45 * exact);
+}
+
+TEST(AdjL2CounterTest, ReportsSamplesAndSpace) {
+  const Graph g = DenseGraph(70, 0.3, 20);
+  AdjL2FourCycleCounter::Params params;
+  params.base.epsilon = 0.25;
+  params.base.t_guess = 1000.0;
+  params.base.seed = 21;
+  params.num_vertices = g.num_vertices();
+  params.sampler_copies = 64;
+  Rng rng(22);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  AdjL2FourCycleCounter counter(params);
+  RunAdjacencyStream(counter, stream);
+  EXPECT_GT(counter.SamplesUsed(), 0u);
+  EXPECT_GT(counter.Result().space_words, 0u);
+}
+
+}  // namespace
+}  // namespace cyclestream

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.h"
+#include "gen/lower_bound.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+
+namespace cyclestream {
+namespace {
+
+TEST(ErdosRenyiGnmTest, ExactEdgeCount) {
+  Rng rng(1);
+  const EdgeList g = ErdosRenyiGnm(100, 500, rng);
+  EXPECT_EQ(g.num_edges(), 500u);
+  EXPECT_EQ(g.num_vertices(), 100u);
+}
+
+TEST(ErdosRenyiGnmTest, CompleteGraphRequest) {
+  Rng rng(2);
+  const EdgeList g = ErdosRenyiGnm(10, 45, rng);
+  EXPECT_EQ(g.num_edges(), 45u);
+}
+
+TEST(ErdosRenyiGnpTest, EdgeCountConcentrates) {
+  Rng rng(3);
+  const double p = 0.01;
+  const EdgeList g = ErdosRenyiGnp(500, p, rng);
+  const double expected = p * 500 * 499 / 2;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiGnpTest, ExtremeProbabilities) {
+  Rng rng(4);
+  EXPECT_EQ(ErdosRenyiGnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyiGnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(ErdosRenyiGnpTest, DegreesRoughlyUniform) {
+  Rng rng(5);
+  const EdgeList list = ErdosRenyiGnp(400, 0.05, rng);
+  const Graph g(list);
+  // Mean degree ≈ 0.05·399 ≈ 20; no vertex should be wildly off.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LT(g.Degree(v), 60u);
+  }
+}
+
+TEST(BarabasiAlbertTest, EdgeCountAndSkew) {
+  Rng rng(6);
+  const EdgeList list = BarabasiAlbert(2000, 3, rng);
+  const Graph g(list);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  // m0 seed edges + 3 per subsequent vertex.
+  EXPECT_EQ(list.num_edges(), 3u + 3u * (2000u - 4u));
+  // Preferential attachment should create hubs far above the mean (~6).
+  EXPECT_GT(g.MaxDegree(), 40u);
+}
+
+TEST(ChungLuTest, AverageDegreeApproximatelyMatches) {
+  Rng rng(7);
+  const EdgeList g = ChungLuPowerLaw(3000, 10.0, 2.5, rng);
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) / 3000.0;
+  EXPECT_GT(avg, 6.0);
+  EXPECT_LT(avg, 14.0);
+}
+
+TEST(ChungLuTest, ProducesSkewedDegrees) {
+  Rng rng(8);
+  const Graph g(ChungLuPowerLaw(3000, 8.0, 2.2, rng));
+  EXPECT_GT(g.MaxDegree(), 50u);
+}
+
+TEST(CompleteBipartiteTest, CountsAreExact) {
+  const EdgeList list = CompleteBipartite(4, 6);
+  const Graph g(list);
+  EXPECT_EQ(g.num_edges(), 24u);
+  EXPECT_EQ(CountTriangles(g), 0u);
+  // C(4,2)·C(6,2) = 6·15 = 90.
+  EXPECT_EQ(CountFourCycles(g), 90u);
+}
+
+TEST(Grid2dTest, CountsAreExact) {
+  const Graph g(Grid2d(5, 7));
+  EXPECT_EQ(g.num_vertices(), 35u);
+  EXPECT_EQ(g.num_edges(), 5u * 6u + 4u * 7u);
+  EXPECT_EQ(CountTriangles(g), 0u);
+  EXPECT_EQ(CountFourCycles(g), 4u * 6u);  // Unit squares only.
+}
+
+TEST(PlantTrianglesTest, ExactTriangleCount) {
+  Rng rng(9);
+  EdgeList base(1);
+  base.Finalize();
+  const Graph g(PlantTriangles(std::move(base), 42, rng));
+  EXPECT_EQ(CountTriangles(g), 42u);
+  EXPECT_EQ(CountFourCycles(g), 0u);
+}
+
+TEST(PlantBookTest, SpineIsHeavy) {
+  Rng rng(10);
+  EdgeList base(1);
+  base.Finalize();
+  const EdgeList list = PlantBook(std::move(base), 50, rng);
+  const Graph g(list);
+  EXPECT_EQ(CountTriangles(g), 50u);
+  // The spine edge (first two fresh vertices) has 50 common neighbors.
+  EXPECT_EQ(g.CommonNeighborCount(1, 2), 50u);
+}
+
+TEST(PlantDiamondsTest, FourCycleArithmetic) {
+  Rng rng(11);
+  EdgeList base(1);
+  base.Finalize();
+  // 3 diamonds of size 4 (C(4,2)=6 cycles each) + 2 of size 2 (1 each).
+  const EdgeList list = PlantDiamonds(
+      std::move(base), {DiamondSpec{4, 3}, DiamondSpec{2, 2}}, rng);
+  EXPECT_EQ(CountFourCycles(Graph(list)), 3u * 6u + 2u * 1u);
+}
+
+TEST(PlantThetaTest, CountsAndHeavySpine) {
+  Rng rng(30);
+  EdgeList base(1);
+  base.Finalize();
+  const std::size_t k = 50;
+  const EdgeList list = PlantTheta(std::move(base), k, rng);
+  const Graph g(list);
+  // 2k cycles through the spine + k on the u side + k on the v side.
+  EXPECT_EQ(CountFourCycles(g), 4 * k);
+  const VertexId u = 1, v = 2;  // First fresh vertices after the base.
+  EXPECT_EQ(CountFourCyclesThroughEdge(g, u, v), 2 * k);
+}
+
+TEST(PlantFourCyclesTest, ExactCount) {
+  Rng rng(12);
+  EdgeList base(1);
+  base.Finalize();
+  const Graph g(PlantFourCycles(std::move(base), 17, rng));
+  EXPECT_EQ(CountFourCycles(g), 17u);
+  EXPECT_EQ(CountTriangles(g), 0u);
+}
+
+TEST(FourCycleFreeRandomTest, IsActuallyC4Free) {
+  Rng rng(13);
+  const EdgeList list = FourCycleFreeRandom(300, 600, false, rng);
+  EXPECT_GT(list.num_edges(), 100u);
+  EXPECT_EQ(CountFourCycles(Graph(list)), 0u);
+}
+
+TEST(FourCycleFreeRandomTest, TriangleFreeVariant) {
+  Rng rng(14);
+  const EdgeList list = FourCycleFreeRandom(300, 500, true, rng);
+  const Graph g(list);
+  EXPECT_EQ(CountFourCycles(g), 0u);
+  EXPECT_EQ(CountTriangles(g), 0u);
+}
+
+TEST(DisjointUnionTest, OffsetsAndCounts) {
+  Rng rng(15);
+  EdgeList a(1);
+  a.Finalize();
+  const EdgeList tri = PlantTriangles(std::move(a), 2, rng);
+  EdgeList b(1);
+  b.Finalize();
+  const EdgeList cyc = PlantFourCycles(std::move(b), 3, rng);
+  const Graph g(DisjointUnion({tri, cyc}));
+  EXPECT_EQ(CountTriangles(g), 2u);
+  EXPECT_EQ(CountFourCycles(g), 3u);
+}
+
+TEST(RandomTreeTest, AcyclicAndConnectedSize) {
+  Rng rng(16);
+  const EdgeList list = RandomTree(500, rng);
+  EXPECT_EQ(list.num_edges(), 499u);
+  const Graph g(list);
+  EXPECT_EQ(CountTriangles(g), 0u);
+  EXPECT_EQ(CountFourCycles(g), 0u);
+}
+
+TEST(WattsStrogatzTest, LatticeLimitIsDeterministicRing) {
+  Rng rng(40);
+  const Graph g(WattsStrogatz(100, 4, 0.0, rng));
+  EXPECT_EQ(g.num_edges(), 200u);  // n·k/2.
+  for (VertexId v = 0; v < 100; ++v) EXPECT_EQ(g.Degree(v), 4u);
+  // Ring lattice with k=4: each vertex closes one triangle per step pair;
+  // total n triangles.
+  EXPECT_EQ(CountTriangles(g), 100u);
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsEdgeBudgetClose) {
+  Rng rng(41);
+  const EdgeList g = WattsStrogatz(2000, 6, 0.2, rng);
+  EXPECT_GE(g.num_edges(), 5800u);
+  EXPECT_LE(g.num_edges(), 6000u);
+}
+
+class TriangleGadgetTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriangleGadgetTest, PlantedBitControlsTriangleCount) {
+  const std::uint64_t t = GetParam();
+  Rng rng(17 + t);
+  const auto planted = MakeTriangleLowerBoundGadget(12, t, true, rng);
+  EXPECT_EQ(CountTriangles(Graph(planted.graph)), t);
+  Rng rng2(18 + t);
+  const auto empty = MakeTriangleLowerBoundGadget(12, t, false, rng2);
+  EXPECT_EQ(CountTriangles(Graph(empty.graph)), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TSweep, TriangleGadgetTest,
+                         ::testing::Values(1, 2, 5, 10, 25));
+
+TEST(TriangleGadgetTest, StarVerticesShareNeighborhood) {
+  Rng rng(19);
+  const auto gadget = MakeTriangleLowerBoundGadget(8, 4, true, rng);
+  const Graph g(gadget.graph);
+  // u* and v* have identical W-neighborhoods of size T.
+  EXPECT_EQ(g.CommonNeighborCount(gadget.u_star, gadget.v_star), 4u);
+}
+
+TEST(FourCycleGadgetTest, IntersectionControlsCycles) {
+  Rng rng(20);
+  const auto yes = MakeFourCycleLowerBoundGadget(20, 8, 0.5, true, rng);
+  EXPECT_EQ(CountFourCycles(Graph(yes.graph)), yes.expected_four_cycles);
+  EXPECT_EQ(yes.expected_four_cycles, 28u);  // C(8,2).
+  Rng rng2(21);
+  const auto no = MakeFourCycleLowerBoundGadget(20, 8, 0.5, false, rng2);
+  EXPECT_EQ(CountFourCycles(Graph(no.graph)), 0u);
+}
+
+}  // namespace
+}  // namespace cyclestream

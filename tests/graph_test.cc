@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/datasets.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/types.h"
+#include "tests/test_util.h"
+
+namespace cyclestream {
+namespace {
+
+using ::cyclestream::testing::Clique;
+using ::cyclestream::testing::CycleGraph;
+using ::cyclestream::testing::Path;
+using ::cyclestream::testing::Star;
+
+TEST(EdgeTest, CanonicalForm) {
+  const Edge e(5, 2);
+  EXPECT_EQ(e.u, 2u);
+  EXPECT_EQ(e.v, 5u);
+  EXPECT_EQ(e, Edge(2, 5));
+  EXPECT_EQ(e.Other(2u), 5u);
+  EXPECT_EQ(e.Other(5u), 2u);
+  EXPECT_TRUE(e.Touches(2));
+  EXPECT_FALSE(e.Touches(3));
+}
+
+TEST(EdgeTest, KeyRoundTrip) {
+  const Edge e(17, 123456);
+  EXPECT_EQ(PairFromKey(e.Key()), e);
+  EXPECT_EQ(PairKey(123456, 17), e.Key());
+}
+
+TEST(EdgeListTest, DedupAndValidation) {
+  EdgeList list(5);
+  list.Add(0, 1);
+  list.Add(1, 0);  // Duplicate after canonicalization.
+  list.Add(2, 3);
+  list.Finalize();
+  EXPECT_EQ(list.num_edges(), 2u);
+  EXPECT_TRUE(list.finalized());
+}
+
+TEST(EdgeListTest, FromPairsDropsSelfLoops) {
+  const EdgeList list = EdgeList::FromPairs(4, {{0, 0}, {1, 2}, {2, 1}});
+  EXPECT_EQ(list.num_edges(), 1u);
+}
+
+TEST(EdgeListTest, GrowsVertexCount) {
+  EdgeList list(2);
+  list.Add(0, 9);
+  list.Finalize();
+  EXPECT_EQ(list.num_vertices(), 10u);
+}
+
+TEST(GraphTest, CsrBasics) {
+  const Graph g(Clique(4));
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.MaxDegree(), 3u);
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  const auto nbrs = g.Neighbors(2);
+  EXPECT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphTest, EmptyGraph) {
+  EdgeList empty(3);
+  empty.Finalize();
+  const Graph g(empty);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(CountTriangles(g), 0u);
+  EXPECT_EQ(CountFourCycles(g), 0u);
+}
+
+TEST(GraphTest, CommonNeighborCount) {
+  const Graph g(Clique(5));
+  EXPECT_EQ(g.CommonNeighborCount(0, 1), 3u);
+}
+
+struct CountCase {
+  const char* name;
+  EdgeList graph;
+  std::uint64_t triangles;
+  std::uint64_t four_cycles;
+  std::uint64_t wedges;
+};
+
+class ExactCountTest : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(ExactCountTest, CountsMatch) {
+  const auto& param = GetParam();
+  const Graph g(param.graph);
+  EXPECT_EQ(CountTriangles(g), param.triangles) << param.name;
+  EXPECT_EQ(CountFourCycles(g), param.four_cycles) << param.name;
+  EXPECT_EQ(CountWedges(g), param.wedges) << param.name;
+}
+
+// K4: C(4,3)=4 triangles; three 4-cycles; wedges = 4·C(3,2)=12.
+// K5: 10 triangles; 4-cycles = 3·C(5,4)=15; wedges = 5·C(4,2)=30.
+// C4: one 4-cycle. C5: no 4-cycle. Star/path: nothing but wedges.
+INSTANTIATE_TEST_SUITE_P(
+    Families, ExactCountTest,
+    ::testing::Values(
+        CountCase{"K3", Clique(3), 1, 0, 3},
+        CountCase{"K4", Clique(4), 4, 3, 12},
+        CountCase{"K5", Clique(5), 10, 15, 30},
+        CountCase{"C4", CycleGraph(4), 0, 1, 4},
+        CountCase{"C5", CycleGraph(5), 0, 0, 5},
+        CountCase{"C6", CycleGraph(6), 0, 0, 6},
+        CountCase{"Star10", Star(10), 0, 0, 36},
+        CountCase{"Path10", Path(10), 0, 0, 8}),
+    [](const ::testing::TestParamInfo<CountCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ExactCountTest, KarateClub) {
+  const Graph g(KarateClub());
+  EXPECT_EQ(g.num_vertices(), 34u);
+  EXPECT_EQ(g.num_edges(), 78u);
+  EXPECT_EQ(CountTriangles(g), 45u);
+  // Transitivity of the karate club is 3·45/528 ≈ 0.2556.
+  EXPECT_NEAR(Transitivity(g), 0.2556, 0.001);
+}
+
+TEST(ExactCountTest, PerEdgeTriangleCountsSumToThreeT) {
+  const Graph g(KarateClub());
+  const auto counts = PerEdgeTriangleCounts(g);
+  std::uint64_t sum = 0;
+  for (auto c : counts) sum += c;
+  EXPECT_EQ(sum, 3 * CountTriangles(g));
+}
+
+TEST(ExactCountTest, PerEdgeFourCycleCountsSumToFourT) {
+  const Graph g(Clique(6));
+  const auto counts = PerEdgeFourCycleCounts(g);
+  std::uint64_t sum = 0;
+  for (auto c : counts) sum += c;
+  EXPECT_EQ(sum, 4 * CountFourCycles(g));
+}
+
+TEST(ExactCountTest, FourCyclesThroughEdgeInC4) {
+  const Graph g(CycleGraph(4));
+  EXPECT_EQ(CountFourCyclesThroughEdge(g, 0, 1), 1u);
+}
+
+TEST(ExactCountTest, FourCyclesThroughEdgeInK4) {
+  const Graph g(Clique(4));
+  // Each K4 edge lies in exactly 2 of the 3 four-cycles.
+  EXPECT_EQ(CountFourCyclesThroughEdge(g, 0, 1), 2u);
+}
+
+TEST(WedgeVectorTest, CompleteBipartiteK23) {
+  // K_{2,3}: sides {0,1}, {2,3,4}. x_{01} = 3, x_{uv} = 2 for pairs within
+  // the size-3 side.
+  EdgeList list(5);
+  for (VertexId a : {0u, 1u}) {
+    for (VertexId b : {2u, 3u, 4u}) list.Add(a, b);
+  }
+  list.Finalize();
+  const Graph g(list);
+  const WedgeVector x = ComputeWedgeVector(g);
+  EXPECT_EQ(x.at(PairKey(0, 1)), 3u);
+  EXPECT_EQ(x.at(PairKey(2, 3)), 2u);
+  EXPECT_EQ(x.at(PairKey(2, 4)), 2u);
+  EXPECT_EQ(x.at(PairKey(3, 4)), 2u);
+  EXPECT_EQ(x.size(), 4u);
+  // C(3,2) + 3·C(2,2)... : pairs {0,1}:C(3,2)=3 cycles counted once each +
+  // three pairs with C(2,2)=1: total/2 = (3+3)/2 = 3 four-cycles.
+  EXPECT_EQ(CountFourCyclesFromWedges(x), 3u);
+  EXPECT_EQ(WedgeVectorF2(x), 9u + 3u * 4u);
+  EXPECT_EQ(WedgeVectorCappedF1(x, 2), 2u + 3u * 2u);
+}
+
+TEST(DiamondHistogramTest, PlantedDiamond) {
+  // One diamond of size 3 = K_{2,3}.
+  EdgeList list(5);
+  for (VertexId a : {0u, 1u}) {
+    for (VertexId b : {2u, 3u, 4u}) list.Add(a, b);
+  }
+  list.Finalize();
+  const auto hist = DiamondHistogram(Graph(list));
+  EXPECT_EQ(hist.at(3), 1u);   // The (0,1) diamond.
+  EXPECT_EQ(hist.at(2), 3u);   // The three within-side pairs.
+}
+
+TEST(HeavinessProfileTest, TotalsMatchExactCount) {
+  const Graph g(Clique(7));
+  const auto profile = ProfileFourCycleHeaviness(g, /*threshold=*/1);
+  EXPECT_EQ(profile.total, CountFourCycles(g));
+  // Threshold 1: every edge of every cycle is "bad".
+  EXPECT_EQ(profile.with_bad[4], profile.total);
+}
+
+TEST(HeavinessProfileTest, HighThresholdMeansNoBadEdges) {
+  const Graph g(Clique(6));
+  const auto profile = ProfileFourCycleHeaviness(g, /*threshold=*/1000000);
+  EXPECT_EQ(profile.bad_edges, 0u);
+  EXPECT_EQ(profile.with_bad[0], profile.total);
+}
+
+TEST(IoTest, RoundTrip) {
+  EdgeList original = KarateClub();
+  const std::string path = ::testing::TempDir() + "/karate.txt";
+  ASSERT_TRUE(SaveEdgeListText(original, path));
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  EXPECT_EQ(CountTriangles(Graph(*loaded)), 45u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, ParsesCommentsAndRemapsIds) {
+  const std::string path = ::testing::TempDir() + "/toy.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n100 200\n200 300  # trailing comment\n\n";
+  }
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_vertices(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadEdgeListText("/nonexistent/file.txt").has_value());
+}
+
+}  // namespace
+}  // namespace cyclestream

@@ -1,0 +1,323 @@
+// End-to-end integration tests: every estimator against exact ground truth
+// on shared mid-size workloads, with fixed seeds and bounded error
+// envelopes. These are the "does the whole pipeline hold together" checks —
+// generator → stream ordering → algorithm → estimate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bera_chakrabarti.h"
+#include "baselines/cormode_jowhari.h"
+#include "baselines/naive_sampling.h"
+#include "baselines/triest.h"
+#include "core/adj_f2_counter.h"
+#include "core/arb_distinguisher.h"
+#include "core/arb_f2_counter.h"
+#include "core/arb_three_pass.h"
+#include "core/diamond_counter.h"
+#include "core/random_order_triangles.h"
+#include "gen/generators.h"
+#include "gen/lower_bound.h"
+#include "graph/datasets.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "stream/order.h"
+#include "util/stats.h"
+
+namespace cyclestream {
+namespace {
+
+// Shared triangle workload: ER noise + planted triangles + one heavy edge.
+class TriangleWorkload : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng gen(42);
+    graph_ = new EdgeList(PlantBook(
+        PlantTriangles(ErdosRenyiGnm(3000, 6000, gen), 800, gen), 300, gen));
+    exact_ = static_cast<double>(CountTriangles(Graph(*graph_)));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    graph_ = nullptr;
+  }
+  static const EdgeList* graph_;
+  static double exact_;
+};
+const EdgeList* TriangleWorkload::graph_ = nullptr;
+double TriangleWorkload::exact_ = 0;
+
+TEST_F(TriangleWorkload, RandomOrderCounterMedianWithin20Percent) {
+  std::vector<double> estimates;
+  for (int t = 0; t < 11; ++t) {
+    Rng rng(100 + t);
+    const EdgeStream stream = MakeRandomOrderStream(*graph_, rng);
+    RandomOrderTriangleCounter::Params params;
+    params.base.epsilon = 0.25;
+    params.base.c = 2.0;
+    params.base.t_guess = exact_;
+    params.base.seed = 500 + t;
+    params.num_vertices = graph_->num_vertices();
+    estimates.push_back(CountTrianglesRandomOrder(stream, params).value);
+  }
+  EXPECT_NEAR(Summarize(estimates).median, exact_, 0.2 * exact_);
+}
+
+TEST_F(TriangleWorkload, CormodeJowhariUndercountsHeavyWorkload) {
+  // 300 of ~1500 triangles ride one edge: the capped estimator must lose a
+  // visible fraction (this is the paper's motivation, not a bug).
+  std::vector<double> estimates;
+  for (int t = 0; t < 11; ++t) {
+    Rng rng(200 + t);
+    const EdgeStream stream = MakeRandomOrderStream(*graph_, rng);
+    CormodeJowhariCounter::Params params;
+    params.base.epsilon = 0.25;
+    params.base.c = 2.0;
+    params.base.t_guess = exact_;
+    params.base.seed = 600 + t;
+    estimates.push_back(CountTrianglesCormodeJowhari(stream, params).value);
+  }
+  EXPECT_LT(Summarize(estimates).median, 0.95 * exact_);
+}
+
+TEST_F(TriangleWorkload, TriestTracksWithGenerousReservoir) {
+  Rng rng(7);
+  const EdgeStream stream = MakeRandomOrderStream(*graph_, rng);
+  Triest::Params params;
+  params.reservoir_capacity = graph_->num_edges() / 2;
+  params.seed = 8;
+  Triest algo(params);
+  RunEdgeStream(algo, stream);
+  EXPECT_NEAR(algo.EstimateTriangles(), exact_, 0.2 * exact_);
+}
+
+// Shared 4-cycle workload (sparse): ER + diamonds.
+class FourCycleWorkload : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng gen(43);
+    graph_ = new EdgeList(PlantDiamonds(ErdosRenyiGnm(1500, 3000, gen),
+                                        {DiamondSpec{8, 30}}, gen));
+    g_ = new Graph(*graph_);
+    exact_ = static_cast<double>(CountFourCycles(*g_));
+  }
+  static void TearDownTestSuite() {
+    delete g_;
+    delete graph_;
+    g_ = nullptr;
+    graph_ = nullptr;
+  }
+  static const EdgeList* graph_;
+  static const Graph* g_;
+  static double exact_;
+};
+const EdgeList* FourCycleWorkload::graph_ = nullptr;
+const Graph* FourCycleWorkload::g_ = nullptr;
+double FourCycleWorkload::exact_ = 0;
+
+TEST_F(FourCycleWorkload, DiamondCounterMedianWithin25Percent) {
+  std::vector<double> estimates;
+  for (int t = 0; t < 9; ++t) {
+    Rng rng(300 + t);
+    const AdjacencyStream stream = MakeAdjacencyStream(*g_, rng);
+    DiamondFourCycleCounter::Params params;
+    params.base.epsilon = 0.25;
+    params.base.c = 3.0;
+    params.base.t_guess = exact_;
+    params.base.seed = 700 + t;
+    params.num_vertices = g_->num_vertices();
+    estimates.push_back(CountFourCyclesDiamond(stream, params).value);
+  }
+  EXPECT_NEAR(Summarize(estimates).median, exact_, 0.25 * exact_);
+}
+
+TEST_F(FourCycleWorkload, ThreePassCounterMedianWithin25Percent) {
+  std::vector<double> estimates;
+  for (int t = 0; t < 9; ++t) {
+    Rng rng(400 + t);
+    EdgeStream stream = g_->edges();
+    rng.Shuffle(stream);
+    ArbThreePassFourCycleCounter::Params params;
+    params.base.epsilon = 0.3;
+    params.base.c = 1.5;
+    params.base.t_guess = exact_;
+    params.base.seed = 800 + t;
+    params.num_vertices = g_->num_vertices();
+    estimates.push_back(CountFourCyclesArbThreePass(stream, params).value);
+  }
+  EXPECT_NEAR(Summarize(estimates).median, exact_, 0.25 * exact_);
+}
+
+TEST_F(FourCycleWorkload, BeraChakrabartiMeanWithin25Percent) {
+  std::vector<double> estimates;
+  for (int t = 0; t < 9; ++t) {
+    Rng rng(500 + t);
+    EdgeStream stream = g_->edges();
+    rng.Shuffle(stream);
+    BeraChakrabartiCounter::Params params;
+    params.base.epsilon = 0.25;
+    params.base.t_guess = exact_;
+    params.base.seed = 900 + t;
+    params.num_pairs = 200000;
+    estimates.push_back(CountFourCyclesBeraChakrabarti(stream, params).value);
+  }
+  EXPECT_NEAR(Summarize(estimates).mean, exact_, 0.25 * exact_);
+}
+
+TEST_F(FourCycleWorkload, DistinguisherFindsCyclesHere) {
+  int hits = 0;
+  for (int t = 0; t < 10; ++t) {
+    Rng rng(600 + t);
+    EdgeStream stream = g_->edges();
+    rng.Shuffle(stream);
+    ArbTwoPassDistinguisher::Params params;
+    params.base.t_guess = exact_;
+    params.base.c = 3.0;
+    params.base.seed = 1000 + t;
+    params.num_vertices = g_->num_vertices();
+    hits += DistinguishFourCycles(stream, params) ? 1 : 0;
+  }
+  EXPECT_GE(hits, 7);
+}
+
+// The lower-bound gadgets must be *stream-model agnostic*: every counter
+// should get the right answer on them given enough space (they are hard for
+// SMALL space, not adversarial to correctness).
+TEST(GadgetCrossCheck, TriangleGadgetCountedCorrectlyAtFullSpace) {
+  Rng rng(1);
+  const auto gadget = MakeTriangleLowerBoundGadget(20, 8, true, rng);
+  Rng order(2);
+  const EdgeStream stream = MakeRandomOrderStream(gadget.graph, order);
+  RandomOrderTriangleCounter::Params params;
+  params.base.epsilon = 0.2;
+  params.base.c = 1e4;  // Saturated: exact regime.
+  params.base.t_guess = 1e6;
+  params.base.seed = 3;
+  params.num_vertices = gadget.graph.num_vertices();
+  EXPECT_NEAR(CountTrianglesRandomOrder(stream, params).value, 8.0, 1e-6);
+}
+
+TEST(GadgetCrossCheck, FourCycleGadgetDistinguishedAtFullSpace) {
+  Rng rng(4);
+  const auto yes = MakeFourCycleLowerBoundGadget(50, 10, 0.5, true, rng);
+  const auto no = MakeFourCycleLowerBoundGadget(50, 10, 0.5, false, rng);
+  ArbTwoPassDistinguisher::Params params;
+  params.base.t_guess = 1.0;  // p = 1.
+  params.base.c = 2.0;
+  params.base.seed = 5;
+  params.num_vertices = yes.graph.num_vertices();
+  Rng order(6);
+  EdgeStream sy = yes.graph.edges();
+  order.Shuffle(sy);
+  EXPECT_TRUE(DistinguishFourCycles(sy, params));
+  EdgeStream sn = no.graph.edges();
+  order.Shuffle(sn);
+  EXPECT_FALSE(DistinguishFourCycles(sn, params));
+}
+
+// Cross-model consistency: the adjacency-list F2 counter and the
+// arbitrary-order F2 counter estimate the same quantity; on a dense graph
+// their estimates must agree with each other (and the truth) within noise.
+TEST(CrossModelConsistency, F2CountersAgree) {
+  Rng gen(7);
+  const Graph g(ErdosRenyiGnp(160, 0.3, gen));
+  const double exact = static_cast<double>(CountFourCycles(g));
+
+  Rng rng(8);
+  const AdjacencyStream adj_stream = MakeAdjacencyStream(g, rng);
+  AdjF2FourCycleCounter::Params adj_params;
+  adj_params.base.epsilon = 0.15;
+  adj_params.base.t_guess = exact;
+  adj_params.base.seed = 9;
+  adj_params.num_vertices = g.num_vertices();
+  adj_params.copies_per_group = 128;
+  const double adj_est = CountFourCyclesAdjF2(adj_stream, adj_params).value;
+
+  EdgeStream arb_stream = g.edges();
+  rng.Shuffle(arb_stream);
+  ArbF2FourCycleCounter::Params arb_params;
+  arb_params.base.epsilon = 0.15;
+  arb_params.base.seed = 10;
+  arb_params.num_vertices = g.num_vertices();
+  arb_params.copies_per_group = 128;
+  const double arb_est = CountFourCyclesArbF2(arb_stream, arb_params).value;
+
+  EXPECT_NEAR(adj_est, exact, 0.25 * exact);
+  EXPECT_NEAR(arb_est, exact, 0.25 * exact);
+}
+
+// Degenerate inputs should not crash or return garbage.
+TEST(DegenerateInputs, EmptyGraph) {
+  EdgeList empty(10);
+  empty.Finalize();
+  Rng rng(1);
+  const EdgeStream stream = MakeRandomOrderStream(empty, rng);
+  RandomOrderTriangleCounter::Params params;
+  params.base.t_guess = 1.0;
+  params.num_vertices = 10;
+  EXPECT_EQ(CountTrianglesRandomOrder(stream, params).value, 0.0);
+}
+
+TEST(DegenerateInputs, SingleEdge) {
+  EdgeList g(2);
+  g.Add(0, 1);
+  g.Finalize();
+  Rng rng(2);
+  const EdgeStream stream = MakeRandomOrderStream(g, rng);
+  RandomOrderTriangleCounter::Params params;
+  params.base.t_guess = 1.0;
+  params.num_vertices = 2;
+  EXPECT_EQ(CountTrianglesRandomOrder(stream, params).value, 0.0);
+
+  ArbTwoPassDistinguisher::Params dparams;
+  dparams.base.t_guess = 1.0;
+  dparams.num_vertices = 2;
+  EXPECT_FALSE(DistinguishFourCycles(stream, dparams));
+}
+
+TEST(DegenerateInputs, StarHasNoCycles) {
+  EdgeList star(100);
+  for (VertexId v = 1; v < 100; ++v) star.Add(0, v);
+  star.Finalize();
+  const Graph sg(star);
+  Rng rng(3);
+  const AdjacencyStream stream = MakeAdjacencyStream(sg, rng);
+  DiamondFourCycleCounter::Params params;
+  params.base.t_guess = 4.0;
+  params.base.epsilon = 0.25;
+  params.num_vertices = 100;
+  EXPECT_LT(CountFourCyclesDiamond(stream, params).value, 2.0);
+}
+
+TEST(DegenerateInputs, KarateEveryAlgorithmRuns) {
+  // Smoke: the full API surface over the one real dataset.
+  const EdgeList graph = KarateClub();
+  const Graph g(graph);
+  Rng rng(4);
+  const EdgeStream es = MakeRandomOrderStream(graph, rng);
+  const AdjacencyStream as = MakeAdjacencyStream(g, rng);
+
+  RandomOrderTriangleCounter::Params tri;
+  tri.base.t_guess = 45;
+  tri.num_vertices = 34;
+  EXPECT_GE(CountTrianglesRandomOrder(es, tri).value, 0.0);
+
+  DiamondFourCycleCounter::Params dia;
+  dia.base.t_guess = 154;
+  dia.num_vertices = 34;
+  EXPECT_GE(CountFourCyclesDiamond(as, dia).value, 0.0);
+
+  AdjF2FourCycleCounter::Params f2;
+  f2.base.t_guess = 154;
+  f2.num_vertices = 34;
+  f2.copies_per_group = 16;
+  EXPECT_GE(CountFourCyclesAdjF2(as, f2).value, 0.0);
+
+  ArbThreePassFourCycleCounter::Params tp;
+  tp.base.t_guess = 154;
+  tp.num_vertices = 34;
+  EXPECT_GE(CountFourCyclesArbThreePass(es, tp).value, 0.0);
+}
+
+}  // namespace
+}  // namespace cyclestream

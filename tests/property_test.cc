@@ -1,0 +1,291 @@
+// Property-based tests (parameterized sweeps) over the statistical
+// invariants the library's components promise:
+//   - generator counts match closed forms across parameter grids,
+//   - exact-counter identities hold on random graphs,
+//   - estimators are unbiased / concentrate across seed sweeps,
+//   - stream orderings preserve multisets under every seed,
+//   - hash-derived sampling matches its nominal rate across rates.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/random_order_triangles.h"
+#include "core/useful_algorithm.h"
+#include "gen/generators.h"
+#include "gen/lower_bound.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "hash/kwise.h"
+#include "stream/order.h"
+#include "util/stats.h"
+
+namespace cyclestream {
+namespace {
+
+// ---------- Generator closed forms ----------
+
+class CompleteBipartiteProperty
+    : public ::testing::TestWithParam<std::pair<VertexId, VertexId>> {};
+
+TEST_P(CompleteBipartiteProperty, CycleCountClosedForm) {
+  const auto [a, b] = GetParam();
+  const Graph g(CompleteBipartite(a, b));
+  const std::uint64_t expected = static_cast<std::uint64_t>(a) * (a - 1) / 2 *
+                                 b * (b - 1) / 2;
+  EXPECT_EQ(CountFourCycles(g), expected);
+  EXPECT_EQ(CountTriangles(g), 0u);
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(a) * b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompleteBipartiteProperty,
+    ::testing::Values(std::pair<VertexId, VertexId>{2, 2},
+                      std::pair<VertexId, VertexId>{2, 9},
+                      std::pair<VertexId, VertexId>{5, 5},
+                      std::pair<VertexId, VertexId>{3, 17},
+                      std::pair<VertexId, VertexId>{10, 12}));
+
+class CliqueProperty : public ::testing::TestWithParam<VertexId> {};
+
+TEST_P(CliqueProperty, CountClosedForms) {
+  const VertexId n = GetParam();
+  EdgeList list(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) list.Add(u, v);
+  }
+  list.Finalize();
+  const Graph g(list);
+  // K_n: C(n,3) triangles, 3·C(n,4) four-cycles.
+  const std::uint64_t nn = n;
+  EXPECT_EQ(CountTriangles(g), nn * (nn - 1) * (nn - 2) / 6);
+  EXPECT_EQ(CountFourCycles(g),
+            3 * (nn * (nn - 1) * (nn - 2) * (nn - 3) / 24));
+  // Per-edge triangle count: every edge in n-2 triangles.
+  for (const auto t_e : PerEdgeTriangleCounts(g)) {
+    EXPECT_EQ(t_e, nn - 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CliqueProperty,
+                         ::testing::Values(3, 4, 5, 7, 10, 16));
+
+class DiamondPackProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DiamondPackProperty, CycleArithmeticAndHistogram) {
+  const std::uint32_t h = GetParam();
+  Rng rng(h);
+  EdgeList base(1);
+  base.Finalize();
+  const Graph g(PlantDiamonds(std::move(base), {DiamondSpec{h, 7}}, rng));
+  EXPECT_EQ(CountFourCycles(g),
+            7ull * h * (h - 1) / 2);
+  const auto hist = DiamondHistogram(g);
+  // K_{2,2} is self-dual: both diagonals of each copy are size-2 diamonds.
+  EXPECT_EQ(hist.at(h), h == 2 ? 14u : 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DiamondPackProperty,
+                         ::testing::Values(2, 3, 5, 9, 17, 33));
+
+// ---------- Exact-counter identities on random graphs ----------
+
+class ExactIdentityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactIdentityProperty, WedgeVectorIdentities) {
+  Rng rng(GetParam());
+  const Graph g(ErdosRenyiGnm(200, 800, rng));
+  const WedgeVector x = ComputeWedgeVector(g);
+  // Σ x_uv = #wedges.
+  std::uint64_t f1 = 0;
+  for (const auto& [key, count] : x) {
+    (void)key;
+    f1 += count;
+  }
+  EXPECT_EQ(f1, CountWedges(g));
+  // C4 = ½ Σ C(x,2); cross-check against the per-edge counts.
+  const std::uint64_t c4 = CountFourCyclesFromWedges(x);
+  const auto per_edge = PerEdgeFourCycleCounts(g);
+  const std::uint64_t sum =
+      std::accumulate(per_edge.begin(), per_edge.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, 4 * c4);
+  // Triangles from per-edge counts: Σ t_e = 3T.
+  const auto tri_edge = PerEdgeTriangleCounts(g);
+  const std::uint64_t tri_sum =
+      std::accumulate(tri_edge.begin(), tri_edge.end(), std::uint64_t{0});
+  EXPECT_EQ(tri_sum, 3 * CountTriangles(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactIdentityProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST_P(ExactIdentityProperty, HeavinessProfilePartitionsAllCycles) {
+  Rng rng(GetParam() + 100);
+  const Graph g(ErdosRenyiGnm(150, 900, rng));
+  const auto profile = ProfileFourCycleHeaviness(g, 3);
+  std::uint64_t sum = 0;
+  for (int i = 0; i <= 4; ++i) sum += profile.with_bad[i];
+  EXPECT_EQ(sum, profile.total);
+  EXPECT_EQ(profile.total, CountFourCycles(g));
+}
+
+// ---------- Sampling rates ----------
+
+class BernoulliRateProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(BernoulliRateProperty, KWiseKeepMatchesRate) {
+  const double rate = GetParam();
+  KWiseHash hash(8, 1234 + static_cast<std::uint64_t>(rate * 1000));
+  int kept = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    kept += hash.Keep(static_cast<std::uint64_t>(i), rate) ? 1 : 0;
+  }
+  EXPECT_NEAR(kept / static_cast<double>(n), rate,
+              5 * std::sqrt(rate * (1 - rate) / n) + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, BernoulliRateProperty,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.9));
+
+// ---------- Stream orderings ----------
+
+class OrderingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderingProperty, RandomOrderPreservesMultiset) {
+  Rng gen(GetParam());
+  const EdgeList graph = ErdosRenyiGnm(60, 200, gen);
+  Rng rng(GetParam() * 7 + 1);
+  EdgeStream stream = MakeRandomOrderStream(graph, rng);
+  std::sort(stream.begin(), stream.end());
+  EXPECT_TRUE(
+      std::equal(stream.begin(), stream.end(), graph.edges().begin()));
+}
+
+TEST_P(OrderingProperty, AdjacencyStreamHasConsistentDegrees) {
+  Rng gen(GetParam() + 50);
+  const Graph g(ErdosRenyiGnm(80, 300, gen));
+  Rng rng(GetParam() * 13 + 5);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  for (const AdjacencyList& list : stream) {
+    EXPECT_EQ(list.neighbors.size(), g.Degree(list.vertex));
+    for (VertexId w : list.neighbors) {
+      EXPECT_TRUE(g.HasEdge(list.vertex, w));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------- Estimator unbiasedness sweeps ----------
+
+// The rough (light-triangle) estimator of §2.1 with everything light should
+// average to T across seeds, for several prefix rates.
+class RoughEstimatorProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RoughEstimatorProperty, MeanConvergesToTrianglesAcrossSeeds) {
+  const double prefix_rate = GetParam();
+  Rng gen(99);
+  EdgeList graph = PlantTriangles(ErdosRenyiGnm(800, 1600, gen), 300, gen);
+  const double exact = static_cast<double>(CountTriangles(Graph(graph)));
+  std::vector<double> estimates;
+  for (int t = 0; t < 40; ++t) {
+    Rng rng(1000 + t);
+    const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+    RandomOrderTriangleCounter::Params params;
+    params.base.epsilon = 0.3;
+    params.base.c = 1.0;
+    // Huge T-guess: heavy machinery off (threshold above every t_e), pure
+    // prefix sampling via the explicit rate override.
+    params.base.t_guess = 1e9;
+    params.base.seed = 2000 + t;
+    params.num_vertices = graph.num_vertices();
+    params.prefix_rate = prefix_rate;
+    estimates.push_back(CountTrianglesRandomOrder(stream, params).value);
+  }
+  const Summary s = Summarize(std::move(estimates));
+  EXPECT_NEAR(s.mean, exact, 0.25 * exact) << "rate=" << prefix_rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RoughEstimatorProperty,
+                         ::testing::Values(0.2, 0.35, 0.5));
+
+// The Useful Algorithm is unbiased across p.
+class UsefulUnbiasedProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(UsefulUnbiasedProperty, MeanConvergesToW) {
+  const double p = GetParam();
+  Rng gen(5);
+  struct E {
+    std::uint64_t a, b;
+    double w;
+  };
+  std::vector<E> edges;
+  const std::uint64_t n = 150;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = gen.UniformInt(n), b = gen.UniformInt(n);
+    if (a != b) edges.push_back({a, b, 1.0});
+  }
+  double w = 0;
+  for (const auto& e : edges) w += e.w;
+
+  std::vector<double> estimates;
+  for (int t = 0; t < 120; ++t) {
+    Rng rng(3000 + t);
+    std::vector<bool> r1(n), r2(n);
+    for (std::uint64_t v = 0; v < n; ++v) {
+      r1[v] = rng.Bernoulli(p);
+      r2[v] = rng.Bernoulli(p);
+    }
+    std::vector<std::vector<E>> adj(n);
+    for (const auto& e : edges) {
+      adj[e.a].push_back(e);
+      adj[e.b].push_back(e);
+    }
+    UsefulAlgorithm useful(UsefulAlgorithm::Config{p, 2.0 * w});
+    for (std::uint64_t v = 0; v < n; ++v) {
+      std::vector<UsefulAlgorithm::IncidentEdge> revealed;
+      for (const auto& e : adj[v]) {
+        const std::uint64_t u = e.a == v ? e.b : e.a;
+        if (r1[u] || r2[u]) {
+          revealed.push_back(
+              UsefulAlgorithm::IncidentEdge{u, e.w, r1[u], r2[u]});
+        }
+      }
+      useful.OnVertex(v, r1[v], r2[v], revealed);
+    }
+    estimates.push_back(useful.Estimate());
+  }
+  EXPECT_NEAR(Summarize(std::move(estimates)).mean, w, 0.1 * w)
+      << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, UsefulUnbiasedProperty,
+                         ::testing::Values(0.3, 0.5, 0.8, 1.0));
+
+// ---------- Lower-bound gadget sweeps ----------
+
+class GadgetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GadgetProperty, TriangleGadgetEdgeBudget) {
+  const std::uint64_t t = GetParam();
+  Rng rng(t + 7);
+  const VertexId n = 16;
+  const auto gadget = MakeTriangleLowerBoundGadget(n, t, true, rng);
+  // m = |E_x| + 2nT with |E_x| ≈ n²/2: check the budget is in range.
+  const double ex_edges =
+      static_cast<double>(gadget.graph.num_edges()) - 2.0 * n * t;
+  EXPECT_NEAR(ex_edges, n * n / 2.0, 4.0 * std::sqrt(n * n / 4.0) + 2.0);
+  // W-vertices have degree <= 2 and only u*/v* share a W neighborhood.
+  const Graph g(gadget.graph);
+  for (VertexId w = 2 * n; w < g.num_vertices(); ++w) {
+    EXPECT_LE(g.Degree(w), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ts, GadgetProperty, ::testing::Values(1, 3, 9, 27));
+
+}  // namespace
+}  // namespace cyclestream

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <map>
+
+#include "gen/generators.h"
+#include "graph/datasets.h"
+#include "stream/driver.h"
+#include "stream/order.h"
+#include "stream/space.h"
+#include "tests/test_util.h"
+
+namespace cyclestream {
+namespace {
+
+using ::cyclestream::testing::Clique;
+
+TEST(RandomOrderTest, IsPermutationOfEdges) {
+  Rng rng(1);
+  const EdgeList list = KarateClub();
+  EdgeStream stream = MakeRandomOrderStream(list, rng);
+  ASSERT_EQ(stream.size(), list.num_edges());
+  std::sort(stream.begin(), stream.end());
+  EXPECT_TRUE(std::equal(stream.begin(), stream.end(), list.edges().begin()));
+}
+
+TEST(RandomOrderTest, DifferentSeedsGiveDifferentOrders) {
+  Rng rng1(1), rng2(2);
+  const EdgeList list = KarateClub();
+  const EdgeStream a = MakeRandomOrderStream(list, rng1);
+  const EdgeStream b = MakeRandomOrderStream(list, rng2);
+  EXPECT_NE(a, b);
+}
+
+TEST(RandomOrderTest, FirstPositionIsUniform) {
+  // Over many shuffles, each edge should appear first ~uniformly.
+  const EdgeList list = Clique(5);  // 10 edges.
+  std::map<std::uint64_t, int> first_counts;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(1000 + t);
+    const EdgeStream stream = MakeRandomOrderStream(list, rng);
+    ++first_counts[stream[0].Key()];
+  }
+  for (const auto& [key, count] : first_counts) {
+    (void)key;
+    EXPECT_NEAR(count, trials / 10, 5 * std::sqrt(trials / 10.0));
+  }
+}
+
+TEST(ArbitraryOrderTest, SortedAndReverse) {
+  Rng rng(3);
+  const EdgeList list = KarateClub();
+  const EdgeStream sorted =
+      MakeArbitraryOrderStream(list, ArbitraryOrder::kSorted, rng);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  const EdgeStream reversed =
+      MakeArbitraryOrderStream(list, ArbitraryOrder::kReverseSorted, rng);
+  EXPECT_TRUE(std::is_sorted(reversed.rbegin(), reversed.rend()));
+}
+
+TEST(AdjacencyStreamTest, EachEdgeAppearsTwice) {
+  Rng rng(4);
+  const Graph g(KarateClub());
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  ASSERT_EQ(stream.size(), g.num_vertices());
+  std::map<std::uint64_t, int> appearances;
+  for (const AdjacencyList& list : stream) {
+    for (VertexId w : list.neighbors) {
+      ++appearances[Edge(list.vertex, w).Key()];
+    }
+  }
+  EXPECT_EQ(appearances.size(), g.num_edges());
+  for (const auto& [key, count] : appearances) {
+    (void)key;
+    EXPECT_EQ(count, 2);
+  }
+}
+
+TEST(AdjacencyStreamTest, EveryVertexAppearsOnce) {
+  Rng rng(5);
+  const Graph g(KarateClub());
+  const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (const AdjacencyList& list : stream) {
+    EXPECT_FALSE(seen[list.vertex]);
+    seen[list.vertex] = true;
+  }
+}
+
+TEST(AdjacencyStreamTest, ByIdVariantIsDeterministic) {
+  const Graph g(Clique(4));
+  const AdjacencyStream stream = MakeAdjacencyStreamById(g);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(stream[v].vertex, v);
+    EXPECT_EQ(stream[v].neighbors.size(), 3u);
+  }
+}
+
+// Driver delivers passes and positions in order.
+class RecordingAlgorithm : public EdgeStreamAlgorithm {
+ public:
+  int NumPasses() const override { return 2; }
+  void StartPass(int pass, std::size_t len) override {
+    starts.push_back(pass);
+    lengths.push_back(len);
+  }
+  void ProcessEdge(int pass, const Edge& e, std::size_t position) override {
+    (void)e;
+    events.emplace_back(pass, position);
+  }
+  void EndPass(int pass) override { ends.push_back(pass); }
+
+  std::vector<int> starts, ends;
+  std::vector<std::size_t> lengths;
+  std::vector<std::pair<int, std::size_t>> events;
+};
+
+TEST(DriverTest, PassesAndPositions) {
+  Rng rng(6);
+  const EdgeStream stream = MakeRandomOrderStream(Clique(4), rng);
+  RecordingAlgorithm alg;
+  RunEdgeStream(alg, stream);
+  EXPECT_EQ(alg.starts, (std::vector<int>{0, 1}));
+  EXPECT_EQ(alg.ends, (std::vector<int>{0, 1}));
+  ASSERT_EQ(alg.events.size(), 12u);
+  EXPECT_EQ(alg.events[0], (std::pair<int, std::size_t>{0, 0}));
+  EXPECT_EQ(alg.events[6], (std::pair<int, std::size_t>{1, 0}));
+  EXPECT_EQ(alg.lengths, (std::vector<std::size_t>{6, 6}));
+}
+
+TEST(SpaceTrackerTest, TracksPeakAndBaseline) {
+  SpaceTracker tracker;
+  tracker.Update(10);
+  tracker.Update(50);
+  tracker.Update(20);
+  EXPECT_EQ(tracker.Peak(), 50u);
+  EXPECT_EQ(tracker.Current(), 20u);
+  tracker.SetBaseline(5);
+  EXPECT_EQ(tracker.Peak(), 55u);
+  tracker.Reset();
+  EXPECT_EQ(tracker.Peak(), 5u);
+}
+
+}  // namespace
+}  // namespace cyclestream

@@ -1,0 +1,47 @@
+#ifndef CYCLESTREAM_TESTS_TEST_UTIL_H_
+#define CYCLESTREAM_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+
+namespace cyclestream::testing {
+
+/// K_n clique.
+inline EdgeList Clique(VertexId n) {
+  EdgeList list(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) list.Add(u, v);
+  }
+  list.Finalize();
+  return list;
+}
+
+/// Cycle graph C_n.
+inline EdgeList CycleGraph(VertexId n) {
+  EdgeList list(n);
+  for (VertexId v = 0; v < n; ++v) list.Add(v, (v + 1) % n);
+  list.Finalize();
+  return list;
+}
+
+/// Star K_{1,n-1} centered at 0.
+inline EdgeList Star(VertexId n) {
+  EdgeList list(n);
+  for (VertexId v = 1; v < n; ++v) list.Add(0, v);
+  list.Finalize();
+  return list;
+}
+
+/// Path P_n.
+inline EdgeList Path(VertexId n) {
+  EdgeList list(n);
+  for (VertexId v = 0; v + 1 < n; ++v) list.Add(v, v + 1);
+  list.Finalize();
+  return list;
+}
+
+}  // namespace cyclestream::testing
+
+#endif  // CYCLESTREAM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "core/useful_algorithm.h"
+#include "hash/rng.h"
+
+namespace cyclestream {
+namespace {
+
+// Test harness: an explicit weighted graph on vertices {0..n-1} processed in
+// id order; R1/R2 sampled by the harness; the harness reveals, at each
+// vertex's arrival, its edges to R1 ∪ R2 — exactly the §3 input model.
+struct WeightedEdge {
+  std::uint64_t a, b;
+  double w;
+};
+
+double RunUseful(const std::vector<WeightedEdge>& edges, std::uint64_t n,
+                 double p, double m_cap, std::uint64_t seed,
+                 std::size_t* heavy_tracked = nullptr) {
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> r1, r2;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (rng.Bernoulli(p)) r1.insert(v);
+    if (rng.Bernoulli(p)) r2.insert(v);
+  }
+  // Adjacency.
+  std::vector<std::vector<WeightedEdge>> adj(n);
+  for (const auto& e : edges) {
+    adj[e.a].push_back(e);
+    adj[e.b].push_back(e);
+  }
+  UsefulAlgorithm useful(UsefulAlgorithm::Config{p, m_cap});
+  for (std::uint64_t v = 0; v < n; ++v) {
+    std::vector<UsefulAlgorithm::IncidentEdge> revealed;
+    for (const auto& e : adj[v]) {
+      const std::uint64_t u = e.a == v ? e.b : e.a;
+      const bool in_r1 = r1.count(u) > 0;
+      const bool in_r2 = r2.count(u) > 0;
+      if (!in_r1 && !in_r2) continue;
+      revealed.push_back(
+          UsefulAlgorithm::IncidentEdge{u, e.w, in_r1, in_r2});
+    }
+    useful.OnVertex(v, r1.count(v) > 0, r2.count(v) > 0, revealed);
+  }
+  if (heavy_tracked != nullptr) *heavy_tracked = useful.NumTrackedHeavy();
+  return useful.Estimate();
+}
+
+TEST(UsefulAlgorithmTest, ExactWhenPIsOne) {
+  // Any graph: with p = 1, AL + AH recovers W exactly.
+  std::vector<WeightedEdge> edges = {
+      {0, 1, 1.0}, {0, 2, 2.0}, {1, 2, 1.5}, {3, 4, 1.0}, {2, 5, 3.0}};
+  double w = 0.0;
+  for (const auto& e : edges) w += e.w;
+  EXPECT_NEAR(RunUseful(edges, 6, 1.0, 100.0, 1), w, 1e-9);
+}
+
+TEST(UsefulAlgorithmTest, ExactWhenPIsOneWithHeavyVertices) {
+  // A hub with huge in-weight trips the heavy path; p = 1 must stay exact.
+  std::vector<WeightedEdge> edges;
+  for (std::uint64_t v = 1; v <= 60; ++v) edges.push_back({0, v, 1.0});
+  std::size_t tracked = 0;
+  // m_cap small so the hub (in-weight up to 60) is heavy: p√M = 5.
+  EXPECT_NEAR(RunUseful(edges, 61, 1.0, 25.0, 2, &tracked), 60.0, 1e-9);
+  EXPECT_GE(tracked, 1u);
+}
+
+TEST(UsefulAlgorithmTest, UnbiasedOverSeeds) {
+  // Average the estimate over many R draws; should converge to W.
+  std::vector<WeightedEdge> edges;
+  Rng gen(3);
+  const std::uint64_t n = 120;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t a = gen.UniformInt(n);
+    const std::uint64_t b = gen.UniformInt(n);
+    if (a == b) continue;
+    edges.push_back({a, b, 1.0 + gen.UniformDouble()});
+  }
+  double w = 0.0;
+  for (const auto& e : edges) w += e.w;
+  double total = 0.0;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    total += RunUseful(edges, n, 0.5, 2.0 * w, 100 + t);
+  }
+  EXPECT_NEAR(total / trials, w, 0.05 * w);
+}
+
+TEST(UsefulAlgorithmTest, AdditiveErrorWithinEpsilonM) {
+  // Lemma 3.1a: W ≤ M ⇒ Ŵ = W ± εM whp. Use generous p and check the
+  // deviation across seeds stays within a small multiple of the bound.
+  std::vector<WeightedEdge> edges;
+  Rng gen(4);
+  const std::uint64_t n = 200;
+  for (std::uint64_t v = 1; v < n; ++v) {
+    edges.push_back({gen.UniformInt(v), v, 1.0});
+  }
+  const double w = static_cast<double>(edges.size());
+  const double m_cap = 1.5 * w;
+  int failures = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const double est = RunUseful(edges, n, 0.6, m_cap, 1000 + t);
+    if (std::abs(est - w) > 0.35 * m_cap) ++failures;
+  }
+  EXPECT_LE(failures, 3);
+}
+
+TEST(UsefulAlgorithmTest, SeparatesHeavyFromLightTotals) {
+  // Lemma 3.1 b/c: graphs with W >= 2M rarely report Ŵ < M and vice versa.
+  std::vector<WeightedEdge> big, small;
+  Rng gen(5);
+  const std::uint64_t n = 300;
+  for (int i = 0; i < 900; ++i) {
+    const std::uint64_t a = gen.UniformInt(n), b = gen.UniformInt(n);
+    if (a == b) continue;
+    big.push_back({a, b, 1.0});
+    if (i < 60) small.push_back({a, b, 1.0});
+  }
+  const double m_cap = 300.0;  // big: W≈900 ≥ 2M; small: W≈60 ≤ M/2.
+  int big_wrong = 0, small_wrong = 0;
+  for (int t = 0; t < 40; ++t) {
+    if (RunUseful(big, n, 0.7, m_cap, 2000 + t) < m_cap) ++big_wrong;
+    if (RunUseful(small, n, 0.7, m_cap, 3000 + t) >= m_cap) ++small_wrong;
+  }
+  EXPECT_LE(big_wrong, 2);
+  EXPECT_LE(small_wrong, 2);
+}
+
+TEST(UsefulAlgorithmTest, SpaceScalesWithTrackedHeavies) {
+  std::vector<WeightedEdge> edges;
+  for (std::uint64_t v = 1; v <= 50; ++v) edges.push_back({0, v, 1.0});
+  UsefulAlgorithm useful(UsefulAlgorithm::Config{1.0, 4.0});
+  // Drive directly; vertex 0 arrives first, then the spokes.
+  std::vector<UsefulAlgorithm::IncidentEdge> zero_edges;
+  for (std::uint64_t v = 1; v <= 50; ++v) {
+    zero_edges.push_back(UsefulAlgorithm::IncidentEdge{v, 1.0, true, true});
+  }
+  useful.OnVertex(0, true, true, zero_edges);
+  for (std::uint64_t v = 1; v <= 50; ++v) {
+    UsefulAlgorithm::IncidentEdge e{0, 1.0, true, true};
+    useful.OnVertex(v, true, true, std::span(&e, 1));
+  }
+  EXPECT_EQ(useful.NumTrackedHeavy(), 1u);  // Only the hub.
+  EXPECT_NEAR(useful.Estimate(), 50.0, 1e-9);
+  EXPECT_GT(useful.SpaceWords(), 50u);  // Seen-marks dominate.
+}
+
+}  // namespace
+}  // namespace cyclestream

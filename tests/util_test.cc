@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace cyclestream {
+namespace {
+
+TEST(SummarizeTest, EmptyInput) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const Summary s = Summarize({7.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, KnownStatistics) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811388, 1e-6);
+}
+
+TEST(SummarizeTest, MedianOfEvenCount) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(QuantileTest, Interpolates) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(sorted, 0.25), 2.5);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0), 5.0);
+}
+
+TEST(RunningStatTest, MatchesBatch) {
+  RunningStat rs;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) rs.Add(v);
+  EXPECT_EQ(rs.Count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.Mean(), 3.0);
+  EXPECT_NEAR(rs.Variance(), 2.5, 1e-12);
+}
+
+TEST(TableTest, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::Int(42), "42");
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Pct(0.1234, 1), "12.3%");
+}
+
+TEST(FlagParserTest, ParsesAllSyntaxes) {
+  const char* argv[] = {"prog",    "--alpha=3",  "--beta", "7",
+                        "--gamma", "--delta=0.5", "pos1"};
+  FlagParser flags(7, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_EQ(flags.GetInt("beta", 0), 7);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("delta", 0.0), 0.5);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(FlagParserTest, DefaultsAndUnused) {
+  const char* argv[] = {"prog", "--typo=1"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("trials", 30), 30);
+  const auto unused = flags.Unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace cyclestream

@@ -1,0 +1,293 @@
+// cyclestream_cli — command-line front end for the library.
+//
+//   cyclestream_cli stats    --graph g.txt
+//   cyclestream_cli count    --graph g.txt --target triangles
+//                            [--algorithm exact|random-order|triest|cj]
+//   cyclestream_cli count    --graph g.txt --target c4
+//                            [--algorithm exact|diamonds|f2|l2|three-pass|
+//                             arb-f2|bc|wedge]
+//   cyclestream_cli generate --model er|gnp|ba|chung-lu|ws|grid
+//                            --n 10000 [--m 50000 | --p 0.01 | --deg 6]
+//                            --out g.txt
+//
+// Graphs are SNAP-format text edge lists. All estimators print the
+// estimate, the exact count (unless --no-exact), and the peak space.
+
+#include <iostream>
+#include <string>
+
+#include "baselines/bera_chakrabarti.h"
+#include "baselines/cormode_jowhari.h"
+#include "baselines/triest.h"
+#include "baselines/wedge_sampler.h"
+#include "core/adj_f2_counter.h"
+#include "core/adj_l2_counter.h"
+#include "core/arb_f2_counter.h"
+#include "core/arb_three_pass.h"
+#include "core/diamond_counter.h"
+#include "core/random_order_triangles.h"
+#include "gen/generators.h"
+#include "graph/datasets.h"
+#include "graph/exact.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "stream/order.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace cyclestream {
+namespace {
+
+int Usage() {
+  std::cerr <<
+      "usage: cyclestream_cli <stats|count|generate> [flags]\n"
+      "  stats    --graph FILE | --karate\n"
+      "  count    --graph FILE --target triangles|c4 [--algorithm NAME]\n"
+      "           [--epsilon E] [--t-guess T] [--seed S] [--no-exact]\n"
+      "  generate --model er|gnp|ba|chung-lu|ws|grid --n N\n"
+      "           [--m M | --p P | --deg D] [--seed S] --out FILE\n";
+  return 2;
+}
+
+EdgeList LoadGraph(FlagParser& flags, bool* ok) {
+  *ok = true;
+  if (flags.GetBool("karate", false)) return KarateClub();
+  const std::string path = flags.GetString("graph", "");
+  if (path.empty()) {
+    std::cerr << "error: --graph FILE (or --karate) is required\n";
+    *ok = false;
+    return EdgeList();
+  }
+  auto loaded = LoadEdgeListText(path);
+  if (!loaded) {
+    std::cerr << "error: cannot load " << path << "\n";
+    *ok = false;
+    return EdgeList();
+  }
+  return std::move(*loaded);
+}
+
+int RunStats(FlagParser& flags) {
+  bool ok = false;
+  const EdgeList graph = LoadGraph(flags, &ok);
+  if (!ok) return 1;
+  const Graph g(graph);
+  Table t({"statistic", "value"});
+  t.AddRow({"vertices", Table::Int(g.num_vertices())});
+  t.AddRow({"edges", Table::Int(static_cast<std::int64_t>(g.num_edges()))});
+  t.AddRow({"max degree", Table::Int(static_cast<std::int64_t>(g.MaxDegree()))});
+  t.AddRow({"wedges", Table::Int(static_cast<std::int64_t>(CountWedges(g)))});
+  t.AddRow({"triangles", Table::Int(static_cast<std::int64_t>(CountTriangles(g)))});
+  t.AddRow({"four-cycles", Table::Int(static_cast<std::int64_t>(CountFourCycles(g)))});
+  t.AddRow({"transitivity", Table::Num(Transitivity(g), 4)});
+  const auto hist = DiamondHistogram(g);
+  std::uint32_t max_diamond = 0;
+  for (const auto& [size, count] : hist) {
+    (void)count;
+    max_diamond = std::max(max_diamond, size);
+  }
+  t.AddRow({"largest diamond", Table::Int(max_diamond)});
+  t.Print(std::cout);
+  return 0;
+}
+
+int RunCount(FlagParser& flags) {
+  bool ok = false;
+  const EdgeList graph = LoadGraph(flags, &ok);
+  if (!ok) return 1;
+  const Graph g(graph);
+  const std::string target = flags.GetString("target", "triangles");
+  const std::string algo = flags.GetString("algorithm", "exact");
+  const double epsilon = flags.GetDouble("epsilon", 0.2);
+  const std::uint64_t seed = flags.GetInt("seed", 1);
+  const bool show_exact = !flags.GetBool("no-exact", false);
+
+  double exact = -1.0;
+  if (show_exact || flags.GetDouble("t-guess", 0) <= 0) {
+    exact = target == "triangles"
+                ? static_cast<double>(CountTriangles(g))
+                : static_cast<double>(CountFourCycles(g));
+  }
+  const double t_guess =
+      flags.GetDouble("t-guess", std::max(1.0, exact));
+
+  ApproxConfig base;
+  base.epsilon = epsilon;
+  base.t_guess = std::max(1.0, t_guess);
+  base.seed = seed;
+  base.c = flags.GetDouble("c", 2.0);
+
+  Rng order_rng(seed ^ 0x5eedULL);
+  Estimate est;
+  int passes = 1;
+  if (algo == "exact") {
+    est.value = target == "triangles"
+                    ? static_cast<double>(CountTriangles(g))
+                    : static_cast<double>(CountFourCycles(g));
+    est.space_words = 2 * g.num_edges();
+    passes = 0;
+  } else if (target == "triangles") {
+    const EdgeStream stream = MakeRandomOrderStream(graph, order_rng);
+    if (algo == "random-order") {
+      RandomOrderTriangleCounter::Params params;
+      params.base = base;
+      params.num_vertices = g.num_vertices();
+      est = CountTrianglesRandomOrder(stream, params);
+    } else if (algo == "triest") {
+      Triest::Params params;
+      params.reservoir_capacity = static_cast<std::size_t>(
+          flags.GetInt("reservoir", static_cast<std::int64_t>(g.num_edges() / 4)));
+      params.seed = seed;
+      Triest t(params);
+      RunEdgeStream(t, stream);
+      est = t.Result();
+    } else if (algo == "cj") {
+      CormodeJowhariCounter::Params params;
+      params.base = base;
+      est = CountTrianglesCormodeJowhari(stream, params);
+    } else {
+      std::cerr << "unknown triangle algorithm: " << algo << "\n";
+      return Usage();
+    }
+  } else if (target == "c4") {
+    if (algo == "diamonds" || algo == "f2" || algo == "l2" ||
+        algo == "wedge") {
+      const AdjacencyStream stream = MakeAdjacencyStream(g, order_rng);
+      passes = algo == "diamonds" || algo == "wedge" ? 2 : 1;
+      if (algo == "diamonds") {
+        DiamondFourCycleCounter::Params params;
+        params.base = base;
+        params.num_vertices = g.num_vertices();
+        est = CountFourCyclesDiamond(stream, params);
+      } else if (algo == "f2") {
+        AdjF2FourCycleCounter::Params params;
+        params.base = base;
+        params.num_vertices = g.num_vertices();
+        est = CountFourCyclesAdjF2(stream, params);
+      } else if (algo == "l2") {
+        AdjL2FourCycleCounter::Params params;
+        params.base = base;
+        params.num_vertices = g.num_vertices();
+        est = CountFourCyclesAdjL2(stream, params);
+      } else {
+        WedgeSamplingFourCycleCounter::Params params;
+        params.base = base;
+        params.num_vertices = g.num_vertices();
+        params.vertex_rate = flags.GetDouble("vertex-rate", 0.5);
+        params.edge_rate = flags.GetDouble("edge-rate", 0.5);
+        est = CountFourCyclesWedgeSampling(stream, params);
+      }
+    } else {
+      EdgeStream stream = graph.edges();
+      order_rng.Shuffle(stream);
+      if (algo == "three-pass") {
+        ArbThreePassFourCycleCounter::Params params;
+        params.base = base;
+        params.num_vertices = g.num_vertices();
+        est = CountFourCyclesArbThreePass(stream, params);
+        passes = 3;
+      } else if (algo == "arb-f2") {
+        ArbF2FourCycleCounter::Params params;
+        params.base = base;
+        params.num_vertices = g.num_vertices();
+        est = CountFourCyclesArbF2(stream, params);
+      } else if (algo == "bc") {
+        BeraChakrabartiCounter::Params params;
+        params.base = base;
+        est = CountFourCyclesBeraChakrabarti(stream, params);
+        passes = 2;
+      } else {
+        std::cerr << "unknown c4 algorithm: " << algo << "\n";
+        return Usage();
+      }
+    }
+  } else {
+    std::cerr << "unknown target: " << target << "\n";
+    return Usage();
+  }
+
+  Table t({"quantity", "value"});
+  t.AddRow({"algorithm", algo});
+  t.AddRow({"passes", Table::Int(passes)});
+  t.AddRow({"estimate", Table::Num(est.value, 1)});
+  if (show_exact && exact >= 0 && algo != "exact") {
+    t.AddRow({"exact", Table::Num(exact, 1)});
+    t.AddRow({"relative error",
+              Table::Pct(exact > 0 ? std::abs(est.value - exact) / exact
+                                   : est.value)});
+  }
+  t.AddRow({"peak space (words)",
+            Table::Int(static_cast<std::int64_t>(est.space_words))});
+  t.AddRow({"stream size (words)",
+            Table::Int(2 * static_cast<std::int64_t>(g.num_edges()))});
+  t.Print(std::cout);
+  return 0;
+}
+
+int RunGenerate(FlagParser& flags) {
+  const std::string model = flags.GetString("model", "er");
+  const VertexId n = static_cast<VertexId>(flags.GetInt("n", 10000));
+  const std::uint64_t seed = flags.GetInt("seed", 1);
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::cerr << "error: --out FILE is required\n";
+    return Usage();
+  }
+  Rng rng(seed);
+  EdgeList graph;
+  if (model == "er") {
+    graph = ErdosRenyiGnm(
+        n, static_cast<std::size_t>(flags.GetInt("m", 4 * n)), rng);
+  } else if (model == "gnp") {
+    graph = ErdosRenyiGnp(n, flags.GetDouble("p", 0.001), rng);
+  } else if (model == "ba") {
+    graph = BarabasiAlbert(
+        n, static_cast<std::size_t>(flags.GetInt("deg", 5)), rng);
+  } else if (model == "chung-lu") {
+    graph = ChungLuPowerLaw(n, flags.GetDouble("deg", 8.0),
+                            flags.GetDouble("beta", 2.5), rng);
+  } else if (model == "ws") {
+    graph = WattsStrogatz(
+        n, static_cast<std::uint32_t>(flags.GetInt("k", 6)),
+        flags.GetDouble("rewire", 0.1), rng);
+  } else if (model == "grid") {
+    const VertexId side = static_cast<VertexId>(
+        std::max<std::int64_t>(2, flags.GetInt("side", 100)));
+    graph = Grid2d(side, side);
+  } else {
+    std::cerr << "unknown model: " << model << "\n";
+    return Usage();
+  }
+  if (!SaveEdgeListText(graph, out)) {
+    std::cerr << "error: cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << ": n=" << graph.num_vertices()
+            << " m=" << graph.num_edges() << "\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string command = flags.positional()[0];
+  int rc;
+  if (command == "stats") {
+    rc = RunStats(flags);
+  } else if (command == "count") {
+    rc = RunCount(flags);
+  } else if (command == "generate") {
+    rc = RunGenerate(flags);
+  } else {
+    return Usage();
+  }
+  for (const std::string& unused : flags.Unused()) {
+    std::cerr << "warning: unused flag --" << unused << "\n";
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace cyclestream
+
+int main(int argc, char** argv) { return cyclestream::Main(argc, argv); }
