@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_throughput.dir/bm_throughput.cc.o"
+  "CMakeFiles/bm_throughput.dir/bm_throughput.cc.o.d"
+  "bm_throughput"
+  "bm_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

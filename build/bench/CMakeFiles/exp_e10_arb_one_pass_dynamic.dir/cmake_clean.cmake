@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e10_arb_one_pass_dynamic.dir/exp_e10_arb_one_pass_dynamic.cc.o"
+  "CMakeFiles/exp_e10_arb_one_pass_dynamic.dir/exp_e10_arb_one_pass_dynamic.cc.o.d"
+  "exp_e10_arb_one_pass_dynamic"
+  "exp_e10_arb_one_pass_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e10_arb_one_pass_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e10_arb_one_pass_dynamic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e11_lb_construction_c4.dir/exp_e11_lb_construction_c4.cc.o"
+  "CMakeFiles/exp_e11_lb_construction_c4.dir/exp_e11_lb_construction_c4.cc.o.d"
+  "exp_e11_lb_construction_c4"
+  "exp_e11_lb_construction_c4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e11_lb_construction_c4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e11_lb_construction_c4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e12_structural_lemma.dir/exp_e12_structural_lemma.cc.o"
+  "CMakeFiles/exp_e12_structural_lemma.dir/exp_e12_structural_lemma.cc.o.d"
+  "exp_e12_structural_lemma"
+  "exp_e12_structural_lemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e12_structural_lemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

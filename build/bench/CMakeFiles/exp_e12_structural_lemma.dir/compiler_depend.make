@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_e12_structural_lemma.
+# This may be replaced when dependencies are built.

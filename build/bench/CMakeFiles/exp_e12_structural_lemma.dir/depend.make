@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e12_structural_lemma.
+# This may be replaced when dependencies are built.

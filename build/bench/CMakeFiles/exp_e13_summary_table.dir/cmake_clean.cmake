@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e13_summary_table.dir/exp_e13_summary_table.cc.o"
+  "CMakeFiles/exp_e13_summary_table.dir/exp_e13_summary_table.cc.o.d"
+  "exp_e13_summary_table"
+  "exp_e13_summary_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e13_summary_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e1_random_order_triangles.dir/exp_e1_random_order_triangles.cc.o"
+  "CMakeFiles/exp_e1_random_order_triangles.dir/exp_e1_random_order_triangles.cc.o.d"
+  "exp_e1_random_order_triangles"
+  "exp_e1_random_order_triangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e1_random_order_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e1_random_order_triangles.
+# This may be replaced when dependencies are built.

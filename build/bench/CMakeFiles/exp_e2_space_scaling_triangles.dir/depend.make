@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e2_space_scaling_triangles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e4_useful_algorithm.dir/exp_e4_useful_algorithm.cc.o"
+  "CMakeFiles/exp_e4_useful_algorithm.dir/exp_e4_useful_algorithm.cc.o.d"
+  "exp_e4_useful_algorithm"
+  "exp_e4_useful_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e4_useful_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e4_useful_algorithm.
+# This may be replaced when dependencies are built.

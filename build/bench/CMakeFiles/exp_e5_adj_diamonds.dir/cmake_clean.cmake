@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e5_adj_diamonds.dir/exp_e5_adj_diamonds.cc.o"
+  "CMakeFiles/exp_e5_adj_diamonds.dir/exp_e5_adj_diamonds.cc.o.d"
+  "exp_e5_adj_diamonds"
+  "exp_e5_adj_diamonds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e5_adj_diamonds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

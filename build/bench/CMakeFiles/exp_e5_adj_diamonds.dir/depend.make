@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e5_adj_diamonds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e6_adj_f2.dir/exp_e6_adj_f2.cc.o"
+  "CMakeFiles/exp_e6_adj_f2.dir/exp_e6_adj_f2.cc.o.d"
+  "exp_e6_adj_f2"
+  "exp_e6_adj_f2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e6_adj_f2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_e6_adj_f2.
+# This may be replaced when dependencies are built.

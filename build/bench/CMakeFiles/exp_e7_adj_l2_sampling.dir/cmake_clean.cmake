@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e7_adj_l2_sampling.dir/exp_e7_adj_l2_sampling.cc.o"
+  "CMakeFiles/exp_e7_adj_l2_sampling.dir/exp_e7_adj_l2_sampling.cc.o.d"
+  "exp_e7_adj_l2_sampling"
+  "exp_e7_adj_l2_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e7_adj_l2_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

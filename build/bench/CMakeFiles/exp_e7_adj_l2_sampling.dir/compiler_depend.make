@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_e7_adj_l2_sampling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e8_arb_three_pass.dir/exp_e8_arb_three_pass.cc.o"
+  "CMakeFiles/exp_e8_arb_three_pass.dir/exp_e8_arb_three_pass.cc.o.d"
+  "exp_e8_arb_three_pass"
+  "exp_e8_arb_three_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e8_arb_three_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e9_arb_distinguisher.dir/exp_e9_arb_distinguisher.cc.o"
+  "CMakeFiles/exp_e9_arb_distinguisher.dir/exp_e9_arb_distinguisher.cc.o.d"
+  "exp_e9_arb_distinguisher"
+  "exp_e9_arb_distinguisher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e9_arb_distinguisher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

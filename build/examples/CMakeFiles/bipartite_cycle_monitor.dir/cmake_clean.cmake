@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bipartite_cycle_monitor.dir/bipartite_cycle_monitor.cpp.o"
+  "CMakeFiles/bipartite_cycle_monitor.dir/bipartite_cycle_monitor.cpp.o.d"
+  "bipartite_cycle_monitor"
+  "bipartite_cycle_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bipartite_cycle_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

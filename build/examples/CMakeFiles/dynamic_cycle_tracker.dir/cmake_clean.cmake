@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_cycle_tracker.dir/dynamic_cycle_tracker.cpp.o"
+  "CMakeFiles/dynamic_cycle_tracker.dir/dynamic_cycle_tracker.cpp.o.d"
+  "dynamic_cycle_tracker"
+  "dynamic_cycle_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_cycle_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dynamic_cycle_tracker.
+# This may be replaced when dependencies are built.

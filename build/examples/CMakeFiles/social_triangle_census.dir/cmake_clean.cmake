@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_triangle_census.dir/social_triangle_census.cpp.o"
+  "CMakeFiles/social_triangle_census.dir/social_triangle_census.cpp.o.d"
+  "social_triangle_census"
+  "social_triangle_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_triangle_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclestream_baselines.dir/bera_chakrabarti.cc.o"
+  "CMakeFiles/cyclestream_baselines.dir/bera_chakrabarti.cc.o.d"
+  "CMakeFiles/cyclestream_baselines.dir/cormode_jowhari.cc.o"
+  "CMakeFiles/cyclestream_baselines.dir/cormode_jowhari.cc.o.d"
+  "CMakeFiles/cyclestream_baselines.dir/naive_sampling.cc.o"
+  "CMakeFiles/cyclestream_baselines.dir/naive_sampling.cc.o.d"
+  "CMakeFiles/cyclestream_baselines.dir/triest.cc.o"
+  "CMakeFiles/cyclestream_baselines.dir/triest.cc.o.d"
+  "CMakeFiles/cyclestream_baselines.dir/wedge_sampler.cc.o"
+  "CMakeFiles/cyclestream_baselines.dir/wedge_sampler.cc.o.d"
+  "libcyclestream_baselines.a"
+  "libcyclestream_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclestream_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adj_f2_counter.cc" "src/core/CMakeFiles/cyclestream_core.dir/adj_f2_counter.cc.o" "gcc" "src/core/CMakeFiles/cyclestream_core.dir/adj_f2_counter.cc.o.d"
+  "/root/repo/src/core/adj_l2_counter.cc" "src/core/CMakeFiles/cyclestream_core.dir/adj_l2_counter.cc.o" "gcc" "src/core/CMakeFiles/cyclestream_core.dir/adj_l2_counter.cc.o.d"
+  "/root/repo/src/core/arb_distinguisher.cc" "src/core/CMakeFiles/cyclestream_core.dir/arb_distinguisher.cc.o" "gcc" "src/core/CMakeFiles/cyclestream_core.dir/arb_distinguisher.cc.o.d"
+  "/root/repo/src/core/arb_f2_counter.cc" "src/core/CMakeFiles/cyclestream_core.dir/arb_f2_counter.cc.o" "gcc" "src/core/CMakeFiles/cyclestream_core.dir/arb_f2_counter.cc.o.d"
+  "/root/repo/src/core/arb_three_pass.cc" "src/core/CMakeFiles/cyclestream_core.dir/arb_three_pass.cc.o" "gcc" "src/core/CMakeFiles/cyclestream_core.dir/arb_three_pass.cc.o.d"
+  "/root/repo/src/core/diamond_counter.cc" "src/core/CMakeFiles/cyclestream_core.dir/diamond_counter.cc.o" "gcc" "src/core/CMakeFiles/cyclestream_core.dir/diamond_counter.cc.o.d"
+  "/root/repo/src/core/random_order_triangles.cc" "src/core/CMakeFiles/cyclestream_core.dir/random_order_triangles.cc.o" "gcc" "src/core/CMakeFiles/cyclestream_core.dir/random_order_triangles.cc.o.d"
+  "/root/repo/src/core/useful_algorithm.cc" "src/core/CMakeFiles/cyclestream_core.dir/useful_algorithm.cc.o" "gcc" "src/core/CMakeFiles/cyclestream_core.dir/useful_algorithm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/cyclestream_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/cyclestream_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cyclestream_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclestream_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cyclestream_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclestream_core.dir/adj_f2_counter.cc.o"
+  "CMakeFiles/cyclestream_core.dir/adj_f2_counter.cc.o.d"
+  "CMakeFiles/cyclestream_core.dir/adj_l2_counter.cc.o"
+  "CMakeFiles/cyclestream_core.dir/adj_l2_counter.cc.o.d"
+  "CMakeFiles/cyclestream_core.dir/arb_distinguisher.cc.o"
+  "CMakeFiles/cyclestream_core.dir/arb_distinguisher.cc.o.d"
+  "CMakeFiles/cyclestream_core.dir/arb_f2_counter.cc.o"
+  "CMakeFiles/cyclestream_core.dir/arb_f2_counter.cc.o.d"
+  "CMakeFiles/cyclestream_core.dir/arb_three_pass.cc.o"
+  "CMakeFiles/cyclestream_core.dir/arb_three_pass.cc.o.d"
+  "CMakeFiles/cyclestream_core.dir/diamond_counter.cc.o"
+  "CMakeFiles/cyclestream_core.dir/diamond_counter.cc.o.d"
+  "CMakeFiles/cyclestream_core.dir/random_order_triangles.cc.o"
+  "CMakeFiles/cyclestream_core.dir/random_order_triangles.cc.o.d"
+  "CMakeFiles/cyclestream_core.dir/useful_algorithm.cc.o"
+  "CMakeFiles/cyclestream_core.dir/useful_algorithm.cc.o.d"
+  "libcyclestream_core.a"
+  "libcyclestream_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclestream_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/generators.cc" "src/gen/CMakeFiles/cyclestream_gen.dir/generators.cc.o" "gcc" "src/gen/CMakeFiles/cyclestream_gen.dir/generators.cc.o.d"
+  "/root/repo/src/gen/lower_bound.cc" "src/gen/CMakeFiles/cyclestream_gen.dir/lower_bound.cc.o" "gcc" "src/gen/CMakeFiles/cyclestream_gen.dir/lower_bound.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cyclestream_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cyclestream_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclestream_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

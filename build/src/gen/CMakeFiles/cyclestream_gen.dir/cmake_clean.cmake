@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclestream_gen.dir/generators.cc.o"
+  "CMakeFiles/cyclestream_gen.dir/generators.cc.o.d"
+  "CMakeFiles/cyclestream_gen.dir/lower_bound.cc.o"
+  "CMakeFiles/cyclestream_gen.dir/lower_bound.cc.o.d"
+  "libcyclestream_gen.a"
+  "libcyclestream_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclestream_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

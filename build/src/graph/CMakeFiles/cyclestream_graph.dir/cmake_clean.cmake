@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclestream_graph.dir/datasets.cc.o"
+  "CMakeFiles/cyclestream_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/cyclestream_graph.dir/edge_list.cc.o"
+  "CMakeFiles/cyclestream_graph.dir/edge_list.cc.o.d"
+  "CMakeFiles/cyclestream_graph.dir/exact.cc.o"
+  "CMakeFiles/cyclestream_graph.dir/exact.cc.o.d"
+  "CMakeFiles/cyclestream_graph.dir/graph.cc.o"
+  "CMakeFiles/cyclestream_graph.dir/graph.cc.o.d"
+  "CMakeFiles/cyclestream_graph.dir/io.cc.o"
+  "CMakeFiles/cyclestream_graph.dir/io.cc.o.d"
+  "libcyclestream_graph.a"
+  "libcyclestream_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclestream_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclestream_hash.dir/kwise.cc.o"
+  "CMakeFiles/cyclestream_hash.dir/kwise.cc.o.d"
+  "CMakeFiles/cyclestream_hash.dir/rng.cc.o"
+  "CMakeFiles/cyclestream_hash.dir/rng.cc.o.d"
+  "CMakeFiles/cyclestream_hash.dir/tabulation.cc.o"
+  "CMakeFiles/cyclestream_hash.dir/tabulation.cc.o.d"
+  "libcyclestream_hash.a"
+  "libcyclestream_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclestream_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

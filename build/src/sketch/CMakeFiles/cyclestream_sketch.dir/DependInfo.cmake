@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/ams_f2.cc" "src/sketch/CMakeFiles/cyclestream_sketch.dir/ams_f2.cc.o" "gcc" "src/sketch/CMakeFiles/cyclestream_sketch.dir/ams_f2.cc.o.d"
+  "/root/repo/src/sketch/count_sketch.cc" "src/sketch/CMakeFiles/cyclestream_sketch.dir/count_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/cyclestream_sketch.dir/count_sketch.cc.o.d"
+  "/root/repo/src/sketch/l2_sampler.cc" "src/sketch/CMakeFiles/cyclestream_sketch.dir/l2_sampler.cc.o" "gcc" "src/sketch/CMakeFiles/cyclestream_sketch.dir/l2_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hash/CMakeFiles/cyclestream_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclestream_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclestream_sketch.dir/ams_f2.cc.o"
+  "CMakeFiles/cyclestream_sketch.dir/ams_f2.cc.o.d"
+  "CMakeFiles/cyclestream_sketch.dir/count_sketch.cc.o"
+  "CMakeFiles/cyclestream_sketch.dir/count_sketch.cc.o.d"
+  "CMakeFiles/cyclestream_sketch.dir/l2_sampler.cc.o"
+  "CMakeFiles/cyclestream_sketch.dir/l2_sampler.cc.o.d"
+  "libcyclestream_sketch.a"
+  "libcyclestream_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclestream_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclestream_stream.dir/driver.cc.o"
+  "CMakeFiles/cyclestream_stream.dir/driver.cc.o.d"
+  "CMakeFiles/cyclestream_stream.dir/order.cc.o"
+  "CMakeFiles/cyclestream_stream.dir/order.cc.o.d"
+  "libcyclestream_stream.a"
+  "libcyclestream_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclestream_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

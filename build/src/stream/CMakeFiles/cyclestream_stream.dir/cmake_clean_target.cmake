@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcyclestream_stream.a"
+)

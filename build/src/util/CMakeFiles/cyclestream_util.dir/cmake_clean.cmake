@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclestream_util.dir/flags.cc.o"
+  "CMakeFiles/cyclestream_util.dir/flags.cc.o.d"
+  "CMakeFiles/cyclestream_util.dir/logging.cc.o"
+  "CMakeFiles/cyclestream_util.dir/logging.cc.o.d"
+  "CMakeFiles/cyclestream_util.dir/stats.cc.o"
+  "CMakeFiles/cyclestream_util.dir/stats.cc.o.d"
+  "CMakeFiles/cyclestream_util.dir/table.cc.o"
+  "CMakeFiles/cyclestream_util.dir/table.cc.o.d"
+  "libcyclestream_util.a"
+  "libcyclestream_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclestream_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/amplify_test.cc" "tests/CMakeFiles/amplify_test.dir/amplify_test.cc.o" "gcc" "tests/CMakeFiles/amplify_test.dir/amplify_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cyclestream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cyclestream_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/cyclestream_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cyclestream_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cyclestream_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/cyclestream_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/cyclestream_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cyclestream_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amplify_test.dir/amplify_test.cc.o"
+  "CMakeFiles/amplify_test.dir/amplify_test.cc.o.d"
+  "amplify_test"
+  "amplify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arb_four_cycle_test.dir/arb_four_cycle_test.cc.o"
+  "CMakeFiles/arb_four_cycle_test.dir/arb_four_cycle_test.cc.o.d"
+  "arb_four_cycle_test"
+  "arb_four_cycle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arb_four_cycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for arb_four_cycle_test.
+# This may be replaced when dependencies are built.

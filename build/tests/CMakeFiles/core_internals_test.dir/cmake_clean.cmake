@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_internals_test.dir/core_internals_test.cc.o"
+  "CMakeFiles/core_internals_test.dir/core_internals_test.cc.o.d"
+  "core_internals_test"
+  "core_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

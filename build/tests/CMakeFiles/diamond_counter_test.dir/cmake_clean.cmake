@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diamond_counter_test.dir/diamond_counter_test.cc.o"
+  "CMakeFiles/diamond_counter_test.dir/diamond_counter_test.cc.o.d"
+  "diamond_counter_test"
+  "diamond_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diamond_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

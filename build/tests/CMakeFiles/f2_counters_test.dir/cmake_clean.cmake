@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2_counters_test.dir/f2_counters_test.cc.o"
+  "CMakeFiles/f2_counters_test.dir/f2_counters_test.cc.o.d"
+  "f2_counters_test"
+  "f2_counters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2_counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

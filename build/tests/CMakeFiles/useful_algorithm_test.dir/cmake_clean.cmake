@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/useful_algorithm_test.dir/useful_algorithm_test.cc.o"
+  "CMakeFiles/useful_algorithm_test.dir/useful_algorithm_test.cc.o.d"
+  "useful_algorithm_test"
+  "useful_algorithm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/useful_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclestream_cli.dir/cyclestream_cli.cc.o"
+  "CMakeFiles/cyclestream_cli.dir/cyclestream_cli.cc.o.d"
+  "cyclestream_cli"
+  "cyclestream_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclestream_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
