@@ -4,23 +4,58 @@
 // Shared helpers for the experiment binaries (exp_*). Each binary
 // regenerates one table of EXPERIMENTS.md; they all follow the same shape:
 // build workloads, run R trials per configuration, aggregate with
-// Summarize, print a Table. Common flags: --trials, --seed, --csv, --quick.
+// Summarize, print a Table. Common flags: --trials, --seed, --csv, --quick,
+// --threads.
+//
+// Trials run in parallel on the process-wide pool (ConfigureThreads /
+// --threads). The trial lambdas follow the deterministic contract of
+// util/parallel.h: trial t derives every seed from t alone, reads shared
+// workload state (EdgeList / Graph / pre-built streams) only through const
+// references, and returns its results by value. Aggregation happens
+// serially in trial order, so the printed tables are bit-identical at any
+// thread count.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "graph/exact.h"
 #include "graph/graph.h"
 #include "stream/order.h"
 #include "util/flags.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace cyclestream::bench {
+
+/// Reads --threads (0 = hardware concurrency; 1 = serial) and installs it
+/// as the process-wide default for the parallel layer. Every experiment
+/// driver calls this right after constructing its FlagParser. Returns the
+/// resolved thread count.
+inline int ConfigureThreads(FlagParser& flags) {
+  return ApplyThreadsFlag(flags);
+}
+
+/// Runs `trials` executions of `run` (as run(0..trials-1), concurrently)
+/// and returns the per-trial results in trial order — exactly the vector a
+/// serial loop would produce. Use this for bespoke trial loops (success
+/// counts, multi-output trials); `run` must be thread-safe per the contract
+/// above.
+template <typename Fn,
+          typename R = std::decay_t<std::invoke_result_t<Fn, int>>>
+std::vector<R> CollectTrials(int trials, Fn run) {
+  return ParallelMap(static_cast<std::size_t>(std::max(0, trials)),
+                     [&run](std::size_t t) {
+                       return run(static_cast<int>(t));
+                     });
+}
 
 /// Aggregated accuracy/space over trials of one configuration.
 struct TrialStats {
@@ -29,15 +64,17 @@ struct TrialStats {
   Summary estimate;
 };
 
-/// Runs `trials` executions of `run` (seeded 0..trials-1) against `truth`
-/// and aggregates. `run` returns (estimate, space_words).
+/// Runs `trials` executions of `run` (seeded 0..trials-1, concurrently)
+/// against `truth` and aggregates. `run` returns (estimate, space_words).
 inline TrialStats RunTrials(
     int trials, double truth,
     const std::function<std::pair<double, std::size_t>(int)>& run) {
+  const auto results = CollectTrials(trials, run);
   std::vector<double> errors, spaces, estimates;
-  errors.reserve(trials);
-  for (int t = 0; t < trials; ++t) {
-    const auto [estimate, space] = run(t);
+  errors.reserve(results.size());
+  spaces.reserve(results.size());
+  estimates.reserve(results.size());
+  for (const auto& [estimate, space] : results) {
     errors.push_back(RelativeError(estimate, truth));
     spaces.push_back(static_cast<double>(space));
     estimates.push_back(estimate);

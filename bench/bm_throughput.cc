@@ -5,6 +5,7 @@
 
 #include "baselines/triest.h"
 #include "core/adj_f2_counter.h"
+#include "core/amplify.h"
 #include "core/arb_f2_counter.h"
 #include "core/arb_three_pass.h"
 #include "core/diamond_counter.h"
@@ -15,6 +16,7 @@
 #include "sketch/ams_f2.h"
 #include "sketch/count_sketch.h"
 #include "stream/order.h"
+#include "util/parallel.h"
 
 namespace cyclestream {
 namespace {
@@ -235,6 +237,34 @@ void BM_AdjF2List(benchmark::State& state) {
                           static_cast<std::int64_t>(g.num_edges()));
 }
 BENCHMARK(BM_AdjF2List);
+
+// Amplified run on the thread pool: Arg = thread count. The estimates are
+// bit-identical across Args (the parallel layer's determinism contract);
+// only the wall clock should change. delta = 1e-4 gives 19 copies.
+void BM_AmplifyMedianThreads(benchmark::State& state) {
+  SetDefaultThreads(static_cast<int>(state.range(0)));
+  Rng gen(11);
+  const EdgeList graph =
+      PlantTriangles(ErdosRenyiGnm(4000, 16000, gen), 800, gen);
+  const auto run = [&graph](std::uint64_t seed) {
+    Rng rng(seed);
+    const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+    RandomOrderTriangleCounter::Params params;
+    params.base.epsilon = 0.2;
+    params.base.t_guess = 800;
+    params.base.seed = seed;
+    params.num_vertices = graph.num_vertices();
+    return CountTrianglesRandomOrder(stream, params);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AmplifyMedian(1e-4, 42, run));
+  }
+  state.SetItemsProcessed(state.iterations() * AmplifyCopies(1e-4) *
+                          static_cast<std::int64_t>(graph.num_edges()));
+  SetDefaultThreads(0);
+}
+BENCHMARK(BM_AmplifyMedianThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace cyclestream

@@ -13,6 +13,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  bench::ConfigureThreads(flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 5 : 9));
   const int copies = static_cast<int>(flags.GetInt("copies", quick ? 128 : 320));
@@ -30,7 +31,6 @@ int Main(int argc, char** argv) {
     Rng gen(1);
     const Graph g(ErdosRenyiGnp(n, p, gen));
     const double t = static_cast<double>(CountFourCycles(g));
-    std::size_t space = 0;
     auto stats = bench::RunTrials(trials, t, [&](int trial) {
       Rng rng(100 + trial);
       EdgeStream stream = g.edges();
@@ -41,14 +41,13 @@ int Main(int argc, char** argv) {
       params.num_vertices = g.num_vertices();
       params.copies_per_group = copies;
       const Estimate e = CountFourCyclesArbF2(stream, params);
-      space = e.space_words;
       return std::make_pair(e.value, e.space_words);
     });
     table.AddRow(
         {Table::Num(p, 2), Table::Int(static_cast<std::int64_t>(t)),
          Table::Num(t / (double(n) * n), 2), Table::Pct(stats.rel_error.median),
          Table::Pct(stats.rel_error.p90),
-         Table::Int(static_cast<std::int64_t>(space)),
+         Table::Int(static_cast<std::int64_t>(stats.space_words.median)),
          Table::Int(2 * static_cast<std::int64_t>(g.num_edges()))});
   }
   table.set_title("insert-only density sweep");

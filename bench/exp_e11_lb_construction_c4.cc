@@ -15,6 +15,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  bench::ConfigureThreads(flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 30 : 80));
 
@@ -50,9 +51,12 @@ int Main(int argc, char** argv) {
   const std::uint32_t groups = quick ? 150 : 400;
   Table cliff({"c (sample const)", "hit%", "false+%", "med.space(w)"});
   for (const double c : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    int hits = 0, false_pos = 0;
-    std::vector<double> spaces;
-    for (int trial = 0; trial < trials; ++trial) {
+    struct Outcome {
+      bool hit = false;
+      bool false_pos = false;
+      std::size_t space = 0;
+    };
+    const auto outcomes = bench::CollectTrials(trials, [&](int trial) {
       Rng rng(100 + trial);
       const auto yes = MakeFourCycleLowerBoundGadget(groups, k, 0.5, true, rng);
       Rng rng2(200 + trial);
@@ -68,11 +72,18 @@ int Main(int argc, char** argv) {
       EdgeStream sy = yes.graph.edges();
       order.Shuffle(sy);
       std::size_t space = 0;
-      if (DistinguishFourCycles(sy, params, &space)) ++hits;
-      spaces.push_back(static_cast<double>(space));
+      const bool hit = DistinguishFourCycles(sy, params, &space);
       EdgeStream sn = no.graph.edges();
       order.Shuffle(sn);
-      if (DistinguishFourCycles(sn, params)) ++false_pos;
+      const bool fp = DistinguishFourCycles(sn, params);
+      return Outcome{hit, fp, space};
+    });
+    int hits = 0, false_pos = 0;
+    std::vector<double> spaces;
+    for (const Outcome& o : outcomes) {
+      hits += o.hit ? 1 : 0;
+      false_pos += o.false_pos ? 1 : 0;
+      spaces.push_back(static_cast<double>(o.space));
     }
     cliff.AddRow({Table::Num(c, 2), Table::Pct(double(hits) / trials),
                   Table::Pct(double(false_pos) / trials),

@@ -57,6 +57,7 @@ std::vector<Workload> BuildWorkloads(bool quick) {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  bench::ConfigureThreads(flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 7 : 15));
   const double epsilon = flags.GetDouble("epsilon", 0.2);

@@ -14,6 +14,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  bench::ConfigureThreads(flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 3 : 7));
   const double epsilon = flags.GetDouble("epsilon", 0.25);

@@ -18,6 +18,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  bench::ConfigureThreads(flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 20 : 60));
   const VertexId n = static_cast<VertexId>(flags.GetInt("n", quick ? 40 : 80));
@@ -55,15 +56,13 @@ int Main(int argc, char** argv) {
   Table blind({"prefix c", "prefix edges", "star visible",
                "predicted 1-e^{-c^2}"});
   for (const double c : {0.1, 1.0 / std::sqrt(10.0), 1.0, 2.0}) {
-    int star_visible = 0;
-    std::size_t prefix = 0;
-    for (int trial = 0; trial < trials; ++trial) {
+    const auto outcomes = bench::CollectTrials(trials, [&](int trial) {
       Rng rng(200 + trial);
       const auto gadget = MakeTriangleLowerBoundGadget(n, t_fixed, true, rng);
       Rng order_rng(300 + trial);
       EdgeStream stream = gadget.graph.edges();
       order_rng.Shuffle(stream);
-      prefix = static_cast<std::size_t>(
+      const std::size_t prefix = static_cast<std::size_t>(
           c * static_cast<double>(stream.size()) /
           std::sqrt(static_cast<double>(t_fixed)));
       // Collect W-neighborhoods in the prefix; the star pair is visible iff
@@ -80,7 +79,13 @@ int Main(int argc, char** argv) {
           if (members.size() >= 2) visible = true;
         }
       }
+      return std::make_pair(visible, prefix);
+    });
+    int star_visible = 0;
+    std::size_t prefix = 0;
+    for (const auto& [visible, trial_prefix] : outcomes) {
       if (visible) ++star_visible;
+      prefix = trial_prefix;
     }
     blind.AddRow({Table::Num(c, 3),
                   Table::Int(static_cast<std::int64_t>(prefix)),
@@ -96,9 +101,12 @@ int Main(int argc, char** argv) {
   // p ≈ T^{-1/3}-ish per triangle... sweep p and report separation.
   Table cliff({"sample rate", "space(w)", "planted hit%", "unplanted hit%"});
   for (const double rate : {0.05, 0.15, 0.3, 0.6, 0.9}) {
-    int hits_yes = 0, hits_no = 0;
-    std::size_t space = 0;
-    for (int trial = 0; trial < trials; ++trial) {
+    struct Outcome {
+      bool hit_yes = false;
+      bool hit_no = false;
+      std::size_t space = 0;
+    };
+    const auto outcomes = bench::CollectTrials(trials, [&](int trial) {
       Rng rng(400 + trial);
       const auto yes = MakeTriangleLowerBoundGadget(n, t_fixed, true, rng);
       Rng rng2(500 + trial);
@@ -112,9 +120,14 @@ int Main(int argc, char** argv) {
           sy, {rate, static_cast<std::uint64_t>(700 + trial)});
       const auto en = NaiveSampleTriangles(
           sn, {rate, static_cast<std::uint64_t>(700 + trial)});
-      hits_yes += ey.value > 0 ? 1 : 0;
-      hits_no += en.value > 0 ? 1 : 0;
-      space = ey.space_words;
+      return Outcome{ey.value > 0, en.value > 0, ey.space_words};
+    });
+    int hits_yes = 0, hits_no = 0;
+    std::size_t space = 0;
+    for (const Outcome& o : outcomes) {
+      hits_yes += o.hit_yes ? 1 : 0;
+      hits_no += o.hit_no ? 1 : 0;
+      space = o.space;
     }
     cliff.AddRow({Table::Num(rate, 2),
                   Table::Int(static_cast<std::int64_t>(space)),

@@ -80,6 +80,7 @@ std::vector<WeightedEdge> MakeWorkload(std::uint64_t n, int light_edges,
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  bench::ConfigureThreads(flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 20 : 50));
   const double p = flags.GetDouble("p", 0.5);
@@ -109,10 +110,12 @@ int Main(int argc, char** argv) {
     double w = 0;
     for (const auto& e : edges) w += e.w;
 
+    const auto results = bench::CollectTrials(trials, [&](int t) {
+      return RunOnce(edges, n, p, m_cap, 1000 + t);
+    });
     std::vector<double> devs, tracked;
     int b_viol = 0, c_viol = 0;
-    for (int t = 0; t < trials; ++t) {
-      const RunResult r = RunOnce(edges, n, p, m_cap, 1000 + t);
+    for (const RunResult& r : results) {
       devs.push_back(std::abs(r.estimate - w) / m_cap);
       tracked.push_back(static_cast<double>(r.heavy_tracked));
       if (r.estimate < m_cap && w > 2 * m_cap) ++b_viol;

@@ -55,6 +55,7 @@ std::vector<Workload> BuildWorkloads(bool quick) {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  bench::ConfigureThreads(flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 5 : 9));
   const double epsilon = flags.GetDouble("epsilon", 0.25);

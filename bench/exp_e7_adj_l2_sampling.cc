@@ -15,6 +15,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  bench::ConfigureThreads(flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 3 : 5));
 
@@ -26,10 +27,8 @@ int Main(int argc, char** argv) {
 
   // (a) Sampler distribution: x with one coordinate 16, one 8, rest 1.
   {
-    std::unordered_map<std::uint64_t, int> draws;
-    int total = 0;
     const int sampler_trials = quick ? 150 : 400;
-    for (int t = 0; t < sampler_trials; ++t) {
+    const auto trial_draws = bench::CollectTrials(sampler_trials, [](int t) {
       L2Sampler::Config config;
       config.copies = 8;
       config.sketch_width = 128;
@@ -37,8 +36,15 @@ int Main(int argc, char** argv) {
       sampler.Update(900001, 16.0);
       sampler.Update(900002, 8.0);
       for (int i = 0; i < 60; ++i) sampler.Update(i, 1.0);
-      for (const auto& s : sampler.DrawAll()) {
-        ++draws[s.key];
+      std::vector<std::uint64_t> keys;
+      for (const auto& s : sampler.DrawAll()) keys.push_back(s.key);
+      return keys;
+    });
+    std::unordered_map<std::uint64_t, int> draws;
+    int total = 0;
+    for (const auto& keys : trial_draws) {
+      for (const std::uint64_t key : keys) {
+        ++draws[key];
         ++total;
       }
     }
@@ -67,8 +73,12 @@ int Main(int argc, char** argv) {
     Rng gen(1);
     const Graph g(ErdosRenyiGnp(config.n, config.p, gen));
     const double t = static_cast<double>(CountFourCycles(g));
-    std::size_t samples_used = 0;
-    auto stats = bench::RunTrials(trials, t, [&](int trial) {
+    struct TrialOut {
+      double value = 0;
+      std::size_t space = 0;
+      std::size_t samples = 0;
+    };
+    const auto results = bench::CollectTrials(trials, [&](int trial) {
       Rng rng(100 + trial);
       const AdjacencyStream stream = MakeAdjacencyStream(g, rng);
       AdjL2FourCycleCounter::Params params;
@@ -79,14 +89,22 @@ int Main(int argc, char** argv) {
       params.sampler_copies = quick ? 128 : 256;
       AdjL2FourCycleCounter counter(params);
       RunAdjacencyStream(counter, stream);
-      samples_used = counter.SamplesUsed();
-      const Estimate e = counter.Result();
-      return std::make_pair(e.value, e.space_words);
+      return TrialOut{counter.Result().value, counter.Result().space_words,
+                      counter.SamplesUsed()};
     });
+    std::vector<double> errors, spaces;
+    std::size_t samples_used = 0;
+    for (const TrialOut& r : results) {
+      errors.push_back(RelativeError(r.value, t));
+      spaces.push_back(static_cast<double>(r.space));
+      samples_used = r.samples;
+    }
+    const Summary err = Summarize(std::move(errors));
+    const Summary space = Summarize(std::move(spaces));
     table.AddRow({config.name, Table::Int(static_cast<std::int64_t>(t)),
-                  Table::Pct(stats.rel_error.median),
-                  Table::Pct(stats.rel_error.p90),
-                  Table::Int(static_cast<std::int64_t>(stats.space_words.median)),
+                  Table::Pct(err.median),
+                  Table::Pct(err.p90),
+                  Table::Int(static_cast<std::int64_t>(space.median)),
                   Table::Int(static_cast<std::int64_t>(samples_used))});
   }
   table.set_title("(b) end-to-end");

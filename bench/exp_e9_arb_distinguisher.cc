@@ -13,6 +13,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
+  bench::ConfigureThreads(flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 30 : 80));
 
@@ -36,9 +37,12 @@ int Main(int argc, char** argv) {
     EdgeList base = FourCycleFreeRandom(n, base_m, false, gen2);
     const EdgeList cyclic = PlantFourCycles(std::move(base), planted, gen2);
     for (const double c : {0.25, 0.5, 1.0, 2.0}) {
-      int hits = 0, false_pos = 0;
-      std::vector<double> spaces;
-      for (int trial = 0; trial < trials; ++trial) {
+      struct Outcome {
+        bool hit = false;
+        bool false_pos = false;
+        std::size_t space = 0;
+      };
+      const auto outcomes = bench::CollectTrials(trials, [&](int trial) {
         ArbTwoPassDistinguisher::Params params;
         params.base.t_guess = static_cast<double>(planted);
         params.base.c = c;
@@ -48,12 +52,19 @@ int Main(int argc, char** argv) {
         EdgeStream s_cyclic = cyclic.edges();
         r1.Shuffle(s_cyclic);
         std::size_t space = 0;
-        if (DistinguishFourCycles(s_cyclic, params, &space)) ++hits;
-        spaces.push_back(static_cast<double>(space));
+        const bool hit = DistinguishFourCycles(s_cyclic, params, &space);
         Rng r2(200 + trial);
         EdgeStream s_free = free_graph.edges();
         r2.Shuffle(s_free);
-        if (DistinguishFourCycles(s_free, params)) ++false_pos;
+        const bool fp = DistinguishFourCycles(s_free, params);
+        return Outcome{hit, fp, space};
+      });
+      int hits = 0, false_pos = 0;
+      std::vector<double> spaces;
+      for (const Outcome& o : outcomes) {
+        hits += o.hit ? 1 : 0;
+        false_pos += o.false_pos ? 1 : 0;
+        spaces.push_back(static_cast<double>(o.space));
       }
       table.AddRow({Table::Int(static_cast<std::int64_t>(planted)),
                     Table::Num(c, 1), Table::Pct(double(hits) / trials),

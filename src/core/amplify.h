@@ -8,8 +8,26 @@
 
 #include "core/config.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace cyclestream {
+
+/// Number of independent copies for a 1−δ success probability:
+/// ceil(2·log(1/δ)), forced odd so the median is a single run's output.
+inline int AmplifyCopies(double delta) {
+  CHECK_GT(delta, 0.0);
+  CHECK_LT(delta, 1.0);
+  const int copies =
+      static_cast<int>(std::ceil(2.0 * std::log(1.0 / delta))) | 1;
+  return std::max(copies, 1);
+}
+
+/// Derived seed for amplification copy i — a pure function of (seed, i), so
+/// copy i draws the same randomness whether it runs serially or on a pool
+/// thread.
+inline std::uint64_t AmplifySeed(std::uint64_t seed, int copy) {
+  return seed + 0x9e3779b9ULL * static_cast<std::uint64_t>(copy + 1);
+}
 
 /// Success-probability amplification, as the paper prescribes after
 /// Theorems 5.3 and 5.6: "by running Θ(log 1/δ) copies of the algorithm in
@@ -20,22 +38,28 @@ namespace cyclestream {
 /// algorithm with that seed and replay the stream). Space is the sum over
 /// copies — the copies run in parallel in the model, so their space adds.
 ///
+/// The copies genuinely run in parallel on the process-wide pool
+/// (`SetDefaultThreads`); `run` is invoked concurrently and must be
+/// thread-safe — capture shared streams/graphs by const reference only and
+/// keep all mutable state inside the call. Copy i always receives
+/// AmplifySeed(seed, i) and the copies are reduced in index order, so the
+/// returned Estimate is bit-identical at every thread count.
+///
 ///   Estimate e = AmplifyMedian(0.05, seed, [&](std::uint64_t s) {
 ///     auto p = params; p.base.seed = s;
 ///     return CountFourCyclesArbThreePass(stream, p);
 ///   });
 template <typename RunFn>
 Estimate AmplifyMedian(double delta, std::uint64_t seed, RunFn run) {
-  CHECK_GT(delta, 0.0);
-  CHECK_LT(delta, 1.0);
-  // ceil(c·log(1/δ)) copies, odd so the median is a single run's output.
-  int copies = static_cast<int>(std::ceil(2.0 * std::log(1.0 / delta))) | 1;
-  copies = std::max(copies, 1);
+  const int copies = AmplifyCopies(delta);
+  const std::vector<Estimate> estimates = ParallelMap(
+      static_cast<std::size_t>(copies), [&run, seed](std::size_t i) {
+        return run(AmplifySeed(seed, static_cast<int>(i)));
+      });
   std::vector<double> values;
-  values.reserve(static_cast<std::size_t>(copies));
+  values.reserve(estimates.size());
   std::size_t space = 0;
-  for (int i = 0; i < copies; ++i) {
-    const Estimate e = run(seed + 0x9e3779b9ULL * (i + 1));
+  for (const Estimate& e : estimates) {
     values.push_back(e.value);
     space += e.space_words;
   }
@@ -48,17 +72,17 @@ Estimate AmplifyMedian(double delta, std::uint64_t seed, RunFn run) {
 }
 
 /// Majority-vote amplification for boolean distinguishers (Theorem 5.6's
-/// variant). Returns the majority answer over Θ(log 1/δ) copies.
+/// variant). Returns the majority answer over Θ(log 1/δ) copies. Copies run
+/// in parallel under the same contract as AmplifyMedian.
 template <typename RunFn>
 bool AmplifyMajority(double delta, std::uint64_t seed, RunFn run) {
-  CHECK_GT(delta, 0.0);
-  CHECK_LT(delta, 1.0);
-  int copies = static_cast<int>(std::ceil(2.0 * std::log(1.0 / delta))) | 1;
-  copies = std::max(copies, 1);
+  const int copies = AmplifyCopies(delta);
+  const std::vector<char> votes = ParallelMap(
+      static_cast<std::size_t>(copies), [&run, seed](std::size_t i) {
+        return static_cast<char>(run(AmplifySeed(seed, static_cast<int>(i))));
+      });
   int yes = 0;
-  for (int i = 0; i < copies; ++i) {
-    yes += run(seed + 0x9e3779b9ULL * (i + 1)) ? 1 : 0;
-  }
+  for (const char vote : votes) yes += vote ? 1 : 0;
   return 2 * yes > copies;
 }
 

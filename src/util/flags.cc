@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace cyclestream {
 namespace {
@@ -11,6 +12,13 @@ namespace {
 bool IsFlag(const char* arg) { return std::strncmp(arg, "--", 2) == 0; }
 
 }  // namespace
+
+int ApplyThreadsFlag(FlagParser& flags) {
+  const std::int64_t n = flags.GetInt("threads", 0);
+  CHECK_GE(n, 0) << "--threads expects a non-negative count";
+  SetDefaultThreads(static_cast<int>(n));
+  return DefaultThreads();
+}
 
 FlagParser::FlagParser(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

@@ -8,6 +8,14 @@
 
 namespace cyclestream {
 
+class FlagParser;
+
+/// Reads the shared `--threads N` flag (0 = hardware concurrency, 1 =
+/// serial) and installs it process-wide via SetDefaultThreads; every
+/// binary with repeated-trial or amplified runs calls this once at
+/// startup. Returns the resolved thread count.
+int ApplyThreadsFlag(FlagParser& flags);
+
 /// Minimal command-line flag parser for the experiment binaries.
 ///
 ///   FlagParser flags(argc, argv);

@@ -1,0 +1,150 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/check.h"
+
+namespace cyclestream {
+namespace {
+
+// True while the current thread is executing a ParallelFor item; nested
+// parallel regions detect this and run inline (deadlock-free by
+// construction, and the inline order matches the serial order).
+thread_local bool t_in_parallel_region = false;
+
+std::mutex g_pool_mu;
+int g_default_threads = 0;  // 0 = unset: resolve to hardware concurrency.
+std::unique_ptr<ThreadPool> g_pool;
+
+int ResolveThreads(int n) {
+  if (n > 0) return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// The default pool runs one worker fewer than the budget because the
+// ParallelFor caller participates; with a budget of 1 every region runs
+// inline and the pool is never built.
+ThreadPool& PoolForBudget(int budget) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  const int workers = budget - 1;
+  if (g_pool == nullptr || g_pool->num_threads() != workers) {
+    g_pool = std::make_unique<ThreadPool>(workers);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = num_threads > 0 ? num_threads : ResolveThreads(0);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CHECK(!stopping_) << "ThreadPool::Submit after Shutdown";
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void SetDefaultThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_default_threads = ResolveThreads(n);
+  // Drop a stale pool; the next parallel region rebuilds at the new size.
+  if (g_pool != nullptr && g_pool->num_threads() != g_default_threads - 1) {
+    g_pool.reset();
+  }
+}
+
+int DefaultThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return ResolveThreads(g_default_threads);
+}
+
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const int budget = DefaultThreads();
+  if (n <= 1 || budget <= 1 || t_in_parallel_region) {
+    struct RegionGuard {
+      bool saved = t_in_parallel_region;
+      RegionGuard() { t_in_parallel_region = true; }
+      ~RegionGuard() { t_in_parallel_region = saved; }
+    } guard;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::mutex error_mu;
+    std::exception_ptr error;
+  } shared;
+
+  auto drain = [&shared, n, &fn] {
+    t_in_parallel_region = true;
+    for (;;) {
+      const std::size_t i =
+          shared.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || shared.abort.load(std::memory_order_relaxed)) break;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(shared.error_mu);
+          if (shared.error == nullptr) shared.error = std::current_exception();
+        }
+        shared.abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    t_in_parallel_region = false;
+  };
+
+  ThreadPool& pool = PoolForBudget(budget);
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(pool.num_threads()),
+                            n - 1);
+  std::vector<std::future<void>> pending;
+  pending.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i) pending.push_back(pool.Submit(drain));
+  drain();  // The caller participates.
+  for (std::future<void>& f : pending) f.get();
+  if (shared.error != nullptr) std::rethrow_exception(shared.error);
+}
+
+}  // namespace cyclestream

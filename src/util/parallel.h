@@ -1,0 +1,110 @@
+#ifndef CYCLESTREAM_UTIL_PARALLEL_H_
+#define CYCLESTREAM_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cyclestream {
+
+/// Seed-deterministic parallel execution layer.
+///
+/// The repetition in this codebase — the Θ(log 1/δ) amplification copies of
+/// `AmplifyMedian`, the repeated trials of every experiment driver — is
+/// embarrassingly parallel: each unit of work is addressed by an index i,
+/// derives its randomness from a seed that is a pure function of i, reads
+/// only shared *const* state (a materialized `EdgeStream` / `Graph`), and
+/// writes only to slot i of a preallocated result vector. Reductions over
+/// the result vector happen serially on the calling thread in index order.
+/// Under that contract a parallel run is bit-identical to a serial run
+/// regardless of scheduling; see DESIGN.md §"Threading model".
+///
+/// `ThreadPool` is a fixed set of workers around one FIFO queue — no work
+/// stealing, no task priorities. `ParallelFor`/`ParallelMap` run on a
+/// process-wide default pool whose size is set once at startup
+/// (`SetDefaultThreads`, typically from a `--threads` flag; 1 reproduces
+/// serial behavior exactly, and is also what nested parallel regions fall
+/// back to).
+
+/// Fixed-size worker pool over a single FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Calls Shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future carrying its result. An exception
+  /// thrown by `fn` is captured into the future and rethrown by `get()`.
+  /// Submitting from inside a worker is safe (the task is queued, never run
+  /// inline) — but blocking a worker on a future of a task in the same pool
+  /// can deadlock; prefer ParallelFor/ParallelMap, which are nest-safe.
+  template <typename Fn, typename R = std::invoke_result_t<Fn>>
+  std::future<R> Submit(Fn fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Runs every task already queued, then joins the workers. Idempotent;
+  /// tasks submitted after Shutdown() are rejected with a CHECK failure.
+  void Shutdown();
+
+ private:
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Sets the process-wide thread budget for ParallelFor/ParallelMap
+/// (0 = hardware concurrency). Call once at startup, before any parallel
+/// region is in flight; the default pool is rebuilt on the next use.
+/// `1` makes every parallel region run inline on the calling thread.
+void SetDefaultThreads(int n);
+
+/// The current thread budget (resolves 0/unset to hardware concurrency).
+int DefaultThreads();
+
+/// Runs fn(i) for every i in [0, n), distributed over the default pool with
+/// the calling thread participating. Blocks until all items finish. If any
+/// fn(i) throws, the first captured exception is rethrown on the calling
+/// thread after in-flight items drain (remaining indices are abandoned).
+/// Nested calls (from inside a running fn) execute serially inline, so
+/// nesting can never deadlock. Items must be independent: fn(i) may touch
+/// shared state only for const reads, and writes must go to per-index slots.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// ParallelFor that collects results: returns {fn(0), ..., fn(n-1)} in index
+/// order — the identical vector a serial loop would build, regardless of
+/// thread count. R must be default-constructible.
+template <typename Fn,
+          typename R = std::decay_t<std::invoke_result_t<Fn, std::size_t>>>
+std::vector<R> ParallelMap(std::size_t n, Fn fn) {
+  std::vector<R> out(n);
+  ParallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_UTIL_PARALLEL_H_

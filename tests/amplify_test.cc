@@ -1,31 +1,37 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+
 #include "core/amplify.h"
 #include "core/arb_distinguisher.h"
+#include "core/arb_three_pass.h"
+#include "core/diamond_counter.h"
 #include "core/random_order_triangles.h"
 #include "gen/generators.h"
 #include "graph/exact.h"
 #include "graph/graph.h"
 #include "stream/order.h"
+#include "util/parallel.h"
 
 namespace cyclestream {
 namespace {
 
 TEST(AmplifyMedianTest, MedianKillsOutlierRuns) {
   // A fake estimator that is wildly wrong on some seeds: the median must
-  // land on the common value.
-  int calls = 0;
+  // land on the common value. The copies run concurrently, hence the atomic.
+  std::atomic<int> calls{0};
   const Estimate e = AmplifyMedian(0.05, 1, [&calls](std::uint64_t seed) {
-    ++calls;
+    calls.fetch_add(1, std::memory_order_relaxed);
     Estimate out;
     out.value = (seed % 5 == 0) ? 1e9 : 100.0;
     out.space_words = 10;
     return out;
   });
   EXPECT_DOUBLE_EQ(e.value, 100.0);
-  EXPECT_EQ(e.space_words, static_cast<std::size_t>(10 * calls));
-  EXPECT_GE(calls, 3);
-  EXPECT_EQ(calls % 2, 1);  // Odd copy count.
+  EXPECT_EQ(e.space_words, static_cast<std::size_t>(10 * calls.load()));
+  EXPECT_GE(calls.load(), 3);
+  EXPECT_EQ(calls.load() % 2, 1);  // Odd copy count.
 }
 
 TEST(AmplifyMedianTest, StabilizesTriangleCounter) {
@@ -68,6 +74,77 @@ TEST(AmplifyMajorityTest, BoostsDistinguisher) {
 TEST(AmplifyMajorityTest, MajorityOfConstantRuns) {
   EXPECT_TRUE(AmplifyMajority(0.2, 1, [](std::uint64_t) { return true; }));
   EXPECT_FALSE(AmplifyMajority(0.2, 1, [](std::uint64_t) { return false; }));
+}
+
+// Serial (--threads=1) and parallel (--threads=8) amplified runs must be
+// bit-identical: copy i always gets AmplifySeed(seed, i) and the reduction
+// happens in index order. Exercised across three core algorithms.
+class AmplifyDeterminismTest : public ::testing::Test {
+ protected:
+  ~AmplifyDeterminismTest() override { SetDefaultThreads(0); }
+
+  template <typename RunFn>
+  static void ExpectBitIdentical(double delta, std::uint64_t seed,
+                                 const RunFn& run) {
+    SetDefaultThreads(1);
+    const Estimate serial = AmplifyMedian(delta, seed, run);
+    SetDefaultThreads(8);
+    const Estimate parallel = AmplifyMedian(delta, seed, run);
+    // Bit-level equality, not EXPECT_DOUBLE_EQ's ULP tolerance.
+    EXPECT_EQ(serial.value, parallel.value);
+    EXPECT_EQ(serial.space_words, parallel.space_words);
+  }
+};
+
+TEST_F(AmplifyDeterminismTest, RandomOrderTriangles) {
+  Rng gen(11);
+  const EdgeList graph =
+      PlantTriangles(ErdosRenyiGnm(1200, 2400, gen), 300, gen);
+  Rng order(12);
+  const EdgeStream stream = MakeRandomOrderStream(graph, order);
+  const double t = static_cast<double>(CountTriangles(Graph(graph)));
+  ExpectBitIdentical(0.05, 21, [&](std::uint64_t seed) {
+    RandomOrderTriangleCounter::Params params;
+    params.base.epsilon = 0.3;
+    params.base.t_guess = std::max(1.0, t);
+    params.base.seed = seed;
+    params.num_vertices = graph.num_vertices();
+    return CountTrianglesRandomOrder(stream, params);
+  });
+}
+
+TEST_F(AmplifyDeterminismTest, ArbThreePassFourCycles) {
+  Rng gen(13);
+  EdgeList graph = PlantFourCycles(ErdosRenyiGnm(800, 2400, gen), 200, gen);
+  Rng order(14);
+  EdgeStream stream = graph.edges();
+  order.Shuffle(stream);
+  const double t = static_cast<double>(CountFourCycles(Graph(graph)));
+  ExpectBitIdentical(0.05, 22, [&](std::uint64_t seed) {
+    ArbThreePassFourCycleCounter::Params params;
+    params.base.epsilon = 0.3;
+    params.base.t_guess = std::max(1.0, t);
+    params.base.seed = seed;
+    params.num_vertices = graph.num_vertices();
+    return CountFourCyclesArbThreePass(stream, params);
+  });
+}
+
+TEST_F(AmplifyDeterminismTest, AdjacencyDiamonds) {
+  Rng gen(15);
+  const Graph g(PlantDiamonds(ErdosRenyiGnm(1000, 3000, gen),
+                              {DiamondSpec{8, 25}}, gen));
+  Rng order(16);
+  const AdjacencyStream stream = MakeAdjacencyStream(g, order);
+  const double t = static_cast<double>(CountFourCycles(g));
+  ExpectBitIdentical(0.05, 23, [&](std::uint64_t seed) {
+    DiamondFourCycleCounter::Params params;
+    params.base.epsilon = 0.3;
+    params.base.t_guess = std::max(1.0, t);
+    params.base.seed = seed;
+    params.num_vertices = g.num_vertices();
+    return CountFourCyclesDiamond(stream, params);
+  });
 }
 
 }  // namespace

@@ -1,0 +1,158 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cyclestream {
+namespace {
+
+// Restores the process-wide thread budget after each test so suites do not
+// leak configuration into each other.
+class ParallelTest : public ::testing::Test {
+ protected:
+  ~ParallelTest() override { SetDefaultThreads(0); }
+};
+
+TEST_F(ParallelTest, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  auto doubled = pool.Submit([] { return 21 * 2; });
+  auto text = pool.Submit([] { return std::string("done"); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST_F(ParallelTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.Submit(
+          [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+    }
+    pool.Shutdown();  // Must run everything already queued, then join.
+    EXPECT_EQ(ran.load(), 64);
+    pool.Shutdown();  // Idempotent.
+  }
+  for (auto& f : futures) f.get();  // All futures are satisfied.
+}
+
+TEST_F(ParallelTest, DestructorActsAsShutdown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST_F(ParallelTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto failing = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  auto healthy = pool.Submit([] { return 7; });
+  EXPECT_THROW(failing.get(), std::runtime_error);
+  EXPECT_EQ(healthy.get(), 7);  // One failure does not poison the pool.
+}
+
+TEST_F(ParallelTest, NestedSubmitDoesNotDeadlock) {
+  // A task submitting further work into its own pool must not deadlock,
+  // even on a single-worker pool (the nested task is queued, not awaited
+  // from inside the worker).
+  ThreadPool pool(1);
+  std::atomic<int> inner_ran{0};
+  auto outer = pool.Submit([&pool, &inner_ran] {
+    pool.Submit([&inner_ran] {
+      inner_ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  outer.get();
+  pool.Shutdown();  // Drains the nested task.
+  EXPECT_EQ(inner_ran.load(), 1);
+}
+
+TEST_F(ParallelTest, ParallelForCoversEveryIndexOnce) {
+  SetDefaultThreads(8);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelTest, ParallelForRethrowsFirstException) {
+  SetDefaultThreads(4);
+  EXPECT_THROW(ParallelFor(256,
+                           [](std::size_t i) {
+                             if (i == 100) {
+                               throw std::runtime_error("item 100 failed");
+                             }
+                           }),
+               std::runtime_error);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  SetDefaultThreads(2);  // One worker + caller: nesting must not wait on it.
+  std::atomic<int> total{0};
+  ParallelFor(8, [&total](std::size_t) {
+    ParallelFor(8, [&total](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST_F(ParallelTest, ParallelMapMatchesSerialAtAnyThreadCount) {
+  auto square = [](std::size_t i) {
+    return static_cast<double>(i) * static_cast<double>(i);
+  };
+  SetDefaultThreads(1);
+  const std::vector<double> serial = ParallelMap(257, square);
+  for (const int threads : {2, 5, 8}) {
+    SetDefaultThreads(threads);
+    EXPECT_EQ(ParallelMap(257, square), serial) << threads << " threads";
+  }
+}
+
+TEST_F(ParallelTest, ParallelMapHandlesEmptyAndSingleton) {
+  SetDefaultThreads(8);
+  EXPECT_TRUE(ParallelMap(0, [](std::size_t i) { return i; }).empty());
+  const auto one = ParallelMap(1, [](std::size_t i) { return i + 41; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 41u);
+}
+
+TEST_F(ParallelTest, DefaultThreadsResolvesToAtLeastOne) {
+  SetDefaultThreads(0);
+  EXPECT_GE(DefaultThreads(), 1);
+  SetDefaultThreads(3);
+  EXPECT_EQ(DefaultThreads(), 3);
+}
+
+TEST_F(ParallelTest, PoolActuallyRunsConcurrently) {
+  // With 4 threads, 4 sleeping items must overlap: total wall clock well
+  // under the serial 4 x 50ms. Generous bound to stay CI-safe.
+  SetDefaultThreads(4);
+  const auto start = std::chrono::steady_clock::now();
+  ParallelFor(4, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            150);
+}
+
+}  // namespace
+}  // namespace cyclestream

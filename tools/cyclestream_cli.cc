@@ -13,6 +13,7 @@
 // Graphs are SNAP-format text edge lists. All estimators print the
 // estimate, the exact count (unless --no-exact), and the peak space.
 
+#include <functional>
 #include <iostream>
 #include <string>
 
@@ -22,6 +23,7 @@
 #include "baselines/wedge_sampler.h"
 #include "core/adj_f2_counter.h"
 #include "core/adj_l2_counter.h"
+#include "core/amplify.h"
 #include "core/arb_f2_counter.h"
 #include "core/arb_three_pass.h"
 #include "core/diamond_counter.h"
@@ -33,6 +35,7 @@
 #include "graph/io.h"
 #include "stream/order.h"
 #include "util/flags.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace cyclestream {
@@ -44,8 +47,10 @@ int Usage() {
       "  stats    --graph FILE | --karate\n"
       "  count    --graph FILE --target triangles|c4 [--algorithm NAME]\n"
       "           [--epsilon E] [--t-guess T] [--seed S] [--no-exact]\n"
+      "           [--delta D]   amplify: median of ~2*ln(1/D) parallel copies\n"
       "  generate --model er|gnp|ba|chung-lu|ws|grid --n N\n"
-      "           [--m M | --p P | --deg D] [--seed S] --out FILE\n";
+      "           [--m M | --p P | --deg D] [--seed S] --out FILE\n"
+      "  common:  --threads N   worker threads (0 = all cores, 1 = serial)\n";
   return 2;
 }
 
@@ -101,6 +106,10 @@ int RunCount(FlagParser& flags) {
   const double epsilon = flags.GetDouble("epsilon", 0.2);
   const std::uint64_t seed = flags.GetInt("seed", 1);
   const bool show_exact = !flags.GetBool("no-exact", false);
+  // --delta > 0 amplifies: median over ~2·ln(1/δ) copies, run in parallel
+  // on the --threads budget; each copy replays the same materialized
+  // stream with its own derived seed.
+  const double delta = flags.GetDouble("delta", 0.0);
 
   double exact = -1.0;
   if (show_exact || flags.GetDouble("t-guess", 0) <= 0) {
@@ -120,6 +129,13 @@ int RunCount(FlagParser& flags) {
   Rng order_rng(seed ^ 0x5eedULL);
   Estimate est;
   int passes = 1;
+  // Each estimator becomes a seed -> Estimate runner over a stream that is
+  // materialized once, up front, and shared read-only — so an amplified
+  // count (--delta) can replay the same stream from many threads at once.
+  std::function<Estimate(std::uint64_t)> runner;
+  EdgeStream edge_stream;
+  AdjacencyStream adj_stream;
+  const VertexId num_vertices = g.num_vertices();
   if (algo == "exact") {
     est.value = target == "triangles"
                     ? static_cast<double>(CountTriangles(g))
@@ -127,24 +143,34 @@ int RunCount(FlagParser& flags) {
     est.space_words = 2 * g.num_edges();
     passes = 0;
   } else if (target == "triangles") {
-    const EdgeStream stream = MakeRandomOrderStream(graph, order_rng);
+    edge_stream = MakeRandomOrderStream(graph, order_rng);
+    const EdgeStream& stream = edge_stream;
     if (algo == "random-order") {
-      RandomOrderTriangleCounter::Params params;
-      params.base = base;
-      params.num_vertices = g.num_vertices();
-      est = CountTrianglesRandomOrder(stream, params);
+      runner = [&stream, base, num_vertices](std::uint64_t s) {
+        RandomOrderTriangleCounter::Params params;
+        params.base = base;
+        params.base.seed = s;
+        params.num_vertices = num_vertices;
+        return CountTrianglesRandomOrder(stream, params);
+      };
     } else if (algo == "triest") {
-      Triest::Params params;
-      params.reservoir_capacity = static_cast<std::size_t>(
+      const std::size_t reservoir = static_cast<std::size_t>(
           flags.GetInt("reservoir", static_cast<std::int64_t>(g.num_edges() / 4)));
-      params.seed = seed;
-      Triest t(params);
-      RunEdgeStream(t, stream);
-      est = t.Result();
+      runner = [&stream, reservoir](std::uint64_t s) {
+        Triest::Params params;
+        params.reservoir_capacity = reservoir;
+        params.seed = s;
+        Triest t(params);
+        RunEdgeStream(t, stream);
+        return t.Result();
+      };
     } else if (algo == "cj") {
-      CormodeJowhariCounter::Params params;
-      params.base = base;
-      est = CountTrianglesCormodeJowhari(stream, params);
+      runner = [&stream, base](std::uint64_t s) {
+        CormodeJowhariCounter::Params params;
+        params.base = base;
+        params.base.seed = s;
+        return CountTrianglesCormodeJowhari(stream, params);
+      };
     } else {
       std::cerr << "unknown triangle algorithm: " << algo << "\n";
       return Usage();
@@ -152,49 +178,75 @@ int RunCount(FlagParser& flags) {
   } else if (target == "c4") {
     if (algo == "diamonds" || algo == "f2" || algo == "l2" ||
         algo == "wedge") {
-      const AdjacencyStream stream = MakeAdjacencyStream(g, order_rng);
+      adj_stream = MakeAdjacencyStream(g, order_rng);
+      const AdjacencyStream& stream = adj_stream;
       passes = algo == "diamonds" || algo == "wedge" ? 2 : 1;
       if (algo == "diamonds") {
-        DiamondFourCycleCounter::Params params;
-        params.base = base;
-        params.num_vertices = g.num_vertices();
-        est = CountFourCyclesDiamond(stream, params);
+        runner = [&stream, base, num_vertices](std::uint64_t s) {
+          DiamondFourCycleCounter::Params params;
+          params.base = base;
+          params.base.seed = s;
+          params.num_vertices = num_vertices;
+          return CountFourCyclesDiamond(stream, params);
+        };
       } else if (algo == "f2") {
-        AdjF2FourCycleCounter::Params params;
-        params.base = base;
-        params.num_vertices = g.num_vertices();
-        est = CountFourCyclesAdjF2(stream, params);
+        runner = [&stream, base, num_vertices](std::uint64_t s) {
+          AdjF2FourCycleCounter::Params params;
+          params.base = base;
+          params.base.seed = s;
+          params.num_vertices = num_vertices;
+          return CountFourCyclesAdjF2(stream, params);
+        };
       } else if (algo == "l2") {
-        AdjL2FourCycleCounter::Params params;
-        params.base = base;
-        params.num_vertices = g.num_vertices();
-        est = CountFourCyclesAdjL2(stream, params);
+        runner = [&stream, base, num_vertices](std::uint64_t s) {
+          AdjL2FourCycleCounter::Params params;
+          params.base = base;
+          params.base.seed = s;
+          params.num_vertices = num_vertices;
+          return CountFourCyclesAdjL2(stream, params);
+        };
       } else {
-        WedgeSamplingFourCycleCounter::Params params;
-        params.base = base;
-        params.num_vertices = g.num_vertices();
-        params.vertex_rate = flags.GetDouble("vertex-rate", 0.5);
-        params.edge_rate = flags.GetDouble("edge-rate", 0.5);
-        est = CountFourCyclesWedgeSampling(stream, params);
+        const double vertex_rate = flags.GetDouble("vertex-rate", 0.5);
+        const double edge_rate = flags.GetDouble("edge-rate", 0.5);
+        runner = [&stream, base, num_vertices, vertex_rate,
+                  edge_rate](std::uint64_t s) {
+          WedgeSamplingFourCycleCounter::Params params;
+          params.base = base;
+          params.base.seed = s;
+          params.num_vertices = num_vertices;
+          params.vertex_rate = vertex_rate;
+          params.edge_rate = edge_rate;
+          return CountFourCyclesWedgeSampling(stream, params);
+        };
       }
     } else {
-      EdgeStream stream = graph.edges();
-      order_rng.Shuffle(stream);
+      edge_stream = graph.edges();
+      order_rng.Shuffle(edge_stream);
+      const EdgeStream& stream = edge_stream;
       if (algo == "three-pass") {
-        ArbThreePassFourCycleCounter::Params params;
-        params.base = base;
-        params.num_vertices = g.num_vertices();
-        est = CountFourCyclesArbThreePass(stream, params);
+        runner = [&stream, base, num_vertices](std::uint64_t s) {
+          ArbThreePassFourCycleCounter::Params params;
+          params.base = base;
+          params.base.seed = s;
+          params.num_vertices = num_vertices;
+          return CountFourCyclesArbThreePass(stream, params);
+        };
         passes = 3;
       } else if (algo == "arb-f2") {
-        ArbF2FourCycleCounter::Params params;
-        params.base = base;
-        params.num_vertices = g.num_vertices();
-        est = CountFourCyclesArbF2(stream, params);
+        runner = [&stream, base, num_vertices](std::uint64_t s) {
+          ArbF2FourCycleCounter::Params params;
+          params.base = base;
+          params.base.seed = s;
+          params.num_vertices = num_vertices;
+          return CountFourCyclesArbF2(stream, params);
+        };
       } else if (algo == "bc") {
-        BeraChakrabartiCounter::Params params;
-        params.base = base;
-        est = CountFourCyclesBeraChakrabarti(stream, params);
+        runner = [&stream, base](std::uint64_t s) {
+          BeraChakrabartiCounter::Params params;
+          params.base = base;
+          params.base.seed = s;
+          return CountFourCyclesBeraChakrabarti(stream, params);
+        };
         passes = 2;
       } else {
         std::cerr << "unknown c4 algorithm: " << algo << "\n";
@@ -205,10 +257,16 @@ int RunCount(FlagParser& flags) {
     std::cerr << "unknown target: " << target << "\n";
     return Usage();
   }
+  if (runner != nullptr) {
+    est = delta > 0 ? AmplifyMedian(delta, seed, runner) : runner(seed);
+  }
 
   Table t({"quantity", "value"});
   t.AddRow({"algorithm", algo});
   t.AddRow({"passes", Table::Int(passes)});
+  if (delta > 0 && algo != "exact") {
+    t.AddRow({"amplified copies", Table::Int(AmplifyCopies(delta))});
+  }
   t.AddRow({"estimate", Table::Num(est.value, 1)});
   if (show_exact && exact >= 0 && algo != "exact") {
     t.AddRow({"exact", Table::Num(exact, 1)});
@@ -270,6 +328,7 @@ int RunGenerate(FlagParser& flags) {
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
+  ApplyThreadsFlag(flags);
   const std::string command = flags.positional()[0];
   int rc;
   if (command == "stats") {
