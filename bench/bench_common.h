@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -34,6 +35,31 @@
 #include "util/table.h"
 
 namespace cyclestream::bench {
+
+/// Refuses to run a throughput benchmark from an unoptimized build: numbers
+/// from a -O0/assert-enabled binary are meaningless and, committed as a
+/// baseline, would poison every later regression comparison. Exits with an
+/// error unless NDEBUG is defined; set CYCLESTREAM_BENCH_ALLOW_DEBUG=1 to
+/// override (e.g. when smoke-testing the harness itself under a sanitizer).
+inline void RequireOptimizedBuild(const char* binary) {
+#ifndef NDEBUG
+  if (std::getenv("CYCLESTREAM_BENCH_ALLOW_DEBUG") == nullptr) {
+    std::cerr
+        << "ERROR: " << binary << " was built without NDEBUG (a Debug or "
+        << "assert-enabled build).\n"
+        << "Benchmark numbers from this binary are not comparable to the\n"
+        << "committed Release baselines. Rebuild with "
+        << "-DCMAKE_BUILD_TYPE=Release,\n"
+        << "or set CYCLESTREAM_BENCH_ALLOW_DEBUG=1 to run anyway.\n";
+    std::exit(1);
+  }
+  std::cerr << "WARNING: " << binary
+            << " running without NDEBUG; numbers are not comparable to "
+               "Release baselines.\n";
+#else
+  (void)binary;
+#endif
+}
 
 /// Reads --threads (0 = hardware concurrency; 1 = serial) and installs it
 /// as the process-wide default for the parallel layer. Every experiment

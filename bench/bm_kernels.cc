@@ -1,0 +1,233 @@
+// Microbenchmarks (google-benchmark) for the hot-path kernels behind the
+// streaming counters: batched k-wise hashing (KWiseHashBank) against the
+// scalar per-copy loop it replaced, the flat open-addressing wedge map
+// against std::unordered_map, the sorted-adjacency intersection kernels,
+// and the parallel wedge-vector computation. These are the fine-grained
+// companions to bm_throughput's end-to-end suites; tools/bench_compare.py
+// diffs their JSON output against the committed BENCH_baseline.json.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "gen/generators.h"
+#include "graph/exact.h"
+#include "graph/flat_map.h"
+#include "graph/graph.h"
+#include "graph/intersect.h"
+#include "graph/types.h"
+#include "hash/kwise.h"
+#include "hash/kwise_bank.h"
+#include "hash/rng.h"
+#include "util/parallel.h"
+
+namespace cyclestream {
+namespace {
+
+std::vector<std::uint64_t> BankSeeds(std::size_t n) {
+  std::vector<std::uint64_t> seeds(n);
+  std::uint64_t s = 0x5EEDULL;
+  for (std::size_t i = 0; i < n; ++i) seeds[i] = SplitMix64(s);
+  return seeds;
+}
+
+// --- Batched vs scalar k-wise hashing ------------------------------------
+
+void BM_KWiseScalarEvalLoop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto seeds = BankSeeds(n);
+  std::vector<KWiseHash> hashes;
+  for (std::size_t i = 0; i < n; ++i) hashes.emplace_back(4, seeds[i]);
+  std::vector<std::uint64_t> out(n);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = hashes[i](key);
+    benchmark::DoNotOptimize(out.data());
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KWiseScalarEvalLoop)->Arg(16)->Arg(128);
+
+void BM_KWiseBankEvalAll(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const KWiseHashBank bank(4, BankSeeds(n));
+  std::vector<std::uint64_t> out(n);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    bank.EvalAll(key++, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KWiseBankEvalAll)->Arg(16)->Arg(128);
+
+void BM_KWiseBankSignAll(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const KWiseHashBank bank(4, BankSeeds(n));
+  std::vector<signed char> out(n);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    bank.SignAll(key++, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KWiseBankSignAll)->Arg(16)->Arg(128);
+
+void BM_KWiseBankAccumulateSigned(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const KWiseHashBank bank(4, BankSeeds(n));
+  std::vector<double> counters(n, 0.0);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    bank.AccumulateSigned(key++, 1.0, counters.data());
+    benchmark::DoNotOptimize(counters.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KWiseBankAccumulateSigned)->Arg(16)->Arg(128);
+
+// --- Flat wedge map vs std::unordered_map --------------------------------
+
+// Wedge-like key mix: pair keys from a bounded vertex range with repeats.
+std::vector<std::uint64_t> WedgeKeys(std::size_t count) {
+  std::vector<std::uint64_t> keys(count);
+  std::uint64_t s = 0xC0FFEEULL;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto a = static_cast<VertexId>(SplitMix64(s) % 2000);
+    auto b = static_cast<VertexId>(SplitMix64(s) % 2000);
+    if (b == a) b = (b + 1) % 2000;
+    keys[i] = PairKey(a, b);
+  }
+  return keys;
+}
+
+void BM_UnorderedMapIncrement(benchmark::State& state) {
+  const auto keys = WedgeKeys(1 << 16);
+  for (auto _ : state) {
+    std::unordered_map<std::uint64_t, std::uint32_t, Mix64Hash> map;
+    for (const std::uint64_t k : keys) ++map[k];
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_UnorderedMapIncrement);
+
+void BM_FlatMapIncrement(benchmark::State& state) {
+  const auto keys = WedgeKeys(1 << 16);
+  for (auto _ : state) {
+    FlatMap64<std::uint32_t> map;
+    for (const std::uint64_t k : keys) ++map[k];
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_FlatMapIncrement);
+
+void BM_UnorderedMapLookup(benchmark::State& state) {
+  const auto keys = WedgeKeys(1 << 16);
+  std::unordered_map<std::uint64_t, std::uint32_t, Mix64Hash> map;
+  for (const std::uint64_t k : keys) ++map[k];
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t k : keys) {
+      const auto it = map.find(k);
+      total += it == map.end() ? 0 : it->second;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_UnorderedMapLookup);
+
+void BM_FlatMapLookup(benchmark::State& state) {
+  const auto keys = WedgeKeys(1 << 16);
+  FlatMap64<std::uint32_t> map;
+  for (const std::uint64_t k : keys) ++map[k];
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (const std::uint64_t k : keys) {
+      const std::uint32_t* v = map.find(k);
+      total += v == nullptr ? 0 : *v;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_FlatMapLookup);
+
+// --- Sorted intersection kernels -----------------------------------------
+
+void BM_IntersectBalanced(benchmark::State& state) {
+  // Two same-length sorted lists with ~50% overlap: the two-pointer path.
+  std::vector<VertexId> a, b;
+  for (VertexId i = 0; i < 4096; ++i) {
+    a.push_back(2 * i);
+    b.push_back(3 * i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersectionCount(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectBalanced);
+
+void BM_IntersectSkewed(benchmark::State& state) {
+  // |b| = 256·|a|: the galloping path (ratio ≥ kGallopRatio).
+  std::vector<VertexId> a, b;
+  for (VertexId i = 0; i < 64; ++i) a.push_back(1000 * i);
+  for (VertexId i = 0; i < 64 * 256; ++i) b.push_back(7 * i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersectionCount(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_IntersectSkewed);
+
+// --- Wedge-vector pipeline ------------------------------------------------
+
+void BM_ComputeWedgeVector(benchmark::State& state) {
+  SetDefaultThreads(static_cast<int>(state.range(0)));
+  Rng rng(12);
+  const Graph g(ErdosRenyiGnm(4000, 20000, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeWedgeVector(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(CountWedges(g)));
+  SetDefaultThreads(0);
+}
+BENCHMARK(BM_ComputeWedgeVector)->Arg(1)->Arg(8)->UseRealTime();
+
+void BM_PerEdgeFourCycleCounts(benchmark::State& state) {
+  Rng rng(13);
+  const Graph g(ErdosRenyiGnm(1500, 9000, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PerEdgeFourCycleCounts(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_PerEdgeFourCycleCounts);
+
+}  // namespace
+}  // namespace cyclestream
+
+int main(int argc, char** argv) {
+  cyclestream::bench::RequireOptimizedBuild("bm_kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baselines/triest.h"
+#include "bench/bench_common.h"
 #include "core/adj_f2_counter.h"
 #include "core/amplify.h"
 #include "core/arb_f2_counter.h"
@@ -269,4 +270,11 @@ BENCHMARK(BM_AmplifyMedianThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace
 }  // namespace cyclestream
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  cyclestream::bench::RequireOptimizedBuild("bm_throughput");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

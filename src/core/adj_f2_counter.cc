@@ -4,22 +4,12 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "hash/kwise_bank.h"
 #include "hash/rng.h"
 #include "sketch/median_of_means.h"
 #include "util/check.h"
 
 namespace cyclestream {
-
-AdjF2FourCycleCounter::Copy::Copy(std::uint64_t sa, std::uint64_t sb,
-                                  VertexId n)
-    : alpha(n), beta(n) {
-  const KWiseHash ha(4, sa);
-  const KWiseHash hb(4, sb);
-  for (VertexId v = 0; v < n; ++v) {
-    alpha[v] = static_cast<signed char>(ha.Sign(v));
-    beta[v] = static_cast<signed char>(hb.Sign(v));
-  }
-}
 
 AdjF2FourCycleCounter::AdjF2FourCycleCounter(const Params& params)
     : params_(params) {
@@ -42,11 +32,31 @@ AdjF2FourCycleCounter::AdjF2FourCycleCounter(const Params& params)
   }
   const int groups = std::max(params.groups, 1);
   std::uint64_t seed = params.base.seed ^ 0x41444a46ULL;  // "ADJF"
-  copies_.reserve(static_cast<std::size_t>(groups * per_group));
-  for (int i = 0; i < groups * per_group; ++i) {
-    copies_.emplace_back(SplitMix64(seed), SplitMix64(seed),
-                         params.num_vertices);
+  num_copies_ = static_cast<std::size_t>(groups * per_group);
+  const std::size_t c = num_copies_;
+  const std::size_t nv = params.num_vertices;
+  // Seed chain: the historical code drew both seeds inside an emplace_back
+  // argument list, which gcc evaluates right-to-left — the beta seed came
+  // off the splitmix chain first. Preserved verbatim so the sign streams
+  // (and therefore all estimates) are unchanged.
+  std::vector<std::uint64_t> alpha_seeds(c);
+  std::vector<std::uint64_t> beta_seeds(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    beta_seeds[i] = SplitMix64(seed);
+    alpha_seeds[i] = SplitMix64(seed);
   }
+  const KWiseHashBank alpha_bank(/*k=*/4, alpha_seeds);
+  const KWiseHashBank beta_bank(/*k=*/4, beta_seeds);
+  alpha_.resize(nv * c);
+  beta_.resize(nv * c);
+  for (std::size_t v = 0; v < nv; ++v) {
+    alpha_bank.SignAll(v, alpha_.data() + v * c);
+    beta_bank.SignAll(v, beta_.data() + v * c);
+  }
+  acc_a_.assign(c, 0.0);
+  acc_b_.assign(c, 0.0);
+  acc_c_.assign(c, 0.0);
+  z_.assign(c, 0.0);
   params_.groups = groups;
   params_.copies_per_group = per_group;
 
@@ -97,21 +107,32 @@ void AdjF2FourCycleCounter::StartPass(int pass, std::size_t num_lists) {
 void AdjF2FourCycleCounter::ProcessList(int pass, const AdjacencyList& list,
                                         std::size_t position) {
   CHECK_EQ(pass, 0);
-  // F2 copies: stream the list through the four-counter estimator.
-  for (Copy& copy : copies_) {
-    copy.a = copy.b = copy.c = 0.0;
-  }
+  // F2 copies: stream the list through the four-counter estimator. The
+  // copy-minor layout turns the per-neighbor inner loop into three
+  // contiguous C-length sweeps; each copy's a/b/c/z sees the same additions
+  // in the same order as the historical per-struct loop.
+  const std::size_t c = num_copies_;
+  std::fill(acc_a_.begin(), acc_a_.end(), 0.0);
+  std::fill(acc_b_.begin(), acc_b_.end(), 0.0);
+  std::fill(acc_c_.begin(), acc_c_.end(), 0.0);
   for (VertexId u : list.neighbors) {
-    for (Copy& copy : copies_) {
-      const double au = copy.alpha[u];
-      const double bu = copy.beta[u];
-      copy.a += au;
-      copy.b += bu;
-      copy.c += au * bu;
+    const signed char* au = alpha_.data() + static_cast<std::size_t>(u) * c;
+    const signed char* bu = beta_.data() + static_cast<std::size_t>(u) * c;
+    double* a = acc_a_.data();
+    double* b = acc_b_.data();
+    double* cc = acc_c_.data();
+    for (std::size_t i = 0; i < c; ++i) {
+      a[i] += static_cast<double>(au[i]);
+    }
+    for (std::size_t i = 0; i < c; ++i) {
+      b[i] += static_cast<double>(bu[i]);
+    }
+    for (std::size_t i = 0; i < c; ++i) {
+      cc[i] += static_cast<double>(au[i]) * static_cast<double>(bu[i]);
     }
   }
-  for (Copy& copy : copies_) {
-    copy.z += (copy.a * copy.b - copy.c) / 2.0;
+  for (std::size_t i = 0; i < c; ++i) {
+    z_[i] += (acc_a_[i] * acc_b_[i] - acc_c_[i]) / 2.0;
   }
 
   // F1(z) pairs: stamp endpoints as they appear in this list; increment when
@@ -135,7 +156,7 @@ void AdjF2FourCycleCounter::ProcessList(int pass, const AdjacencyList& list,
   }
 
   if ((position & 0x3f) == 0) {
-    space_.Update(copies_.size() * (4 + 2 * params_.num_vertices / 8) +
+    space_.Update(num_copies_ * (4 + 2 * params_.num_vertices / 8) +
                   pairs_.size() * 5);
   }
 }
@@ -146,18 +167,18 @@ void AdjF2FourCycleCounter::EndPass(int pass) {
   // Z = Σ_{unordered {u,v}} x_{uv}(α_u β_v + α_v β_u)/2 has per-coordinate
   // second moment 1/2 (the αβ cross term vanishes under 4-wise
   // independence), so the unbiased estimate is 2·Z².
-  std::vector<double> squares(copies_.size());
-  for (std::size_t i = 0; i < copies_.size(); ++i) {
-    squares[i] = 2.0 * copies_[i].z * copies_[i].z;
+  square_scratch_.resize(num_copies_);
+  for (std::size_t i = 0; i < num_copies_; ++i) {
+    square_scratch_[i] = 2.0 * z_[i] * z_[i];
   }
   f2_estimate_ =
-      MedianOfMeans(squares, static_cast<std::size_t>(params_.groups));
+      MedianOfMeans(square_scratch_, static_cast<std::size_t>(params_.groups));
 
   double z_sum = 0.0;
   for (const SampledPair& sp : pairs_) z_sum += sp.z;
   f1_estimate_ = pair_rate_ > 0.0 ? z_sum / pair_rate_ : 0.0;
 
-  space_.Update(copies_.size() * (4 + 2 * params_.num_vertices / 8) +
+  space_.Update(num_copies_ * (4 + 2 * params_.num_vertices / 8) +
                   pairs_.size() * 5);
   result_.value = std::max(0.0, (f2_estimate_ - f1_estimate_) / 4.0);
   result_.space_words = space_.Peak();

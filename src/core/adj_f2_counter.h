@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "core/config.h"
-#include "hash/kwise.h"
 #include "stream/driver.h"
 #include "stream/space.h"
 
@@ -32,6 +31,12 @@ namespace cyclestream {
 /// F₁(z) is estimated by sampling vertex pairs at rate p ∝ ε⁻⁴n²/T²·log n
 /// and counting each sampled pair's common neighbors (capped at 1/ε) with
 /// O(1) state per pair.
+///
+/// Memory layout: the estimator copies are structure-of-arrays, copy-minor —
+/// sign caches as alpha[v·C + c], per-list accumulators as a[c]/b[c]/c[c] —
+/// so the inner per-neighbor loop is three contiguous C-length sweeps.
+/// Bit-identical to the historical array-of-structs layout (each slot sees
+/// the same additions in the same order).
 class AdjF2FourCycleCounter : public AdjacencyStreamAlgorithm {
  public:
   struct Params {
@@ -63,16 +68,6 @@ class AdjF2FourCycleCounter : public AdjacencyStreamAlgorithm {
   double F1Estimate() const { return f1_estimate_; }
 
  private:
-  struct Copy {
-    // 4-wise ±1 signs, evaluated once per vertex and cached (see
-    // ArbF2FourCycleCounter::Copy for the space accounting rationale).
-    std::vector<signed char> alpha;
-    std::vector<signed char> beta;
-    double z = 0.0;   // Running Σ_t (A_t·B_t − C_t)/2.
-    double a = 0.0, b = 0.0, c = 0.0;  // Current-list accumulators.
-    Copy(std::uint64_t sa, std::uint64_t sb, VertexId n);
-  };
-
   struct SampledPair {
     VertexId u = 0;
     VertexId v = 0;
@@ -86,7 +81,17 @@ class AdjF2FourCycleCounter : public AdjacencyStreamAlgorithm {
   std::uint32_t z_cap_ = 1;
   double pair_rate_ = 1.0;
 
-  std::vector<Copy> copies_;
+  std::size_t num_copies_ = 0;
+  // 4-wise ±1 sign caches, copy-minor (alpha_[v·C + c]), evaluated once per
+  // vertex at construction through a KWiseHashBank (see
+  // ArbF2FourCycleCounter for the space-accounting rationale).
+  std::vector<signed char> alpha_;
+  std::vector<signed char> beta_;
+  std::vector<double> acc_a_;  // Current-list A per copy.
+  std::vector<double> acc_b_;
+  std::vector<double> acc_c_;
+  std::vector<double> z_;      // Running Σ_t (A_t·B_t − C_t)/2 per copy.
+  mutable std::vector<double> square_scratch_;
   std::vector<SampledPair> pairs_;
   std::unordered_map<VertexId, std::vector<std::uint32_t>> pairs_by_vertex_;
 

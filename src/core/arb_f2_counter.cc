@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hash/kwise_bank.h"
 #include "hash/rng.h"
 #include "sketch/median_of_means.h"
 #include "util/check.h"
@@ -25,38 +26,66 @@ ArbF2FourCycleCounter::ArbF2FourCycleCounter(const Params& params)
   params_.groups = groups;
 
   std::uint64_t seed = params.base.seed ^ 0x41524246ULL;  // "ARBF"
-  copies_.reserve(static_cast<std::size_t>(groups * per_group));
-  for (int i = 0; i < groups * per_group; ++i) {
-    copies_.emplace_back(SplitMix64(seed), SplitMix64(seed),
-                         params.num_vertices);
-  }
-}
+  num_copies_ = static_cast<std::size_t>(groups * per_group);
+  const std::size_t c = num_copies_;
+  const std::size_t n = params.num_vertices;
 
-ArbF2FourCycleCounter::Copy::Copy(std::uint64_t sa, std::uint64_t sb,
-                                  VertexId n)
-    : alpha(n), beta(n), acc(3 * static_cast<std::size_t>(n), 0.0) {
-  const KWiseHash ha(4, sa);
-  const KWiseHash hb(4, sb);
-  for (VertexId v = 0; v < n; ++v) {
-    alpha[v] = static_cast<signed char>(ha.Sign(v));
-    beta[v] = static_cast<signed char>(hb.Sign(v));
+  // Seed chain: the historical code drew both seeds inside an emplace_back
+  // argument list, which gcc evaluates right-to-left — the beta seed came
+  // off the splitmix chain first. Preserved verbatim so the sign streams
+  // (and therefore all estimates) are unchanged.
+  std::vector<std::uint64_t> alpha_seeds(c);
+  std::vector<std::uint64_t> beta_seeds(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    beta_seeds[i] = SplitMix64(seed);
+    alpha_seeds[i] = SplitMix64(seed);
   }
+  const KWiseHashBank alpha_bank(/*k=*/4, alpha_seeds);
+  const KWiseHashBank beta_bank(/*k=*/4, beta_seeds);
+  alpha_.resize(n * c);
+  beta_.resize(n * c);
+  for (std::size_t v = 0; v < n; ++v) {
+    alpha_bank.SignAll(v, alpha_.data() + v * c);
+    beta_bank.SignAll(v, beta_.data() + v * c);
+  }
+  acc_a_.assign(n * c, 0.0);
+  acc_b_.assign(n * c, 0.0);
+  acc_c_.assign(n * c, 0.0);
 }
 
 void ArbF2FourCycleCounter::Apply(const Edge& e, double sign) {
-  const std::size_t n = params_.num_vertices;
-  for (Copy& copy : copies_) {
-    const double au = copy.alpha[e.u];
-    const double bu = copy.beta[e.u];
-    const double av = copy.alpha[e.v];
-    const double bv = copy.beta[e.v];
-    // A_u += α_v etc. (the wedge centered at u gains neighbor v).
-    copy.acc[e.u] += sign * av;
-    copy.acc[n + e.u] += sign * bv;
-    copy.acc[2 * n + e.u] += sign * av * bv;
-    copy.acc[e.v] += sign * au;
-    copy.acc[n + e.v] += sign * bu;
-    copy.acc[2 * n + e.v] += sign * au * bu;
+  const std::size_t c = num_copies_;
+  const signed char* au = alpha_.data() + static_cast<std::size_t>(e.u) * c;
+  const signed char* bu = beta_.data() + static_cast<std::size_t>(e.u) * c;
+  const signed char* av = alpha_.data() + static_cast<std::size_t>(e.v) * c;
+  const signed char* bv = beta_.data() + static_cast<std::size_t>(e.v) * c;
+  double* accA_u = acc_a_.data() + static_cast<std::size_t>(e.u) * c;
+  double* accB_u = acc_b_.data() + static_cast<std::size_t>(e.u) * c;
+  double* accC_u = acc_c_.data() + static_cast<std::size_t>(e.u) * c;
+  double* accA_v = acc_a_.data() + static_cast<std::size_t>(e.v) * c;
+  double* accB_v = acc_b_.data() + static_cast<std::size_t>(e.v) * c;
+  double* accC_v = acc_c_.data() + static_cast<std::size_t>(e.v) * c;
+  // A_u += α_v etc. (the wedge centered at u gains neighbor v); six
+  // contiguous sweeps over the copies.
+  for (std::size_t i = 0; i < c; ++i) {
+    accA_u[i] += sign * static_cast<double>(av[i]);
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    accB_u[i] += sign * static_cast<double>(bv[i]);
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    accC_u[i] +=
+        sign * static_cast<double>(av[i]) * static_cast<double>(bv[i]);
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    accA_v[i] += sign * static_cast<double>(au[i]);
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    accB_v[i] += sign * static_cast<double>(bu[i]);
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    accC_v[i] +=
+        sign * static_cast<double>(au[i]) * static_cast<double>(bu[i]);
   }
 }
 
@@ -76,17 +105,18 @@ void ArbF2FourCycleCounter::EndPass(int pass) { (void)pass; }
 
 double ArbF2FourCycleCounter::F2Estimate() const {
   const std::size_t n = params_.num_vertices;
-  std::vector<double> squares(copies_.size());
-  for (std::size_t i = 0; i < copies_.size(); ++i) {
-    const Copy& copy = copies_[i];
+  const std::size_t c = num_copies_;
+  square_scratch_.resize(c);
+  for (std::size_t i = 0; i < c; ++i) {
     double z = 0.0;
     for (std::size_t t = 0; t < n; ++t) {
-      z += (copy.acc[t] * copy.acc[n + t] - copy.acc[2 * n + t]) / 2.0;
+      z += (acc_a_[t * c + i] * acc_b_[t * c + i] - acc_c_[t * c + i]) / 2.0;
     }
     // E[Z²] = F₂/2 (see AdjF2FourCycleCounter::EndPass): rescale by 2.
-    squares[i] = 2.0 * z * z;
+    square_scratch_[i] = 2.0 * z * z;
   }
-  return MedianOfMeans(squares, static_cast<std::size_t>(params_.groups));
+  return MedianOfMeans(square_scratch_,
+                       static_cast<std::size_t>(params_.groups));
 }
 
 Estimate ArbF2FourCycleCounter::Result() const {
@@ -95,7 +125,7 @@ Estimate ArbF2FourCycleCounter::Result() const {
       std::max(0.0, (F2Estimate() - params_.f1_correction) / 4.0);
   // 3n accumulator words plus the two byte-packed ±1 sign caches per copy.
   const std::size_t n = params_.num_vertices;
-  result.space_words = copies_.size() * (3 * n + 2 * n / 8 + 2);
+  result.space_words = num_copies_ * (3 * n + 2 * n / 8 + 2);
   return result;
 }
 

@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "core/config.h"
-#include "hash/kwise.h"
 #include "stream/driver.h"
 
 namespace cyclestream {
@@ -24,6 +23,14 @@ namespace cyclestream {
 /// F₁(z) ≤ n²/ε ≤ O(ε)·T, so the estimate T̂ = F̂₂/4 is already (1+O(ε));
 /// the implementation therefore omits the F₁ correction (callers may
 /// subtract a known F₁ via `f1_correction` for out-of-regime studies).
+///
+/// Memory layout: the estimator copies are stored structure-of-arrays,
+/// copy-minor — sign caches as alpha[v·C + c] and accumulators as
+/// accA[v·C + c] for C total copies — so the six updates an edge triggers
+/// are six contiguous C-length sweeps instead of C strided struct walks.
+/// Each accumulator slot receives exactly the same additions in the same
+/// order as the historical array-of-structs layout, so estimates are
+/// bit-identical.
 class ArbF2FourCycleCounter : public EdgeStreamAlgorithm {
  public:
   struct Params {
@@ -55,21 +62,18 @@ class ArbF2FourCycleCounter : public EdgeStreamAlgorithm {
  private:
   void Apply(const Edge& e, double sign);
 
-  struct Copy {
-    // The 4-wise sign hashes are evaluated once per vertex at construction
-    // and cached (the vertex universe is known up front); this keeps the
-    // per-edge work at six array lookups instead of six polynomial
-    // evaluations. The cache is Θ(n) per copy — the same order as the 3n
-    // accumulators the algorithm stores anyway.
-    std::vector<signed char> alpha;  // ±1 per vertex.
-    std::vector<signed char> beta;
-    // 3n accumulators, laid out [A_0..A_{n-1}, B_0.., C_0..].
-    std::vector<double> acc;
-    Copy(std::uint64_t sa, std::uint64_t sb, VertexId n);
-  };
-
   Params params_;
-  std::vector<Copy> copies_;
+  std::size_t num_copies_ = 0;
+  // ±1 sign caches, copy-minor: alpha_[v·C + c] for vertex v, copy c. The
+  // 4-wise hashes are evaluated once per vertex at construction through a
+  // KWiseHashBank (the vertex universe is known up front).
+  std::vector<signed char> alpha_;
+  std::vector<signed char> beta_;
+  // Accumulators, copy-minor: acc{A,B,C}_[v·C + c].
+  std::vector<double> acc_a_;
+  std::vector<double> acc_b_;
+  std::vector<double> acc_c_;
+  mutable std::vector<double> square_scratch_;
 };
 
 /// Convenience wrapper over an insert-only stream.

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <utility>
 
+#include "graph/flat_map.h"
+#include "hash/kwise.h"
+#include "hash/kwise_bank.h"
 #include "hash/rng.h"
 #include "util/check.h"
 
@@ -17,10 +22,50 @@ double ClassNorm(double sk) { return std::max(sk * (sk - 1.0) / 2.0, 0.5); }
 
 double Choose2(double x) { return x * (x - 1.0) / 2.0; }
 
+// CSR reverse index over (w, owner) pairs appended during pass 1: for each
+// vertex w, the sampled owners u with (u → w) ∈ E. The stable sort keeps
+// each w's owners in append order — exactly the order the historical
+// per-w `std::vector` held them — so pass-2 accumulation sequences are
+// unchanged.
+struct RevIndex {
+  std::vector<std::pair<VertexId, VertexId>> pairs;  // Pass-1 append order.
+  FlatMap64<std::uint64_t> ranges;  // w → begin << 32 | count.
+  std::vector<VertexId> owners;     // CSR payload.
+
+  void Build() {
+    std::stable_sort(
+        pairs.begin(), pairs.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    owners.resize(pairs.size());
+    ranges.reserve(pairs.size() / 2 + 1);
+    for (std::size_t i = 0; i < pairs.size();) {
+      std::size_t j = i;
+      while (j < pairs.size() && pairs[j].first == pairs[i].first) {
+        owners[j] = pairs[j].second;
+        ++j;
+      }
+      ranges[pairs[i].first] =
+          (static_cast<std::uint64_t>(i) << 32) | (j - i);
+      i = j;
+    }
+    pairs.clear();
+    pairs.shrink_to_fit();
+  }
+
+  std::span<const VertexId> Find(VertexId w) const {
+    const std::uint64_t* r = ranges.find(w);
+    if (r == nullptr) return {};
+    return {owners.data() + (*r >> 32),
+            static_cast<std::size_t>(*r & 0xffffffffULL)};
+  }
+};
+
 }  // namespace
 
-/// One (shift, level) size-class estimator: its own vertex/edge samples and
-/// its own Useful-Algorithm instance.
+/// One (shift, level) size-class estimator. Saturated classes (pv ≥ 1 and
+/// pe ≥ 1) sample nothing away, so their reverse index and pass-2
+/// accumulators are identical across classes; they read the counter-level
+/// shared copies instead of owning any.
 struct DiamondFourCycleCounter::ClassInstance {
   int shift_index = 0;
   double sk = 1.0;       // Class base size.
@@ -29,24 +74,26 @@ struct DiamondFourCycleCounter::ClassInstance {
   double lo = 0.0;       // Window: lo <= d̂ < hi.
   double hi = 0.0;
 
-  KWiseHash v1_hash;     // V¹ membership.
-  KWiseHash v2_hash;     // V² membership.
   KWiseHash e1_hash;     // E¹ per-(owner, neighbor) sampling.
   KWiseHash e2_hash;
+  bool saturated = false;
 
-  // Reverse indexes built in pass 1: for each vertex w, the sampled owners
-  // u with (u → w) ∈ E. Used in pass 2 to accumulate a(u, v) as v's list
-  // streams by.
-  std::unordered_map<VertexId, std::vector<VertexId>> rev1;
-  std::unordered_map<VertexId, std::vector<VertexId>> rev2;
+  RevIndex rev1;
+  RevIndex rev2;
   std::size_t e1_size = 0;
   std::size_t e2_size = 0;
 
   UsefulAlgorithm useful;
 
-  // Pass-2 per-vertex scratch: a(u, v) accumulators.
+  // Pass-2 per-vertex scratch: a(u, v) accumulators. Kept as
+  // std::unordered_map because the emit order below follows its iteration
+  // order, which feeds floating-point accumulation inside `useful` — the
+  // container (and thus the order) must match the historical code exactly.
   std::unordered_map<VertexId, std::uint32_t> a1_scratch;
   std::unordered_map<VertexId, std::uint32_t> a2_scratch;
+
+  // Reused across lists (cleared, capacity kept).
+  std::vector<UsefulAlgorithm::IncidentEdge> revealed;
 
   ClassInstance(int shift, double sk_in, double pv_in, double pe_in,
                 double epsilon, double m_cap, std::uint64_t seed)
@@ -56,72 +103,58 @@ struct DiamondFourCycleCounter::ClassInstance {
         pe(pe_in),
         lo((1.0 + epsilon / 6.0) * sk_in),
         hi(2.0 * (1.0 - epsilon / 6.0) * sk_in),
-        v1_hash(8, seed ^ 0x11ULL),
-        v2_hash(8, seed ^ 0x22ULL),
         e1_hash(8, seed ^ 0x33ULL),
         e2_hash(8, seed ^ 0x44ULL),
+        saturated(pv_in >= 1.0 && pe_in >= 1.0),
         useful(UsefulAlgorithm::Config{pv_in, m_cap,
                                        /*external_arrivals=*/true}) {}
 
-  bool InV1(VertexId v) const { return v1_hash.ToUnit(v) < pv; }
-  bool InV2(VertexId v) const { return v2_hash.ToUnit(v) < pv; }
-
-  void Pass1List(const AdjacencyList& list) {
-    const bool in1 = InV1(list.vertex);
-    const bool in2 = InV2(list.vertex);
-    if (!in1 && !in2) return;
-    for (VertexId w : list.neighbors) {
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(list.vertex) << 32) | w;
-      if (in1 && e1_hash.ToUnit(key) < pe) {
-        rev1[w].push_back(list.vertex);
-        ++e1_size;
-      }
-      if (in2 && e2_hash.ToUnit(key) < pe) {
-        rev2[w].push_back(list.vertex);
-        ++e2_size;
-      }
-    }
-  }
-
-  void Pass2List(const AdjacencyList& list,
-                 const std::vector<bool>& arrived) {
-    a1_scratch.clear();
-    a2_scratch.clear();
-    for (VertexId w : list.neighbors) {
-      if (auto it = rev1.find(w); it != rev1.end()) {
-        for (VertexId u : it->second) {
-          if (u != list.vertex) ++a1_scratch[u];
-        }
-      }
-      if (auto it = rev2.find(w); it != rev2.end()) {
-        for (VertexId u : it->second) {
-          if (u != list.vertex) ++a2_scratch[u];
-        }
-      }
-    }
+  void EmitAndObserve(const AdjacencyList& list,
+                      const std::vector<bool>& arrived, bool in1, bool in2,
+                      std::span<const std::pair<VertexId, std::uint32_t>> r1,
+                      std::span<const std::pair<VertexId, std::uint32_t>> r2) {
     // Assemble the revealed H-edges between v and R1 ∪ R2. A vertex u in
     // both samples is revealed through both roles independently (the paper
     // runs "two copies in parallel"); split into two half-edges so each
     // role uses its own d̂.
-    std::vector<UsefulAlgorithm::IncidentEdge> revealed;
+    revealed.clear();
     const double norm = ClassNorm(sk);
-    auto emit = [&](VertexId u, std::uint32_t a_count, bool r1, bool r2) {
+    auto emit = [&](VertexId u, std::uint32_t a_count, bool r1_role,
+                    bool r2_role) {
       const double d_hat = static_cast<double>(a_count) / pe;
       if (d_hat < lo || d_hat >= hi) return;
       UsefulAlgorithm::IncidentEdge edge;
       edge.neighbor = u;
       edge.weight = Choose2(d_hat) / norm;
-      edge.in_r1 = r1;
-      edge.in_r2 = r2;
+      edge.in_r1 = r1_role;
+      edge.in_r2 = r2_role;
       edge.neighbor_arrived = arrived[u];
       revealed.push_back(edge);
     };
-    for (const auto& [u, count] : a1_scratch) emit(u, count, true, false);
-    for (const auto& [u, count] : a2_scratch) emit(u, count, false, true);
+    for (const auto& [u, count] : r1) emit(u, count, true, false);
+    for (const auto& [u, count] : r2) emit(u, count, false, true);
+    useful.OnVertex(list.vertex, in1, in2, revealed);
+  }
 
-    useful.OnVertex(list.vertex, InV1(list.vertex), InV2(list.vertex),
-                    revealed);
+  void Pass2Own(const AdjacencyList& list, const std::vector<bool>& arrived,
+                bool in1, bool in2,
+                std::vector<std::pair<VertexId, std::uint32_t>>& order1,
+                std::vector<std::pair<VertexId, std::uint32_t>>& order2) {
+    a1_scratch.clear();
+    a2_scratch.clear();
+    for (VertexId w : list.neighbors) {
+      for (VertexId u : rev1.Find(w)) {
+        if (u != list.vertex) ++a1_scratch[u];
+      }
+      for (VertexId u : rev2.Find(w)) {
+        if (u != list.vertex) ++a2_scratch[u];
+      }
+    }
+    order1.clear();
+    order2.clear();
+    for (const auto& [u, count] : a1_scratch) order1.emplace_back(u, count);
+    for (const auto& [u, count] : a2_scratch) order2.emplace_back(u, count);
+    EmitAndObserve(list, arrived, in1, in2, order1, order2);
   }
 
   /// T̂_sk = Ŵ_sk · norm (the normalization cancels).
@@ -130,6 +163,37 @@ struct DiamondFourCycleCounter::ClassInstance {
   std::size_t SpaceWords() const {
     return 2 * (e1_size + e2_size) + useful.SpaceWords() + 4 * 8;
   }
+};
+
+/// Cross-instance shared state.
+///
+/// Membership banks: instance i's historical `v1_hash`/`v2_hash` (8-wise,
+/// seeds inst_seed ^ 0x11 / ^ 0x22) become hash i of the v1/v2 banks — one
+/// batched evaluation per arriving list instead of one scalar Horner per
+/// instance, with bit-identical values.
+///
+/// Saturated classes: when pv ≥ 1 and pe ≥ 1 every membership and edge test
+/// passes, so each such class's rev1, rev2 and pass-2 scratch maps would be
+/// built by *exactly the same operation sequence* — the maps (including
+/// their iteration order, which feeds the FP-sensitive emit loop) are
+/// interchangeable. One shared reverse index and one shared scratch stand
+/// in for all of them.
+struct DiamondFourCycleCounter::SharedState {
+  KWiseHashBank v1_bank;
+  KWiseHashBank v2_bank;
+  std::vector<double> v1_scratch;
+  std::vector<double> v2_scratch;
+
+  std::size_t num_saturated = 0;
+  RevIndex rev;  // The saturated classes' common reverse index.
+  std::unordered_map<VertexId, std::uint32_t> scratch;
+  // Scratch contents snapshotted in map-iteration order (one iteration,
+  // consumed by every saturated instance).
+  std::vector<std::pair<VertexId, std::uint32_t>> order;
+
+  // Per-instance emit staging, reused across lists.
+  std::vector<std::pair<VertexId, std::uint32_t>> order1;
+  std::vector<std::pair<VertexId, std::uint32_t>> order2;
 };
 
 DiamondFourCycleCounter::DiamondFourCycleCounter(const Params& params)
@@ -155,6 +219,8 @@ DiamondFourCycleCounter::DiamondFourCycleCounter(const Params& params)
              std::ceil(std::log2(static_cast<double>(params.num_vertices)))));
 
   std::uint64_t seed = params.base.seed ^ 0x4449414dULL;  // "DIAM"
+  std::vector<std::uint64_t> v1_seeds;
+  std::vector<std::uint64_t> v2_seeds;
   for (int shift = 0; shift < num_shifts_; ++shift) {
     const double s = std::pow(1.0 + eps, shift);
     for (int k = 0; k <= max_level; ++k) {
@@ -167,11 +233,23 @@ DiamondFourCycleCounter::DiamondFourCycleCounter(const Params& params)
           1.0, params.edge_rate_scale * params.base.c * log_n /
                    (eps * eps * sk));
       const double m_cap = 2.0 * params.base.t_guess / ClassNorm(sk);
+      const std::uint64_t inst_seed = SplitMix64(seed);
+      v1_seeds.push_back(inst_seed ^ 0x11ULL);
+      v2_seeds.push_back(inst_seed ^ 0x22ULL);
       instances_.push_back(std::make_unique<ClassInstance>(
-          shift, sk, pv, pe, eps, m_cap, SplitMix64(seed)));
+          shift, sk, pv, pe, eps, m_cap, inst_seed));
     }
   }
   shift_sums_.assign(static_cast<std::size_t>(num_shifts_), 0.0);
+
+  shared_ = std::make_unique<SharedState>();
+  shared_->v1_bank = KWiseHashBank(/*k=*/8, v1_seeds);
+  shared_->v2_bank = KWiseHashBank(/*k=*/8, v2_seeds);
+  shared_->v1_scratch.resize(instances_.size());
+  shared_->v2_scratch.resize(instances_.size());
+  for (const auto& instance : instances_) {
+    if (instance->saturated) ++shared_->num_saturated;
+  }
 }
 
 DiamondFourCycleCounter::~DiamondFourCycleCounter() = default;
@@ -187,12 +265,84 @@ void DiamondFourCycleCounter::StartPass(int pass, std::size_t num_lists) {
 
 void DiamondFourCycleCounter::ProcessList(int pass, const AdjacencyList& list,
                                           std::size_t position) {
-  (void)position;
-  for (auto& instance : instances_) {
-    if (pass == 0) {
-      instance->Pass1List(list);
-    } else {
-      instance->Pass2List(list, arrived_);
+  SharedState& sh = *shared_;
+  const std::size_t m = instances_.size();
+  sh.v1_bank.ToUnitAll(list.vertex, sh.v1_scratch.data());
+  sh.v2_bank.ToUnitAll(list.vertex, sh.v2_scratch.data());
+
+  if (pass == 0) {
+    if (sh.num_saturated > 0) {
+      for (VertexId w : list.neighbors) {
+        sh.rev.pairs.emplace_back(w, list.vertex);
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      ClassInstance& inst = *instances_[i];
+      if (inst.saturated) {
+        // Membership and edge sampling both always accept; only the size
+        // accounting advances (the shared index holds the pairs).
+        inst.e1_size += list.neighbors.size();
+        inst.e2_size += list.neighbors.size();
+        continue;
+      }
+      const bool in1 = sh.v1_scratch[i] < inst.pv;
+      const bool in2 = sh.v2_scratch[i] < inst.pv;
+      if (!in1 && !in2) continue;
+      if (inst.pe >= 1.0) {
+        // Edge sampling accepts everything: skip the hash evaluations.
+        if (in1) {
+          for (VertexId w : list.neighbors) {
+            inst.rev1.pairs.emplace_back(w, list.vertex);
+          }
+          inst.e1_size += list.neighbors.size();
+        }
+        if (in2) {
+          for (VertexId w : list.neighbors) {
+            inst.rev2.pairs.emplace_back(w, list.vertex);
+          }
+          inst.e2_size += list.neighbors.size();
+        }
+      } else {
+        for (VertexId w : list.neighbors) {
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(list.vertex) << 32) | w;
+          if (in1 && inst.e1_hash.ToUnit(key) < inst.pe) {
+            inst.rev1.pairs.emplace_back(w, list.vertex);
+            ++inst.e1_size;
+          }
+          if (in2 && inst.e2_hash.ToUnit(key) < inst.pe) {
+            inst.rev2.pairs.emplace_back(w, list.vertex);
+            ++inst.e2_size;
+          }
+        }
+      }
+    }
+  } else {
+    if (sh.num_saturated > 0) {
+      // Accumulate a(u, v) once on behalf of every saturated instance: the
+      // operation sequence below is exactly the sequence each instance's
+      // own scratch map historically saw, so iteration order (and the FP
+      // emit order derived from it) is preserved.
+      sh.scratch.clear();
+      for (VertexId w : list.neighbors) {
+        for (VertexId u : sh.rev.Find(w)) {
+          if (u != list.vertex) ++sh.scratch[u];
+        }
+      }
+      sh.order.clear();
+      for (const auto& [u, count] : sh.scratch) sh.order.emplace_back(u, count);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      ClassInstance& inst = *instances_[i];
+      const bool in1 = sh.v1_scratch[i] < inst.pv;
+      const bool in2 = sh.v2_scratch[i] < inst.pv;
+      if (inst.saturated) {
+        // R1 and R2 accumulators are identical for saturated classes; the
+        // shared snapshot serves both emit roles.
+        inst.EmitAndObserve(list, arrived_, in1, in2, sh.order, sh.order);
+      } else {
+        inst.Pass2Own(list, arrived_, in1, in2, sh.order1, sh.order2);
+      }
     }
   }
   if (pass == 1) arrived_[list.vertex] = true;
@@ -204,7 +354,18 @@ void DiamondFourCycleCounter::ProcessList(int pass, const AdjacencyList& list,
 }
 
 void DiamondFourCycleCounter::EndPass(int pass) {
-  if (pass != 1) return;
+  if (pass != 1) {
+    // Pass-1 → pass-2 boundary: freeze the append-order pair lists into
+    // CSR reverse indexes.
+    if (shared_->num_saturated > 0) shared_->rev.Build();
+    for (auto& instance : instances_) {
+      if (!instance->saturated) {
+        instance->rev1.Build();
+        instance->rev2.Build();
+      }
+    }
+    return;
+  }
   std::fill(shift_sums_.begin(), shift_sums_.end(), 0.0);
   for (const auto& instance : instances_) {
     shift_sums_[static_cast<std::size_t>(instance->shift_index)] +=

@@ -8,7 +8,6 @@
 
 #include "core/config.h"
 #include "core/useful_algorithm.h"
-#include "hash/kwise.h"
 #include "stream/driver.h"
 #include "stream/space.h"
 
@@ -70,10 +69,19 @@ class DiamondFourCycleCounter : public AdjacencyStreamAlgorithm {
 
  private:
   struct ClassInstance;  // One (shift, level) estimator.
+  /// Cross-instance shared state: the V¹/V² membership hash banks (one
+  /// batched evaluation per list instead of one scalar eval per instance),
+  /// and the common reverse index + pass-2 accumulator that every
+  /// *saturated* class (pv ≥ 1 and pe ≥ 1 — sampling accepts everything,
+  /// so all such classes hold identical samples) shares instead of
+  /// rebuilding. Estimates are bit-identical to the per-instance layout;
+  /// see the .cc for the argument.
+  struct SharedState;
 
   Params params_;
   std::vector<bool> arrived_;  // Shared pass-2 arrival bitmap.
   std::vector<std::unique_ptr<ClassInstance>> instances_;
+  std::unique_ptr<SharedState> shared_;
   std::vector<double> shift_sums_;
   int num_shifts_ = 0;
   SpaceTracker space_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "graph/intersect.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace cyclestream {
 namespace {
@@ -90,17 +92,65 @@ double Transitivity(const Graph& g) {
          static_cast<double>(wedges);
 }
 
-WedgeVector ComputeWedgeVector(const Graph& g) {
-  WedgeVector x;
-  // Heuristic reserve: most wedge endpoints repeat, so #pairs <= #wedges.
-  x.reserve(std::min<std::uint64_t>(CountWedges(g), 1u << 24));
-  for (VertexId w = 0; w < g.num_vertices(); ++w) {
+namespace {
+
+// Accumulates the wedges centered at vertices [first, last) into x.
+void AccumulateWedges(const Graph& g, VertexId first, VertexId last,
+                      WedgeVector& x) {
+  for (VertexId w = first; w < last; ++w) {
     const auto nbrs = g.Neighbors(w);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
         ++x[PairKey(nbrs[i], nbrs[j])];
       }
     }
+  }
+}
+
+// Splits [0, n) into up to `want` contiguous vertex ranges of roughly equal
+// wedge work (Σ C(deg, 2)); returns the range boundaries.
+std::vector<VertexId> WedgeBalancedChunks(const Graph& g, int want) {
+  const std::uint64_t total = CountWedges(g);
+  const std::uint64_t per_chunk =
+      std::max<std::uint64_t>(1, total / static_cast<std::uint64_t>(want));
+  std::vector<VertexId> bounds{0};
+  std::uint64_t acc = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    acc += Choose2(g.Degree(v));
+    if (acc >= per_chunk && v + 1 < g.num_vertices()) {
+      bounds.push_back(v + 1);
+      acc = 0;
+    }
+  }
+  bounds.push_back(g.num_vertices());
+  return bounds;
+}
+
+}  // namespace
+
+WedgeVector ComputeWedgeVector(const Graph& g) {
+  const std::uint64_t wedges = CountWedges(g);
+  const int threads = DefaultThreads();
+  WedgeVector x;
+  // Heuristic reserve: most wedge endpoints repeat, so #pairs <= #wedges.
+  x.reserve(std::min<std::uint64_t>(wedges, 1u << 24));
+  // Parallel path only when the work amortizes the per-chunk maps; wedge
+  // counts are integer sums, so the merged contents are identical to the
+  // serial fill at any thread count.
+  if (threads <= 1 || wedges < (1u << 16)) {
+    AccumulateWedges(g, 0, g.num_vertices(), x);
+    return x;
+  }
+  const std::vector<VertexId> bounds = WedgeBalancedChunks(g, 4 * threads);
+  const std::size_t chunks = bounds.size() - 1;
+  std::vector<WedgeVector> partial = ParallelMap(chunks, [&](std::size_t c) {
+    WedgeVector local;
+    AccumulateWedges(g, bounds[c], bounds[c + 1], local);
+    return local;
+  });
+  // Deterministic merge: chunk-index order.
+  for (const WedgeVector& local : partial) {
+    for (const auto& [key, count] : local) x[key] += count;
   }
   return x;
 }
@@ -123,23 +173,17 @@ std::uint64_t CountFourCyclesThroughEdge(const Graph& g, VertexId u,
                                          VertexId v) {
   // A 4-cycle through (u,v) is a path u - x - w - v with all four vertices
   // distinct. Enumerate w ∈ Γ(v)\{u}, then x ∈ Γ(w) ∩ Γ(u) \ {v}.
+  const auto nu = g.Neighbors(u);
+  const bool v_in_nu = SortedContains(nu, v);
   std::uint64_t count = 0;
   for (VertexId w : g.Neighbors(v)) {
     if (w == u) continue;
     const auto nw = g.Neighbors(w);
-    const auto nu = g.Neighbors(u);
-    std::size_t i = 0, j = 0;
-    while (i < nw.size() && j < nu.size()) {
-      if (nw[i] < nu[j]) {
-        ++i;
-      } else if (nw[i] > nu[j]) {
-        ++j;
-      } else {
-        if (nw[i] != v) ++count;
-        ++i;
-        ++j;
-      }
-    }
+    std::uint64_t common = SortedIntersectionCount(nw, nu);
+    // Drop the x = v solution: v ∈ Γ(w) always holds (w is v's neighbor),
+    // so it was counted iff v ∈ Γ(u) too.
+    if (v_in_nu && common > 0) --common;
+    count += common;
   }
   return count;
 }
@@ -154,10 +198,30 @@ std::vector<std::uint64_t> PerEdgeFourCycleCounts(const Graph& g) {
 }
 
 std::map<std::uint32_t, std::uint64_t> DiamondHistogram(const Graph& g) {
+  const WedgeVector x = ComputeWedgeVector(g);
   std::map<std::uint32_t, std::uint64_t> hist;
-  for (const auto& [key, count] : ComputeWedgeVector(g)) {
-    (void)key;
-    if (count >= 2) ++hist[count];
+  const int threads = DefaultThreads();
+  if (threads <= 1 || x.size() < (1u << 16)) {
+    for (const auto& [key, count] : x) {
+      (void)key;
+      if (count >= 2) ++hist[count];
+    }
+    return hist;
+  }
+  // Shard the flat table by slot range; per-shard histograms merge by
+  // integer addition (in shard order, though any order gives the same map).
+  const std::size_t shards = static_cast<std::size_t>(4 * threads);
+  const std::size_t per_shard = (x.capacity() + shards - 1) / shards;
+  auto partial = ParallelMap(shards, [&](std::size_t s) {
+    std::map<std::uint32_t, std::uint64_t> local;
+    x.VisitSlotRange(s * per_shard, (s + 1) * per_shard,
+                     [&local](std::uint64_t, std::uint32_t count) {
+                       if (count >= 2) ++local[count];
+                     });
+    return local;
+  });
+  for (const auto& local : partial) {
+    for (const auto& [size, n] : local) hist[size] += n;
   }
   return hist;
 }

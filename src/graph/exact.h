@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "graph/flat_map.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -32,8 +32,16 @@ double Transitivity(const Graph& g);
 
 /// The wedge vector x: for every unordered pair {u,v} with at least one
 /// common neighbor, x[PairKey(u,v)] = |Γ(u) ∩ Γ(v)|. Cost Σ_v C(deg v, 2)
-/// time and one map entry per pair with a common neighbor.
-using WedgeVector = std::unordered_map<std::uint64_t, std::uint32_t, Mix64Hash>;
+/// time and one map entry per pair with a common neighbor. Stored in an
+/// open-addressing flat map (see flat_map.h) — the increment in the inner
+/// wedge loop is a masked probe into one contiguous array.
+///
+/// When the process-wide thread budget (`SetDefaultThreads`) exceeds 1,
+/// ComputeWedgeVector partitions the center vertices into wedge-balanced
+/// chunks, accumulates per-chunk maps in parallel, and merges them serially
+/// in chunk-index order. Wedge counts are integer sums, so the map contents
+/// are identical at every thread count.
+using WedgeVector = FlatMap64<std::uint32_t>;
 WedgeVector ComputeWedgeVector(const Graph& g);
 
 /// Number of 4-cycles: C4 = ½ Σ_{u<v} C(x_{uv}, 2). (Each 4-cycle is counted

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/intersect.h"
 #include "util/check.h"
 
 namespace cyclestream {
@@ -42,22 +43,10 @@ bool Graph::HasEdge(VertexId a, VertexId b) const {
 }
 
 std::size_t Graph::CommonNeighborCount(VertexId a, VertexId b) const {
-  const auto na = Neighbors(a);
-  const auto nb = Neighbors(b);
-  std::size_t count = 0;
-  std::size_t i = 0, j = 0;
-  while (i < na.size() && j < nb.size()) {
-    if (na[i] < nb[j]) {
-      ++i;
-    } else if (na[i] > nb[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  // Merge intersection with a galloping fast path for skewed degree pairs
+  // (see graph/intersect.h).
+  return static_cast<std::size_t>(
+      SortedIntersectionCount(Neighbors(a), Neighbors(b)));
 }
 
 }  // namespace cyclestream

@@ -1,0 +1,76 @@
+#ifndef CYCLESTREAM_GRAPH_INTERSECT_H_
+#define CYCLESTREAM_GRAPH_INTERSECT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "graph/types.h"
+
+namespace cyclestream {
+
+/// Index of the first element of `b` at or after `pos` that is >= x, found by
+/// exponential (galloping) probe followed by a binary search over the probed
+/// window. O(log d) where d is the distance advanced, so a full intersection
+/// pass costs O(|small| · log |large|) instead of O(|small| + |large|).
+inline std::size_t GallopLowerBound(std::span<const VertexId> b,
+                                    std::size_t pos, VertexId x) {
+  std::size_t step = 1;
+  std::size_t hi = pos;
+  while (hi < b.size() && b[hi] < x) {
+    pos = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  hi = std::min(hi, b.size());
+  return static_cast<std::size_t>(
+      std::lower_bound(b.begin() + pos, b.begin() + hi, x) - b.begin());
+}
+
+/// |a ∩ b| for sorted, duplicate-free id lists. Linear two-pointer merge for
+/// comparably sized inputs; when one list is kGallopRatio× longer, gallops
+/// through the long list instead — the regime adjacency lists hit whenever a
+/// hub neighbors a low-degree vertex.
+inline constexpr std::size_t kGallopRatio = 8;
+
+inline std::uint64_t SortedIntersectionCount(std::span<const VertexId> a,
+                                             std::span<const VertexId> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+  std::uint64_t count = 0;
+  if (b.size() >= kGallopRatio * a.size()) {
+    std::size_t pos = 0;
+    for (const VertexId x : a) {
+      pos = GallopLowerBound(b, pos, x);
+      if (pos == b.size()) break;
+      if (b[pos] == x) {
+        ++count;
+        ++pos;
+      }
+    }
+    return count;
+  }
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// True iff sorted list `a` contains x.
+inline bool SortedContains(std::span<const VertexId> a, VertexId x) {
+  return std::binary_search(a.begin(), a.end(), x);
+}
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_GRAPH_INTERSECT_H_

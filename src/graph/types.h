@@ -55,13 +55,19 @@ inline Edge PairFromKey(std::uint64_t key) {
               static_cast<VertexId>(key & 0xffffffffULL));
 }
 
+/// SplitMix64 finalizer: avalanche-mixes a 64-bit key. Shared by the
+/// std::unordered_* hasher below and the open-addressing FlatMap64.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// Mixing hasher for 64-bit keys in std::unordered_* containers (the identity
 /// hash of libstdc++ clusters badly on packed pair keys).
 struct Mix64Hash {
   std::size_t operator()(std::uint64_t x) const {
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return static_cast<std::size_t>(x ^ (x >> 31));
+    return static_cast<std::size_t>(Mix64(x));
   }
 };
 

@@ -1,29 +1,10 @@
 #include "hash/kwise.h"
 
+#include "hash/mersenne.h"
 #include "hash/rng.h"
 #include "util/check.h"
 
 namespace cyclestream {
-namespace {
-
-// Multiplies a, b < 2^61-1 modulo the Mersenne prime using 128-bit products
-// and the identity 2^61 ≡ 1 (mod p).
-inline std::uint64_t MulMod(std::uint64_t a, std::uint64_t b) {
-  const __uint128_t prod = static_cast<__uint128_t>(a) * b;
-  std::uint64_t lo = static_cast<std::uint64_t>(prod) & KWiseHash::kPrime;
-  std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
-  std::uint64_t sum = lo + hi;
-  if (sum >= KWiseHash::kPrime) sum -= KWiseHash::kPrime;
-  return sum;
-}
-
-inline std::uint64_t AddMod(std::uint64_t a, std::uint64_t b) {
-  std::uint64_t sum = a + b;  // a, b < 2^61 so no 64-bit overflow.
-  if (sum >= KWiseHash::kPrime) sum -= KWiseHash::kPrime;
-  return sum;
-}
-
-}  // namespace
 
 KWiseHash::KWiseHash(int k, std::uint64_t seed) {
   CHECK_GE(k, 1);
@@ -42,11 +23,12 @@ KWiseHash::KWiseHash(int k, std::uint64_t seed) {
 std::uint64_t KWiseHash::operator()(std::uint64_t x) const {
   // Reduce the input first; kwise guarantees hold for x < p, and 64-bit keys
   // folded into [0,p) remain fine for our vertex/edge id domains (< 2^61).
-  std::uint64_t xm = x % kPrime;
+  // ReduceMod61 computes the same canonical residue as x % kPrime.
+  std::uint64_t xm = ReduceMod61(x);
   // Horner evaluation: ((c_{k-1} x + c_{k-2}) x + ...) + c_0.
   std::uint64_t acc = 0;
   for (std::size_t i = coeffs_.size(); i-- > 0;) {
-    acc = AddMod(MulMod(acc, xm), coeffs_[i]);
+    acc = AddMod61(MulMod61(acc, xm), coeffs_[i]);
   }
   return acc;
 }

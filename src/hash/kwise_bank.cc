@@ -1,0 +1,174 @@
+#include "hash/kwise_bank.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "hash/mersenne.h"
+#include "hash/rng.h"
+#include "util/check.h"
+
+namespace cyclestream {
+
+KWiseHashBank::KWiseHashBank(int k, std::span<const std::uint64_t> seeds)
+    : k_(k), n_(seeds.size()) {
+  CHECK_GE(k, 1);
+  coeffs_.resize(static_cast<std::size_t>(k) * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    // Identical coefficient derivation to KWiseHash(k, seeds[i]): a
+    // splitmix64 chain per hash, rejection-sampled into [0, p).
+    std::uint64_t s = seeds[i];
+    for (int j = 0; j < k; ++j) {
+      std::uint64_t c;
+      do {
+        c = SplitMix64(s) & ((1ULL << 62) - 1);
+      } while (c >= kPrime);
+      coeffs_[static_cast<std::size_t>(j) * n_ + i] = c;
+    }
+  }
+}
+
+// All batched sweeps below run the Horner recurrence with *lazy* modular
+// stages (HornerStepLazy61: two unconditional folds, no compare/subtract)
+// and canonicalize only when a value is consumed. The canonical result is
+// identical to the strict AddMod61(MulMod61(...)) chain — both compute the
+// same residue mod p and CanonicalizeMod61 picks the unique representative
+// in [0, p) — so the bit-identical contract is unaffected.
+//
+// The accumulator is seeded at c_{k-1}: the scalar reference starts from
+// acc = 0 and its first step reduces to acc = c_{k-1}, so the recurrences
+// coincide step for step.
+
+void KWiseHashBank::EvalAll(std::uint64_t x, std::uint64_t* out) const {
+  const std::uint64_t xm = ReduceMod61(x);
+  const std::size_t n = n_;
+  const std::uint64_t* top = coeffs_.data() + static_cast<std::size_t>(k_ - 1) * n;
+  for (std::size_t i = 0; i < n; ++i) out[i] = top[i];
+  for (int j = k_ - 2; j >= 0; --j) {
+    const std::uint64_t* row = coeffs_.data() + static_cast<std::size_t>(j) * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = HornerStepLazy61(out[i], xm, row[i]);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = CanonicalizeMod61(out[i]);
+}
+
+void KWiseHashBank::SignAll(std::uint64_t x, signed char* out) const {
+  const std::uint64_t xm = ReduceMod61(x);
+  const std::size_t n = n_;
+  // Same recurrence as EvalAll but with a small fixed-size tile of
+  // accumulators so no heap scratch is needed.
+  constexpr std::size_t kTile = 64;
+  std::uint64_t acc[kTile];
+  for (std::size_t base = 0; base < n; base += kTile) {
+    const std::size_t len = std::min(kTile, n - base);
+    const std::uint64_t* top =
+        coeffs_.data() + static_cast<std::size_t>(k_ - 1) * n + base;
+    for (std::size_t i = 0; i < len; ++i) acc[i] = top[i];
+    for (int j = k_ - 2; j >= 0; --j) {
+      const std::uint64_t* row =
+          coeffs_.data() + static_cast<std::size_t>(j) * n + base;
+      for (std::size_t i = 0; i < len; ++i) {
+        acc[i] = HornerStepLazy61(acc[i], xm, row[i]);
+      }
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      // Parity needs the canonical value: p is odd, so a lazy representative
+      // off by a multiple of p has flipped low bit.
+      out[base + i] = (CanonicalizeMod61(acc[i]) & 1ULL) ? 1 : -1;
+    }
+  }
+}
+
+void KWiseHashBank::ToUnitAll(std::uint64_t x, double* out) const {
+  const std::uint64_t xm = ReduceMod61(x);
+  const std::size_t n = n_;
+  constexpr std::size_t kTile = 64;
+  std::uint64_t acc[kTile];
+  for (std::size_t base = 0; base < n; base += kTile) {
+    const std::size_t len = std::min(kTile, n - base);
+    const std::uint64_t* top =
+        coeffs_.data() + static_cast<std::size_t>(k_ - 1) * n + base;
+    for (std::size_t i = 0; i < len; ++i) acc[i] = top[i];
+    for (int j = k_ - 2; j >= 0; --j) {
+      const std::uint64_t* row =
+          coeffs_.data() + static_cast<std::size_t>(j) * n + base;
+      for (std::size_t i = 0; i < len; ++i) {
+        acc[i] = HornerStepLazy61(acc[i], xm, row[i]);
+      }
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      out[base + i] = static_cast<double>(CanonicalizeMod61(acc[i])) /
+                      static_cast<double>(kPrime);
+    }
+  }
+}
+
+void KWiseHashBank::AccumulateSigned(std::uint64_t x, double delta,
+                                     double* counters) const {
+  const std::uint64_t xm = ReduceMod61(x);
+  const std::size_t n = n_;
+  // ±delta by sign-bit flip: IEEE negation is exact, so this matches the
+  // branchy (h & 1) ? +delta : -delta element for element — without a
+  // data-dependent branch on an effectively random hash bit.
+  std::uint64_t delta_bits;
+  std::memcpy(&delta_bits, &delta, sizeof(delta));
+  if (k_ == 4) {
+    // The AMS sign-hash case. Fully fused single pass: 3 single-fold lazy
+    // Horner stages per element (the k = 4 chain is exactly the depth where
+    // single folds still fit in 64 bits — see HornerStepLazy1Fold61), then
+    // canonicalize and apply the sign straight to the counter.
+    const std::uint64_t* c3 = coeffs_.data() + 3 * n;
+    const std::uint64_t* c2 = coeffs_.data() + 2 * n;
+    const std::uint64_t* c1 = coeffs_.data() + 1 * n;
+    const std::uint64_t* c0 = coeffs_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t acc = c3[i];
+      acc = HornerStepLazy1Fold61(acc, xm, c2[i]);
+      acc = HornerStepLazy1Fold61(acc, xm, c1[i]);
+      acc = HornerStepLazy1Fold61(acc, xm, c0[i]);
+      const std::uint64_t odd = CanonicalizeMod61(acc) & 1ULL;
+      const std::uint64_t bits = delta_bits ^ ((odd ^ 1ULL) << 63);
+      double signed_delta;
+      std::memcpy(&signed_delta, &bits, sizeof(signed_delta));
+      counters[i] += signed_delta;
+    }
+    return;
+  }
+  // General k: Horner tiles feed the counter updates directly, so the hash
+  // values never round-trip through heap scratch.
+  constexpr std::size_t kTile = 64;
+  std::uint64_t acc[kTile];
+  for (std::size_t base = 0; base < n; base += kTile) {
+    const std::size_t len = std::min(kTile, n - base);
+    const std::uint64_t* top =
+        coeffs_.data() + static_cast<std::size_t>(k_ - 1) * n + base;
+    for (std::size_t i = 0; i < len; ++i) acc[i] = top[i];
+    for (int j = k_ - 2; j >= 0; --j) {
+      const std::uint64_t* row =
+          coeffs_.data() + static_cast<std::size_t>(j) * n + base;
+      for (std::size_t i = 0; i < len; ++i) {
+        acc[i] = HornerStepLazy61(acc[i], xm, row[i]);
+      }
+    }
+    double* c = counters + base;
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::uint64_t odd = CanonicalizeMod61(acc[i]) & 1ULL;
+      const std::uint64_t bits = delta_bits ^ ((odd ^ 1ULL) << 63);
+      double signed_delta;
+      std::memcpy(&signed_delta, &bits, sizeof(signed_delta));
+      c[i] += signed_delta;
+    }
+  }
+}
+
+std::uint64_t KWiseHashBank::Eval(std::size_t i, std::uint64_t x) const {
+  const std::uint64_t xm = ReduceMod61(x);
+  std::uint64_t acc = 0;
+  for (int j = k_ - 1; j >= 0; --j) {
+    acc = AddMod61(MulMod61(acc, xm),
+                   coeffs_[static_cast<std::size_t>(j) * n_ + i]);
+  }
+  return acc;
+}
+
+}  // namespace cyclestream

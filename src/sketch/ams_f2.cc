@@ -12,25 +12,22 @@ AmsF2::AmsF2(std::size_t groups, std::size_t per_group, std::uint64_t seed)
   CHECK_GE(per_group, 1u);
   const std::size_t total = groups * per_group;
   std::uint64_t s = seed;
-  signs_.reserve(total);
-  for (std::size_t i = 0; i < total; ++i) {
-    signs_.emplace_back(/*k=*/4, SplitMix64(s));
-  }
+  std::vector<std::uint64_t> seeds(total);
+  for (std::size_t i = 0; i < total; ++i) seeds[i] = SplitMix64(s);
+  signs_ = KWiseHashBank(/*k=*/4, seeds);
   counters_.assign(total, 0.0);
 }
 
 void AmsF2::Update(std::uint64_t key, double delta) {
-  for (std::size_t i = 0; i < counters_.size(); ++i) {
-    counters_[i] += static_cast<double>(signs_[i].Sign(key)) * delta;
-  }
+  signs_.AccumulateSigned(key, delta, counters_.data());
 }
 
 double AmsF2::Estimate() const {
-  std::vector<double> squares(counters_.size());
+  square_scratch_.resize(counters_.size());
   for (std::size_t i = 0; i < counters_.size(); ++i) {
-    squares[i] = counters_[i] * counters_[i];
+    square_scratch_[i] = counters_[i] * counters_[i];
   }
-  return MedianOfMeans(squares, groups_);
+  return MedianOfMeans(square_scratch_, groups_);
 }
 
 }  // namespace cyclestream

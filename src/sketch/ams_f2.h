@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "hash/kwise.h"
+#include "hash/kwise_bank.h"
 
 namespace cyclestream {
 
@@ -16,6 +16,13 @@ namespace cyclestream {
 /// The sketch runs `groups` × `per_group` independent estimators and returns
 /// the median of the group means: a (1+γ) approximation needs
 /// per_group = O(1/γ²) and groups = O(log 1/δ).
+///
+/// The sign hashes of all estimators live in one KWiseHashBank, so an
+/// Update is a single batched polynomial sweep instead of one hash call per
+/// estimator. Outputs are bit-identical to the per-copy formulation (the
+/// bank's contract). Update/Estimate use internal scratch buffers, so a
+/// sketch instance must not be shared across threads without external
+/// synchronization (the parallel layer's one-instance-per-trial contract).
 class AmsF2 {
  public:
   AmsF2(std::size_t groups, std::size_t per_group, std::uint64_t seed);
@@ -34,8 +41,10 @@ class AmsF2 {
 
  private:
   std::size_t groups_;
-  std::vector<KWiseHash> signs_;   // One 4-wise hash per basic estimator.
+  KWiseHashBank signs_;            // One 4-wise hash per basic estimator.
   std::vector<double> counters_;   // Z per basic estimator.
+  // Reusable scratch (no per-call allocation on the estimate path).
+  mutable std::vector<double> square_scratch_;
 };
 
 }  // namespace cyclestream

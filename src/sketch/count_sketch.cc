@@ -12,35 +12,71 @@ CountSketch::CountSketch(std::size_t depth, std::size_t width,
     : depth_(depth), width_(width) {
   CHECK_GE(depth, 1u);
   CHECK_GE(width, 1u);
+  if ((width & (width - 1)) == 0) mask_ = width - 1;
   std::uint64_t s = seed;
-  bucket_hashes_.reserve(depth);
-  sign_hashes_.reserve(depth);
+  std::vector<std::uint64_t> bucket_seeds(depth);
+  std::vector<std::uint64_t> sign_seeds(depth);
   for (std::size_t r = 0; r < depth; ++r) {
-    bucket_hashes_.emplace_back(/*k=*/2, SplitMix64(s));
-    sign_hashes_.emplace_back(/*k=*/4, SplitMix64(s));
+    // Same interleaved seed chain as the historical per-row construction:
+    // bucket seed first, then sign seed, row by row.
+    bucket_seeds[r] = SplitMix64(s);
+    sign_seeds[r] = SplitMix64(s);
   }
+  bucket_hashes_ = KWiseHashBank(/*k=*/2, bucket_seeds);
+  sign_hashes_ = KWiseHashBank(/*k=*/4, sign_seeds);
   table_.assign(depth * width, 0.0);
+  bucket_scratch_.resize(depth);
+  sign_scratch_.resize(depth);
+  row_scratch_.resize(depth);
+}
+
+void CountSketch::HashKey(std::uint64_t key) const {
+  bucket_hashes_.EvalAll(key, bucket_scratch_.data());
+  sign_hashes_.EvalAll(key, sign_scratch_.data());
+  if (mask_ != 0) {
+    for (std::size_t r = 0; r < depth_; ++r) bucket_scratch_[r] &= mask_;
+  } else {
+    for (std::size_t r = 0; r < depth_; ++r) bucket_scratch_[r] %= width_;
+  }
 }
 
 void CountSketch::Update(std::uint64_t key, double delta) {
+  HashKey(key);
   for (std::size_t r = 0; r < depth_; ++r) {
-    const std::size_t bucket = bucket_hashes_[r](key) % width_;
-    const double sign = static_cast<double>(sign_hashes_[r].Sign(key));
-    table_[r * width_ + bucket] += sign * delta;
+    table_[r * width_ + bucket_scratch_[r]] +=
+        (sign_scratch_[r] & 1ULL) ? delta : -delta;
   }
 }
 
+double CountSketch::MedianOfRows() const {
+  std::nth_element(row_scratch_.begin(),
+                   row_scratch_.begin() + row_scratch_.size() / 2,
+                   row_scratch_.end());
+  return row_scratch_[row_scratch_.size() / 2];
+}
+
 double CountSketch::Query(std::uint64_t key) const {
-  std::vector<double> row_estimates(depth_);
+  HashKey(key);
   for (std::size_t r = 0; r < depth_; ++r) {
-    const std::size_t bucket = bucket_hashes_[r](key) % width_;
-    const double sign = static_cast<double>(sign_hashes_[r].Sign(key));
-    row_estimates[r] = sign * table_[r * width_ + bucket];
+    const double cell = table_[r * width_ + bucket_scratch_[r]];
+    row_scratch_[r] = (sign_scratch_[r] & 1ULL) ? cell : -cell;
   }
-  std::nth_element(row_estimates.begin(),
-                   row_estimates.begin() + row_estimates.size() / 2,
-                   row_estimates.end());
-  return row_estimates[row_estimates.size() / 2];
+  return MedianOfRows();
+}
+
+double CountSketch::UpdateAndQuery(std::uint64_t key, double delta) {
+  HashKey(key);
+  for (std::size_t r = 0; r < depth_; ++r) {
+    double& cell = table_[r * width_ + bucket_scratch_[r]];
+    if (sign_scratch_[r] & 1ULL) {
+      cell += delta;
+      row_scratch_[r] = cell;
+    } else {
+      cell += -delta;
+      row_scratch_[r] = -cell;
+    }
+  }
+  return MedianOfRows();
 }
 
 }  // namespace cyclestream

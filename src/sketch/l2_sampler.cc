@@ -1,5 +1,6 @@
 #include "sketch/l2_sampler.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "hash/rng.h"
@@ -13,28 +14,37 @@ L2Sampler::L2Sampler(const Config& config, std::uint64_t seed)
   CHECK_GE(config.copies, 1u);
   CHECK_GT(config.epsilon, 0.0);
   std::uint64_t s = seed;
+  std::vector<std::uint64_t> u_seeds(config.copies);
   copies_.reserve(config.copies);
   for (std::size_t c = 0; c < config.copies; ++c) {
+    // Same seed chain as the historical per-copy construction: the scaling
+    // hash draws first, then the copy's sketch.
+    u_seeds[c] = SplitMix64(s);
     copies_.push_back(Copy{
-        KWiseHash(/*k=*/2, SplitMix64(s)),
         CountSketch(config.sketch_depth, config.sketch_width, SplitMix64(s)),
         0, 0.0, false});
   }
+  u_bank_ = KWiseHashBank(/*k=*/2, u_seeds);
+  unit_scratch_.resize(config.copies);
 }
 
-double L2Sampler::ScaledWeight(const Copy& copy, std::uint64_t key) const {
+double L2Sampler::ClampedScale(double u) {
   // u in (0, 1]; clamp away from 0 so 1/√u stays finite.
-  double u = copy.u_hash.ToUnit(key);
   if (u < 1e-12) u = 1e-12;
   return 1.0 / std::sqrt(u);
 }
 
+double L2Sampler::ScaledWeight(std::size_t i, std::uint64_t key) const {
+  return ClampedScale(u_bank_.ToUnit(i, key));
+}
+
 void L2Sampler::Update(std::uint64_t key, double delta) {
   f2_.Update(key, delta);
-  for (Copy& copy : copies_) {
-    const double scale = ScaledWeight(copy, key);
-    copy.sketch.Update(key, delta * scale);
-    const double z = std::abs(copy.sketch.Query(key));
+  u_bank_.ToUnitAll(key, unit_scratch_.data());
+  for (std::size_t c = 0; c < copies_.size(); ++c) {
+    Copy& copy = copies_[c];
+    const double scale = ClampedScale(unit_scratch_[c]);
+    const double z = std::abs(copy.sketch.UpdateAndQuery(key, delta * scale));
     // Track the largest sketched |z|; refresh the stored value whenever the
     // current best key is touched again (its magnitude may have changed).
     if (!copy.has_candidate || z > copy.best_z || key == copy.best_key) {
@@ -49,11 +59,12 @@ std::vector<L2Sampler::Sample> L2Sampler::DrawAll() const {
   std::vector<Sample> samples;
   const double f2 = std::max(EstimateF2(), 0.0);
   const double threshold = std::sqrt(f2 / config_.epsilon);
-  for (const Copy& copy : copies_) {
+  for (std::size_t c = 0; c < copies_.size(); ++c) {
+    const Copy& copy = copies_[c];
     if (!copy.has_candidate) continue;
     const double z = std::abs(copy.sketch.Query(copy.best_key));
     if (z >= threshold && threshold > 0.0) {
-      const double scale = ScaledWeight(copy, copy.best_key);
+      const double scale = ScaledWeight(c, copy.best_key);
       samples.push_back(Sample{copy.best_key, z / scale});
     }
   }
@@ -67,9 +78,12 @@ std::optional<L2Sampler::Sample> L2Sampler::Draw() const {
 }
 
 std::size_t L2Sampler::SpaceWords() const {
+  // 2 words of u-hash coefficients per copy (the bank), plus each copy's
+  // sketch and candidate bookkeeping — the same accounting as the historical
+  // per-copy layout.
   std::size_t words = f2_.SpaceWords();
   for (const Copy& copy : copies_) {
-    words += copy.sketch.SpaceWords() + copy.u_hash.SpaceWords() + 2;
+    words += copy.sketch.SpaceWords() + 2 + 2;
   }
   return words;
 }

@@ -5,7 +5,7 @@
 #include <optional>
 #include <vector>
 
-#include "hash/kwise.h"
+#include "hash/kwise_bank.h"
 #include "sketch/ams_f2.h"
 #include "sketch/count_sketch.h"
 
@@ -27,6 +27,12 @@ namespace cyclestream {
 /// candidate set; we track, per copy, the key whose sketched |ẑ| is largest
 /// at any update touching it (standard practical heavy-hitter bookkeeping;
 /// exhaustive decoding would give the same answer at higher cost).
+///
+/// Hot-path layout: the per-copy scaling hashes u_i live in one
+/// KWiseHashBank (one batched sweep per update instead of one hash call per
+/// copy), and each copy's sketch touch is a fused UpdateAndQuery (one round
+/// of bucket/sign hashing instead of two). Outputs are bit-identical to the
+/// scalar per-copy formulation.
 class L2Sampler {
  public:
   struct Config {
@@ -61,18 +67,21 @@ class L2Sampler {
 
  private:
   struct Copy {
-    KWiseHash u_hash;       // Scaling randomness u_i (k=2 suffices).
     CountSketch sketch;     // Sketch of the scaled vector z.
     std::uint64_t best_key = 0;
     double best_z = 0.0;    // |ẑ(best_key)| at its last touch.
     bool has_candidate = false;
   };
 
-  double ScaledWeight(const Copy& copy, std::uint64_t key) const;
+  /// 1/√u for copy `i` at `key` (clamped away from u = 0).
+  double ScaledWeight(std::size_t i, std::uint64_t key) const;
+  static double ClampedScale(double u);
 
   Config config_;
+  KWiseHashBank u_bank_;  // Scaling randomness u_i per copy (k=2 suffices).
   std::vector<Copy> copies_;
   AmsF2 f2_;
+  std::vector<double> unit_scratch_;  // Per-update u values, all copies.
 };
 
 }  // namespace cyclestream

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON result files.
+
+Matches benchmarks by name, normalizes time units, and prints a ratio table
+(current / baseline; > 1 means slower). Report-only by default so noisy CI
+machines don't block merges; pass --fail-on-regression to turn regressions
+beyond --threshold into a nonzero exit for strict local gating.
+
+Usage:
+  tools/bench_compare.py BENCH_baseline.json current.json
+  tools/bench_compare.py BENCH_baseline.json current.json \
+      --fail-on-regression --threshold 1.25
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Returns {name: time_ns} for the real-time column of one JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        scale = _UNIT_TO_NS.get(b.get("time_unit", "ns"), 1.0)
+        out[b["name"]] = {
+            "real_ns": b["real_time"] * scale,
+            "cpu_ns": b["cpu_time"] * scale,
+        }
+    return out
+
+
+def format_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two google-benchmark JSON files by benchmark name.")
+    parser.add_argument("baseline", help="baseline JSON (committed reference)")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument("--metric", choices=["cpu", "real"], default="cpu",
+                        help="time column to compare (default: cpu)")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="ratio above which a benchmark counts as a "
+                             "regression (default: 1.25)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 if any matched benchmark regresses "
+                             "beyond the threshold (default: report only)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    key = "cpu_ns" if args.metric == "cpu" else "real_ns"
+
+    matched = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+
+    if not matched:
+        print("No benchmarks in common between the two files.")
+        return 1
+
+    name_width = max(len(n) for n in matched)
+    header = (f"{'benchmark':<{name_width}}  {'baseline':>10}  "
+              f"{'current':>10}  {'ratio':>7}  status")
+    print(header)
+    print("-" * len(header))
+
+    regressions = []
+    for name in matched:
+        base_ns = baseline[name][key]
+        cur_ns = current[name][key]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        if ratio > args.threshold:
+            status = "REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < 1 / args.threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        print(f"{name:<{name_width}}  {format_ns(base_ns):>10}  "
+              f"{format_ns(cur_ns):>10}  {ratio:>6.2f}x  {status}")
+
+    for name in only_baseline:
+        print(f"{name:<{name_width}}  (missing from current run)")
+    for name in only_current:
+        print(f"{name:<{name_width}}  (new; no baseline)")
+
+    print()
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.2f}x ({args.metric} time):")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        if args.fail_on_regression:
+            return 1
+        print("(report-only mode; pass --fail-on-regression to gate)")
+    else:
+        print(f"No regressions beyond {args.threshold:.2f}x "
+              f"({args.metric} time) across {len(matched)} benchmarks.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
