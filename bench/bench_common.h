@@ -28,8 +28,10 @@
 
 #include "graph/exact.h"
 #include "graph/graph.h"
+#include "stream/driver.h"
 #include "stream/order.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -122,6 +124,80 @@ inline void PrintHeader(const std::string& id, const std::string& claim,
             << "workload: " << workload << "\n"
             << "=====================================================\n";
 }
+
+/// Per-run harness shared by every experiment binary: resolves the common
+/// flags (--threads, --json_out, --audit), arms the driver-level space
+/// audit, and assembles the run manifest. Usage:
+///
+///   FlagParser flags(argc, argv);
+///   bench::ExperimentContext ctx("E2", flags);
+///   ... read flags, run, print tables ...
+///   ctx.RecordTable("scaling", table);
+///   ctx.metrics().SetInt("rows", table.num_rows());
+///   return ctx.Finish();
+///
+/// Finish() folds the global stream-driver counters into the metrics, warns
+/// about unused flags on stderr, and writes the manifest when --json_out
+/// was given. The deterministic portion of the manifest (config, metrics,
+/// tables) is bit-identical at any --threads value; wall-clock timings and
+/// environment stamps live in separate sections.
+class ExperimentContext {
+ public:
+  ExperimentContext(const std::string& experiment_id, FlagParser& flags)
+      : flags_(flags), manifest_(experiment_id) {
+    const int threads = ConfigureThreads(flags);
+    manifest_.SetThreads(threads);
+    json_out_ = flags.GetString("json_out", "");
+    SetSpaceAudit(flags.GetBool("audit", false));
+    ResetStreamStats();
+  }
+
+  MetricsRegistry& metrics() { return manifest_.metrics(); }
+
+  void RecordTable(const std::string& name, const Table& table) {
+    manifest_.AddTable(name, table);
+  }
+
+  /// Final bookkeeping; returns the process exit code for main().
+  int Finish() {
+    const StreamStats stats = GlobalStreamStats();
+    MetricsRegistry& m = manifest_.metrics();
+    m.SetInt("stream.runs", static_cast<std::int64_t>(stats.runs));
+    m.SetInt("stream.passes", static_cast<std::int64_t>(stats.passes));
+    if (stats.edges_processed > 0) {
+      m.SetInt("stream.edges_processed",
+               static_cast<std::int64_t>(stats.edges_processed));
+    }
+    if (stats.lists_processed > 0) {
+      m.SetInt("stream.lists_processed",
+               static_cast<std::int64_t>(stats.lists_processed));
+    }
+    if (SpaceAuditEnabled()) {
+      m.SetInt("stream.audits_passed",
+               static_cast<std::int64_t>(stats.audits_passed));
+    }
+    for (int pass = 0; pass < 4; ++pass) {
+      if (stats.pass_seconds[pass] > 0.0) {
+        m.SetTiming("stream.pass" + std::to_string(pass) + ".seconds",
+                    stats.pass_seconds[pass]);
+      }
+    }
+    manifest_.SetConfig(flags_.values());
+    WarnUnusedFlags(flags_, std::cerr);
+    if (!json_out_.empty()) {
+      if (!manifest_.WriteFile(json_out_)) return 1;
+      std::cerr << "run manifest written to " << json_out_ << "\n";
+    }
+    return 0;
+  }
+
+  const RunManifest& manifest() const { return manifest_; }
+
+ private:
+  FlagParser& flags_;
+  RunManifest manifest_;
+  std::string json_out_;
+};
 
 /// Fits the slope of log(y) against log(x) by least squares — used by the
 /// space-scaling experiments to verify exponents (e.g. ≈ -0.5 for m/√T).

@@ -13,7 +13,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E10", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 5 : 9));
   const int copies = static_cast<int>(flags.GetInt("copies", quick ? 128 : 320));
@@ -87,7 +87,9 @@ int Main(int argc, char** argv) {
   }
   churn.set_title("dynamic churn schedule (p=0.35)");
   churn.Print(std::cout);
-  return 0;
+  ctx.RecordTable("density_sweep", table);
+  ctx.RecordTable("churn", churn);
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

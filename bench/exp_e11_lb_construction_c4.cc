@@ -15,7 +15,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E11", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 30 : 80));
 
@@ -96,7 +96,9 @@ int Main(int argc, char** argv) {
   std::cout << "(expected shape: success climbs with the sampling constant "
                "— i.e. with space — exactly the trade-off the Omega(m/sqrt(T)) "
                "bound says is unavoidable)\n";
-  return 0;
+  ctx.RecordTable("gadget_correctness", build);
+  ctx.RecordTable("space_cliff", cliff);
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

@@ -13,7 +13,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E12", flags);
   const bool quick = flags.GetBool("quick", false);
 
   bench::PrintHeader(
@@ -103,7 +103,8 @@ int Main(int argc, char** argv) {
   table.Print(std::cout);
   std::cout << "(the lemma holds iff 'frac >=2 bad' <= 'lemma budget' on "
                "every row; the bound is loose by design)\n";
-  return 0;
+  ctx.RecordTable("heaviness", table);
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

@@ -23,7 +23,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E13", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 3 : 7));
 
@@ -238,7 +238,8 @@ int Main(int argc, char** argv) {
                   Table::Int(stream_words)});
   }
   table.Print(std::cout);
-  return 0;
+  ctx.RecordTable("summary", table);
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

@@ -57,7 +57,7 @@ std::vector<Workload> BuildWorkloads(bool quick) {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E1", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 7 : 15));
   const double epsilon = flags.GetDouble("epsilon", 0.2);
@@ -178,7 +178,9 @@ int Main(int argc, char** argv) {
                "is the book-heavy block — the ablation and the capped "
                "Cormode-Jowhari estimator collapse there while mv20 holds "
                "(1+eps).\n";
-  return 0;
+  ctx.RecordTable("results", table);
+  ctx.metrics().SetInt("rows", static_cast<std::int64_t>(table.num_rows()));
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

@@ -14,7 +14,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E2", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 3 : 7));
   const double epsilon = flags.GetDouble("epsilon", 0.25);
@@ -62,6 +62,8 @@ int Main(int argc, char** argv) {
   }
   t_table.set_title("space vs T at fixed m=" + std::to_string(m));
   t_table.Print(std::cout);
+  ctx.RecordTable("space_vs_t", t_table);
+  ctx.metrics().Set("slope.space_vs_t", bench::LogLogSlope(ts, spaces));
   std::cout << "fitted log-log slope (space vs T): "
             << Table::Num(bench::LogLogSlope(ts, spaces), 3)
             << "   [paper: -0.5; the log(sqrt T) level count and the\n"
@@ -98,10 +100,12 @@ int Main(int argc, char** argv) {
   }
   m_table.set_title("space vs m at fixed T~" + std::to_string(t_fixed));
   m_table.Print(std::cout);
+  ctx.RecordTable("space_vs_m", m_table);
+  ctx.metrics().Set("slope.space_vs_m", bench::LogLogSlope(ms, m_spaces));
   std::cout << "fitted log-log slope (space vs m): "
             << Table::Num(bench::LogLogSlope(ms, m_spaces), 3)
             << "   [paper: +1.0]\n";
-  return 0;
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

@@ -18,7 +18,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E3", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 20 : 60));
   const VertexId n = static_cast<VertexId>(flags.GetInt("n", quick ? 40 : 80));
@@ -137,7 +137,10 @@ int Main(int argc, char** argv) {
   cliff.set_title("(c) sampling-tester space cliff (T=" +
                   std::to_string(t_fixed) + ")");
   cliff.Print(std::cout);
-  return 0;
+  ctx.RecordTable("gadget_correctness", build_table);
+  ctx.RecordTable("prefix_blindness", blind);
+  ctx.RecordTable("sampling_cliff", cliff);
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

@@ -80,7 +80,7 @@ std::vector<WeightedEdge> MakeWorkload(std::uint64_t n, int light_edges,
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E4", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 20 : 50));
   const double p = flags.GetDouble("p", 0.5);
@@ -131,7 +131,8 @@ int Main(int argc, char** argv) {
   std::cout << "(b/c-violations are counts out of " << trials
             << " trials; the additive-error rows are only meaningful for "
                "W/M <= 1)\n";
-  return 0;
+  ctx.RecordTable("guarantees", table);
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

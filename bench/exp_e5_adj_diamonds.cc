@@ -55,7 +55,7 @@ std::vector<Workload> BuildWorkloads(bool quick) {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E5", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 5 : 9));
   const double epsilon = flags.GetDouble("epsilon", 0.25);
@@ -198,7 +198,10 @@ int Main(int argc, char** argv) {
   std::cout << "fitted log-log slope (space vs T): "
             << Table::Num(bench::LogLogSlope(ts, spaces), 3)
             << "   [paper: -0.5]\n";
-  return 0;
+  ctx.RecordTable("results", table);
+  ctx.RecordTable("space_vs_t", scaling);
+  ctx.metrics().Set("slope.space_vs_t", bench::LogLogSlope(ts, spaces));
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

@@ -14,7 +14,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E6", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 5 : 9));
   const double epsilon = flags.GetDouble("epsilon", 0.15);
@@ -88,7 +88,8 @@ int Main(int argc, char** argv) {
   table.Print(std::cout);
   std::cout << "(expected shape: error shrinks as T/n^2 grows — the "
                "Lemma 4.4 slack F1(z) <= n^2/eps becomes negligible)\n";
-  return 0;
+  ctx.RecordTable("results", table);
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

@@ -15,7 +15,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E7", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 3 : 5));
 
@@ -57,6 +57,7 @@ int Main(int argc, char** argv) {
     dist.set_title("(a) l2-sampler distribution (" + std::to_string(total) +
                    " draws)");
     dist.Print(std::cout);
+    ctx.RecordTable("sampler_distribution", dist);
   }
 
   // (b) End-to-end estimates.
@@ -109,7 +110,8 @@ int Main(int argc, char** argv) {
   }
   table.set_title("(b) end-to-end");
   table.Print(std::cout);
-  return 0;
+  ctx.RecordTable("end_to_end", table);
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

@@ -15,7 +15,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E8", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 5 : 9));
   const double epsilon = flags.GetDouble("epsilon", 0.3);
@@ -118,6 +118,10 @@ int Main(int argc, char** argv) {
     abl_spaces.push_back(ablation.space_words.median);
   }
   table.Print(std::cout);
+  ctx.RecordTable("results", table);
+  ctx.metrics().Set("slope.space_vs_t.no_oracle",
+                    bench::LogLogSlope(ts, abl_spaces));
+  ctx.metrics().Set("slope.space_vs_t.full", bench::LogLogSlope(ts, spaces));
   std::cout << "fitted log-log slope of space vs T — sampling sets only "
                "(no-oracle): "
             << Table::Num(bench::LogLogSlope(ts, abl_spaces), 3)
@@ -164,8 +168,9 @@ int Main(int argc, char** argv) {
     heavy.set_title("theta heavy-edge instance (T=" +
                     std::to_string(static_cast<std::int64_t>(t)) + ")");
     heavy.Print(std::cout);
+    ctx.RecordTable("theta_heavy_edge", heavy);
   }
-  return 0;
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

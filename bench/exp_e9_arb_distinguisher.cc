@@ -13,7 +13,7 @@ namespace cyclestream {
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  bench::ConfigureThreads(flags);
+  bench::ExperimentContext ctx("E9", flags);
   const bool quick = flags.GetBool("quick", false);
   const int trials = static_cast<int>(flags.GetInt("trials", quick ? 30 : 80));
 
@@ -78,7 +78,8 @@ int Main(int argc, char** argv) {
   std::cout << "(expected shape: hit% rises past 2/3 once c is a sufficient "
                "constant; false+% is identically 0 — the test is one-sided; "
                "space falls as T grows)\n";
-  return 0;
+  ctx.RecordTable("results", table);
+  return ctx.Finish();
 }
 
 }  // namespace cyclestream

@@ -17,6 +17,8 @@ CormodeJowhariCounter::CormodeJowhariCounter(const Params& params)
            : std::min(1.0, params.base.c / (params.base.epsilon * sqrt_t));
   cap_ = params.cap > 0.0 ? params.cap
                           : std::max(1.0, params.base.c * r_ * sqrt_t);
+  // Scalar state: r, cap, prefix bound, running sum.
+  space_.SetBaseline(4);
 }
 
 void CormodeJowhariCounter::StartPass(int pass, std::size_t stream_length) {
@@ -54,7 +56,19 @@ void CormodeJowhariCounter::ProcessEdge(int pass, const Edge& e,
       capped_sum_ += std::min(t_e, cap_);
     }
   }
-  space_.Update(2 * prefix_count_ + 4);
+  space_.SetComponent("prefix", 2 * prefix_count_);
+}
+
+std::size_t CormodeJowhariCounter::AuditSpace() const {
+  // Walks the prefix adjacency lists instead of trusting prefix_count_
+  // (each prefix edge appears in both endpoint lists), plus the 4-word
+  // scalar baseline.
+  std::size_t stored = 0;
+  for (const auto& [v, nbrs] : prefix_adj_) {
+    (void)v;
+    stored += nbrs.size();
+  }
+  return stored + 4;
 }
 
 void CormodeJowhariCounter::EndPass(int pass) {

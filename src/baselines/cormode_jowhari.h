@@ -41,6 +41,8 @@ class CormodeJowhariCounter : public EdgeStreamAlgorithm {
   void StartPass(int pass, std::size_t stream_length) override;
   void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
   void EndPass(int pass) override;
+  std::size_t AuditSpace() const override;
+  const SpaceTracker* space_tracker() const override { return &space_; }
 
   Estimate Result() const { return result_; }
 

@@ -13,6 +13,8 @@ WedgeSamplingFourCycleCounter::WedgeSamplingFourCycleCounter(
   CHECK_LE(params.vertex_rate, 1.0);
   CHECK_GT(params.edge_rate, 0.0);
   CHECK_LE(params.edge_rate, 1.0);
+  // The two 8-wise hash banks (vertex + edge sampling) live for the run.
+  space_.SetBaseline(16);
 }
 
 void WedgeSamplingFourCycleCounter::StartPass(int pass,
@@ -53,15 +55,31 @@ void WedgeSamplingFourCycleCounter::ProcessList(int pass,
     }
   }
   if ((position & 0xff) == 0) {
-    space_.Update(2 * sampled_edges_ + 16);
+    space_.SetComponent("sampled", 2 * sampled_edges_);
   }
+}
+
+std::size_t WedgeSamplingFourCycleCounter::AuditSpace() const {
+  // Each sampled edge is stored twice (center list + reverse index); the
+  // walk sizes the real lists rather than trusting the sampled_edges_
+  // counter. The baseline covers the two hash-seed banks.
+  std::size_t stored = 0;
+  for (const auto& [center, nbrs] : sampled_nbrs_) {
+    (void)center;
+    stored += nbrs.size();
+  }
+  for (const auto& [w, centers] : rev_) {
+    (void)w;
+    stored += centers.size();
+  }
+  return stored + 16;
 }
 
 void WedgeSamplingFourCycleCounter::EndPass(int pass) {
   if (pass != 1) return;
   const double scale = 4.0 * params_.vertex_rate * params_.edge_rate *
                        params_.edge_rate;
-  space_.Update(2 * sampled_edges_ + 16);
+  space_.SetComponent("sampled", 2 * sampled_edges_);
   result_.value = detections_ / scale;
   result_.space_words = space_.Peak();
 }

@@ -45,6 +45,8 @@ class WedgeSamplingFourCycleCounter : public AdjacencyStreamAlgorithm {
   void ProcessList(int pass, const AdjacencyList& list,
                    std::size_t position) override;
   void EndPass(int pass) override;
+  std::size_t AuditSpace() const override;
+  const SpaceTracker* space_tracker() const override { return &space_; }
 
   Estimate Result() const { return result_; }
 

@@ -155,10 +155,25 @@ void AdjF2FourCycleCounter::ProcessList(int pass, const AdjacencyList& list,
     }
   }
 
-  if ((position & 0x3f) == 0) {
-    space_.Update(num_copies_ * (4 + 2 * params_.num_vertices / 8) +
-                  pairs_.size() * 5);
-  }
+  if ((position & 0x3f) == 0) UpdateSpace();
+}
+
+void AdjF2FourCycleCounter::UpdateSpace() {
+  // Per copy: the four counters (A/B/C/Z) plus the two ±1 sign caches at 8
+  // packed signs per word. Pairs: endpoints, z, and the two stamps.
+  space_.SetComponent("sketch",
+                      num_copies_ * (4 + 2 * params_.num_vertices / 8));
+  space_.SetComponent("pairs", pairs_.size() * 5);
+}
+
+std::size_t AdjF2FourCycleCounter::AuditSpace() const {
+  // Copy count taken from the real Z array and sign-cache size from the
+  // real byte buffers, cross-checking the num_copies_/num_vertices-derived
+  // accounting formula.
+  const std::size_t copies = z_.size();
+  const std::size_t signs_per_copy =
+      copies == 0 ? 0 : 2 * (alpha_.size() / copies) / 8;
+  return copies * (4 + signs_per_copy) + pairs_.size() * 5;
 }
 
 void AdjF2FourCycleCounter::EndPass(int pass) {
@@ -178,8 +193,7 @@ void AdjF2FourCycleCounter::EndPass(int pass) {
   for (const SampledPair& sp : pairs_) z_sum += sp.z;
   f1_estimate_ = pair_rate_ > 0.0 ? z_sum / pair_rate_ : 0.0;
 
-  space_.Update(num_copies_ * (4 + 2 * params_.num_vertices / 8) +
-                  pairs_.size() * 5);
+  UpdateSpace();
   result_.value = std::max(0.0, (f2_estimate_ - f1_estimate_) / 4.0);
   result_.space_words = space_.Peak();
 }

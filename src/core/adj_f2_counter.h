@@ -60,6 +60,8 @@ class AdjF2FourCycleCounter : public AdjacencyStreamAlgorithm {
   void ProcessList(int pass, const AdjacencyList& list,
                    std::size_t position) override;
   void EndPass(int pass) override;
+  std::size_t AuditSpace() const override;
+  const SpaceTracker* space_tracker() const override { return &space_; }
 
   Estimate Result() const { return result_; }
 
@@ -76,6 +78,8 @@ class AdjF2FourCycleCounter : public AdjacencyStreamAlgorithm {
     std::uint64_t stamp_v = ~0ull;
     std::uint64_t counted = ~0ull;   // Guard against double-count per list.
   };
+
+  void UpdateSpace();
 
   Params params_;
   std::uint32_t z_cap_ = 1;

@@ -52,7 +52,14 @@ void AdjL2FourCycleCounter::ProcessList(int pass, const AdjacencyList& list,
       sampler_->Update(PairKey(list.neighbors[i], list.neighbors[j]), 1.0);
     }
   }
-  space_.Update(sampler_->SpaceWords() + max_list_len_);
+  space_.SetComponent("sampler", sampler_->SpaceWords());
+  space_.SetComponent("list_buffer", max_list_len_);
+}
+
+std::size_t AdjL2FourCycleCounter::AuditSpace() const {
+  // The sampler walks its own copies and sketch tables; the Δ term is the
+  // longest buffered list.
+  return sampler_->SpaceWords() + max_list_len_;
 }
 
 void AdjL2FourCycleCounter::EndPass(int pass) {
@@ -72,7 +79,8 @@ void AdjL2FourCycleCounter::EndPass(int pass) {
   const double x_mean =
       samples.empty() ? 0.0 : x_sum / static_cast<double>(samples.size());
 
-  space_.Update(sampler_->SpaceWords() + max_list_len_);
+  space_.SetComponent("sampler", sampler_->SpaceWords());
+  space_.SetComponent("list_buffer", max_list_len_);
   result_.value = x_mean * f2;
   result_.space_words = space_.Peak();
 }

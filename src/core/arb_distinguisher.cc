@@ -68,11 +68,20 @@ void ArbTwoPassDistinguisher::ProcessEdge(int pass, const Edge& e,
     }
     if (InsertAndCheck(e)) found_ = true;
   }
-  space_.Update(2 * sample_.size() + sampled_vertices_.size() +
-                2 * collected_count_);
+  space_.SetComponent("sample", 2 * sample_.size());
+  space_.SetComponent("sampled_vertices", sampled_vertices_.size());
+  space_.SetComponent("collected", 2 * collected_count_);
 }
 
 void ArbTwoPassDistinguisher::EndPass(int pass) { (void)pass; }
+
+std::size_t ArbTwoPassDistinguisher::AuditSpace() const {
+  // Sizes the collected subgraph from the edge set itself, not the
+  // collected_count_ counter the accounting uses — the audit exists to
+  // catch that kind of drift.
+  return 2 * sample_.size() + sampled_vertices_.size() +
+         2 * collected_set_.size();
+}
 
 bool DistinguishFourCycles(const EdgeStream& stream,
                            const ArbTwoPassDistinguisher::Params& params,

@@ -197,15 +197,39 @@ void ArbThreePassFourCycleCounter::ProcessEdge(int pass, const Edge& e,
       CHECK(false) << "unexpected pass " << pass;
   }
 
-  if ((position & 0xff) == 0) {
-    std::size_t words = 2 * s0_set_.size() + 2 * (s1_size_ + s2_size_) +
-                        8 * cycles_.size() + 2 * arrivals_.size() +
-                        far_incident_.size();
-    for (const Target& target : targets_) {
-      words += 4 * target.observations.size();
-    }
-    space_.Update(words);
+  if ((position & 0xff) == 0) UpdateSpace();
+}
+
+void ArbThreePassFourCycleCounter::UpdateSpace() {
+  // far_incident first: it is the only component that shrinks (EndPass
+  // drops it), and folding the shrink before the other components' growth
+  // keeps every intermediate total bounded by the true before/after sums —
+  // otherwise a transient mix (grown arrivals + stale far_incident) would
+  // register as a phantom peak.
+  space_.SetComponent("far_incident", far_incident_.size());
+  space_.SetComponent("s0", 2 * s0_set_.size());
+  space_.SetComponent("s1_s2", 2 * (s1_size_ + s2_size_));
+  space_.SetComponent("cycles", 8 * cycles_.size());
+  space_.SetComponent("arrivals", 2 * arrivals_.size());
+  std::size_t obs_words = 0;
+  for (const Target& target : targets_) {
+    obs_words += 4 * target.observations.size();
   }
+  space_.SetComponent("observations", obs_words);
+}
+
+std::size_t ArbThreePassFourCycleCounter::AuditSpace() const {
+  // Walks the real containers. Deliberately sizes S1/S2 from the edge sets
+  // themselves, not the s1_size_/s2_size_ counters the accounting uses —
+  // the audit exists to catch exactly that kind of counter drift.
+  std::size_t words = 2 * s0_set_.size() +
+                      2 * (s1_edges_.size() + s2_edges_.size()) +
+                      8 * cycles_.size() + 2 * arrivals_.size() +
+                      far_incident_.size();
+  for (const Target& target : targets_) {
+    words += 4 * target.observations.size();
+  }
+  return words;
 }
 
 bool ArbThreePassFourCycleCounter::SubsampleKeep(std::size_t target_idx,
@@ -412,12 +436,11 @@ void ArbThreePassFourCycleCounter::EndPass(int pass) {
       diagnostics_.p = p_;
       result_.value = a0 / (4.0 * p_ * p_ * p_);
     }
-    std::size_t words = 2 * s0_set_.size() + 2 * (s1_size_ + s2_size_) +
-                        8 * cycles_.size() + 2 * arrivals_.size();
-    for (const Target& target : targets_) {
-      words += 4 * target.observations.size();
-    }
-    space_.Update(words);
+    // The certificate-witness set is dead weight once the run is over, and
+    // the end-of-run footprint has never counted it — drop the container so
+    // the accounting and the audit walk agree on the final state.
+    far_incident_.clear();
+    UpdateSpace();
     result_.space_words = space_.Peak();
   }
 }

@@ -66,6 +66,8 @@ class ArbThreePassFourCycleCounter : public EdgeStreamAlgorithm {
   void StartPass(int pass, std::size_t stream_length) override;
   void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
   void EndPass(int pass) override;
+  std::size_t AuditSpace() const override;
+  const SpaceTracker* space_tracker() const override { return &space_; }
 
   Estimate Result() const { return result_; }
 
@@ -119,6 +121,7 @@ class ArbThreePassFourCycleCounter : public EdgeStreamAlgorithm {
   void RecordCertificate(std::size_t target_idx, const Edge& g1,
                          const Edge& g2, std::size_t g1_arrived);
   void FinishOracles();
+  void UpdateSpace();
 
   Params params_;
   double p_ = 1.0;

@@ -346,11 +346,41 @@ void DiamondFourCycleCounter::ProcessList(int pass, const AdjacencyList& list,
     }
   }
   if (pass == 1) arrived_[list.vertex] = true;
-  if ((position & 0xff) == 0 || pass == 1) {
-    std::size_t words = arrived_.size() / 64 + 1;
-    for (const auto& instance : instances_) words += instance->SpaceWords();
-    space_.Update(words);
+  if ((position & 0xff) == 0 || pass == 1) UpdateSpace();
+}
+
+void DiamondFourCycleCounter::UpdateSpace() {
+  space_.SetComponent("arrived_bitmap", arrived_.size() / 64 + 1);
+  std::size_t inst_words = 0;
+  for (const auto& instance : instances_) {
+    inst_words += instance->SpaceWords();
   }
+  space_.SetComponent("instances", inst_words);
+}
+
+std::size_t DiamondFourCycleCounter::AuditSpace() const {
+  // Derives the per-instance edge-sample sizes from the real reverse-index
+  // containers rather than the e1_size/e2_size counters the accounting
+  // increments — `owners` after Build(), `pairs` before. Saturated classes
+  // logically own two full copies of the shared index (the sharing is an
+  // implementation optimization; the accounting charges the idealized
+  // per-instance layout).
+  std::size_t words = arrived_.size() / 64 + 1;
+  const std::size_t shared_pairs =
+      shared_->rev.owners.size() + shared_->rev.pairs.size();
+  for (const auto& instance : instances_) {
+    std::size_t stored1 = 0;
+    std::size_t stored2 = 0;
+    if (instance->saturated) {
+      stored1 = shared_pairs;
+      stored2 = shared_pairs;
+    } else {
+      stored1 = instance->rev1.owners.size() + instance->rev1.pairs.size();
+      stored2 = instance->rev2.owners.size() + instance->rev2.pairs.size();
+    }
+    words += 2 * (stored1 + stored2) + instance->useful.SpaceWords() + 4 * 8;
+  }
+  return words;
 }
 
 void DiamondFourCycleCounter::EndPass(int pass) {
@@ -373,9 +403,7 @@ void DiamondFourCycleCounter::EndPass(int pass) {
   }
   const double best =
       *std::max_element(shift_sums_.begin(), shift_sums_.end());
-  std::size_t words = arrived_.size() / 64 + 1;
-  for (const auto& instance : instances_) words += instance->SpaceWords();
-  space_.Update(words);
+  UpdateSpace();
 
   result_.value = best / 2.0;  // Each 4-cycle lies in exactly two diamonds.
   result_.space_words = space_.Peak();

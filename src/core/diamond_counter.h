@@ -60,6 +60,8 @@ class DiamondFourCycleCounter : public AdjacencyStreamAlgorithm {
   void ProcessList(int pass, const AdjacencyList& list,
                    std::size_t position) override;
   void EndPass(int pass) override;
+  std::size_t AuditSpace() const override;
+  const SpaceTracker* space_tracker() const override { return &space_; }
 
   /// Final estimate; valid after both passes.
   Estimate Result() const { return result_; }
@@ -77,6 +79,8 @@ class DiamondFourCycleCounter : public AdjacencyStreamAlgorithm {
   /// rebuilding. Estimates are bit-identical to the per-instance layout;
   /// see the .cc for the argument.
   struct SharedState;
+
+  void UpdateSpace();
 
   Params params_;
   std::vector<bool> arrived_;  // Shared pass-2 arrival bitmap.

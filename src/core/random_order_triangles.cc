@@ -77,6 +77,27 @@ RandomOrderTriangleCounter::RandomOrderTriangleCounter(const Params& params)
   r_ = params.prefix_rate > 0.0
            ? std::min(1.0, params.prefix_rate)
            : std::min(1.0, params.base.c / (eps * sqrt_t));
+
+  // Hash coefficients (8 per level) live for the whole run.
+  space_.SetBaseline(static_cast<std::size_t>(num_levels_) * 8);
+}
+
+void RandomOrderTriangleCounter::UpdateSpace() {
+  std::size_t level_words = 0;
+  for (const Level& level : levels_) level_words += 2 * level.edges.size();
+  space_.SetComponent("levels", level_words);
+  space_.SetComponent("rough_s", 2 * s_edges_.size());
+  space_.SetComponent("rough_c", 2 * c_edges_.size());
+  space_.SetComponent("candidates_p", 2 * p_edges_.size());
+}
+
+std::size_t RandomOrderTriangleCounter::AuditSpace() const {
+  // Walk of the real containers, mirroring the accounting contract: 2 words
+  // per stored edge plus the hash-coefficient baseline.
+  std::size_t words = static_cast<std::size_t>(num_levels_) * 8;
+  for (const Level& level : levels_) words += 2 * level.edges.size();
+  words += 2 * s_edges_.size() + 2 * c_edges_.size() + 2 * p_edges_.size();
+  return words;
 }
 
 void RandomOrderTriangleCounter::StartPass(int pass,
@@ -125,12 +146,9 @@ void RandomOrderTriangleCounter::ProcessEdge(int pass, const Edge& e,
     if (closes && c_set_.insert(e.Key()).second) c_edges_.push_back(e);
   }
 
-  // Space accounting (words): level edges (2 words each), S, C, P.
-  std::size_t words = 0;
-  for (const Level& level : levels_) words += 2 * level.edges.size();
-  words += 2 * s_edges_.size() + 2 * c_edges_.size() + 2 * p_edges_.size();
-  words += static_cast<std::size_t>(num_levels_) * 8;  // Hash coefficients.
-  space_.Update(words);
+  // Space accounting (words): level edges (2 words each), S, C, P, plus the
+  // hash-coefficient baseline charged at construction.
+  UpdateSpace();
 }
 
 std::vector<VertexId> RandomOrderTriangleCounter::OracleCommonNeighbors(
@@ -215,11 +233,7 @@ void RandomOrderTriangleCounter::EndPass(int pass) {
   diagnostics_.light_term = TermLight();
   diagnostics_.heavy_term = TermHeavy();
 
-  std::size_t words = 0;
-  for (const Level& level : levels_) words += 2 * level.edges.size();
-  words += 2 * s_edges_.size() + 2 * c_edges_.size() + 2 * p_edges_.size();
-  words += static_cast<std::size_t>(num_levels_) * 8;
-  space_.Update(words);
+  UpdateSpace();
 
   result_.value = diagnostics_.light_term + diagnostics_.heavy_term;
   result_.space_words = space_.Peak();

@@ -62,6 +62,8 @@ class RandomOrderTriangleCounter : public EdgeStreamAlgorithm {
   void StartPass(int pass, std::size_t stream_length) override;
   void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
   void EndPass(int pass) override;
+  std::size_t AuditSpace() const override;
+  const SpaceTracker* space_tracker() const override { return &space_; }
 
   /// Final estimate; valid after the pass completes.
   Estimate Result() const { return result_; }
@@ -104,6 +106,7 @@ class RandomOrderTriangleCounter : public EdgeStreamAlgorithm {
 
   double TermLight() const;
   double TermHeavy();
+  void UpdateSpace();
 
   Params params_;
   int num_levels_ = 1;       // L+1 level structures.

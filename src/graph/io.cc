@@ -1,5 +1,6 @@
 #include "graph/io.h"
 
+#include <charconv>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -24,6 +25,28 @@ std::optional<EdgeList> LoadEdgeListText(const std::string& path) {
     return it->second;
   };
 
+  // Endpoints are parsed as tokens and validated as unsigned decimal
+  // integers. Stream extraction into std::uint64_t must not be used here:
+  // it accepts a leading '-' and wraps (strtoull semantics), so a corrupt
+  // "-3" would silently densify as 2^64 - 3 and distort every estimate
+  // computed on the loaded graph.
+  auto parse_vertex = [&path](const std::string& token, std::size_t lineno,
+                              std::uint64_t* out) {
+    if (token.empty() || token[0] == '-') {
+      LOG(WARNING) << path << ":" << lineno
+                   << ": negative vertex id '" << token << "' rejected";
+      return false;
+    }
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), *out, 10);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      LOG(WARNING) << path << ":" << lineno << ": invalid vertex id '"
+                   << token << "'";
+      return false;
+    }
+    return true;
+  };
+
   std::vector<std::pair<VertexId, VertexId>> pairs;
   std::string line;
   std::size_t lineno = 0;
@@ -32,11 +55,23 @@ std::optional<EdgeList> LoadEdgeListText(const std::string& path) {
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream ls(line);
-    std::uint64_t a, b;
-    if (!(ls >> a)) continue;  // Blank or comment-only line.
-    if (!(ls >> b)) {
+    std::string ta, tb;
+    if (!(ls >> ta)) continue;  // Blank or comment-only line.
+    if (!(ls >> tb)) {
       LOG(WARNING) << path << ":" << lineno << ": malformed line";
       return std::nullopt;
+    }
+    std::uint64_t a = 0, b = 0;
+    if (!parse_vertex(ta, lineno, &a) || !parse_vertex(tb, lineno, &b)) {
+      return std::nullopt;
+    }
+    std::string extra;
+    if (ls >> extra) {
+      // Common in the wild (weights, timestamps); load the endpoints but
+      // say so, once per offending line.
+      LOG(WARNING) << path << ":" << lineno
+                   << ": trailing garbage after endpoints ignored: '" << extra
+                   << "'";
     }
     pairs.emplace_back(densify(a), densify(b));
   }

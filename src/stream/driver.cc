@@ -1,26 +1,139 @@
 #include "stream/driver.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+#include "util/check.h"
+
 namespace cyclestream {
+namespace {
+
+// Audit flag: set once at startup (SetSpaceAudit / environment), read from
+// every worker thread. Relaxed atomics keep TSan quiet without cost.
+std::atomic<bool> g_audit_enabled{false};
+
+bool AuditFromEnv() {
+  const char* env = std::getenv("CYCLESTREAM_AUDIT_SPACE");
+  return env != nullptr && env[0] == '1';
+}
+
+// Process-wide counters. Each field is a sum of per-run contributions, so
+// the totals are scheduling-independent; atomics make the concurrent
+// accumulation race-free.
+struct AtomicStreamStats {
+  std::atomic<std::uint64_t> runs{0};
+  std::atomic<std::uint64_t> passes{0};
+  std::atomic<std::uint64_t> edges_processed{0};
+  std::atomic<std::uint64_t> lists_processed{0};
+  std::atomic<std::uint64_t> audits_passed{0};
+  std::atomic<std::uint64_t> pass_nanos[4] = {};
+};
+
+AtomicStreamStats& Stats() {
+  static AtomicStreamStats stats;
+  return stats;
+}
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Cross-checks the algorithm's self-reported footprint against a fresh
+// walk of its stored state. Called after the final pass, when every
+// algorithm's tracker is current.
+template <typename Alg>
+void MaybeAuditSpace(const Alg& alg) {
+  if (!SpaceAuditEnabled()) return;
+  const SpaceTracker* tracker = alg.space_tracker();
+  const std::size_t walked = alg.AuditSpace();
+  if (tracker == nullptr || walked == kNoSpaceAudit) return;
+  CHECK_EQ(walked, tracker->Current())
+      << "space audit failed: the state walk disagrees with the "
+         "self-reported footprint (accounting bug)";
+  CHECK_LE(walked, tracker->Peak())
+      << "space audit failed: current footprint exceeds the recorded peak";
+  Stats().audits_passed.fetch_add(1, kRelaxed);
+}
+
+void AddPassTime(int pass, std::chrono::steady_clock::time_point start) {
+  const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  const int slot = pass < 3 ? pass : 3;
+  Stats().pass_nanos[slot].fetch_add(static_cast<std::uint64_t>(nanos),
+                                     kRelaxed);
+}
+
+}  // namespace
+
+void SetSpaceAudit(bool enabled) {
+  g_audit_enabled.store(enabled, kRelaxed);
+}
+
+bool SpaceAuditEnabled() {
+  static const bool from_env = AuditFromEnv();
+  return from_env || g_audit_enabled.load(kRelaxed);
+}
+
+StreamStats GlobalStreamStats() {
+  StreamStats out;
+  AtomicStreamStats& stats = Stats();
+  out.runs = stats.runs.load(kRelaxed);
+  out.passes = stats.passes.load(kRelaxed);
+  out.edges_processed = stats.edges_processed.load(kRelaxed);
+  out.lists_processed = stats.lists_processed.load(kRelaxed);
+  out.audits_passed = stats.audits_passed.load(kRelaxed);
+  for (int i = 0; i < 4; ++i) {
+    out.pass_seconds[i] =
+        static_cast<double>(stats.pass_nanos[i].load(kRelaxed)) * 1e-9;
+  }
+  return out;
+}
+
+void ResetStreamStats() {
+  AtomicStreamStats& stats = Stats();
+  stats.runs.store(0, kRelaxed);
+  stats.passes.store(0, kRelaxed);
+  stats.edges_processed.store(0, kRelaxed);
+  stats.lists_processed.store(0, kRelaxed);
+  stats.audits_passed.store(0, kRelaxed);
+  for (auto& nanos : stats.pass_nanos) nanos.store(0, kRelaxed);
+}
 
 void RunEdgeStream(EdgeStreamAlgorithm& alg, const EdgeStream& stream) {
-  for (int pass = 0; pass < alg.NumPasses(); ++pass) {
+  const int num_passes = alg.NumPasses();
+  for (int pass = 0; pass < num_passes; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
     alg.StartPass(pass, stream.size());
     for (std::size_t i = 0; i < stream.size(); ++i) {
       alg.ProcessEdge(pass, stream[i], i);
     }
     alg.EndPass(pass);
+    AddPassTime(pass, start);
   }
+  MaybeAuditSpace(alg);
+  Stats().runs.fetch_add(1, kRelaxed);
+  Stats().passes.fetch_add(static_cast<std::uint64_t>(num_passes), kRelaxed);
+  Stats().edges_processed.fetch_add(
+      static_cast<std::uint64_t>(num_passes) * stream.size(), kRelaxed);
 }
 
 void RunAdjacencyStream(AdjacencyStreamAlgorithm& alg,
                         const AdjacencyStream& stream) {
-  for (int pass = 0; pass < alg.NumPasses(); ++pass) {
+  const int num_passes = alg.NumPasses();
+  for (int pass = 0; pass < num_passes; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
     alg.StartPass(pass, stream.size());
     for (std::size_t i = 0; i < stream.size(); ++i) {
       alg.ProcessList(pass, stream[i], i);
     }
     alg.EndPass(pass);
+    AddPassTime(pass, start);
   }
+  MaybeAuditSpace(alg);
+  Stats().runs.fetch_add(1, kRelaxed);
+  Stats().passes.fetch_add(static_cast<std::uint64_t>(num_passes), kRelaxed);
+  Stats().lists_processed.fetch_add(
+      static_cast<std::uint64_t>(num_passes) * stream.size(), kRelaxed);
 }
 
 }  // namespace cyclestream

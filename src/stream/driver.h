@@ -2,10 +2,16 @@
 #define CYCLESTREAM_STREAM_DRIVER_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "stream/order.h"
+#include "stream/space.h"
 
 namespace cyclestream {
+
+/// Sentinel return of AuditSpace(): the algorithm does not implement the
+/// audit walk.
+inline constexpr std::size_t kNoSpaceAudit = static_cast<std::size_t>(-1);
 
 /// Interface for algorithms over edge streams (arbitrary / random order).
 /// The driver calls, for each pass p in [0, NumPasses()):
@@ -20,6 +26,20 @@ class EdgeStreamAlgorithm {
   virtual void StartPass(int pass, std::size_t stream_length) = 0;
   virtual void ProcessEdge(int pass, const Edge& e, std::size_t position) = 0;
   virtual void EndPass(int pass) = 0;
+
+  /// Space-audit hook: recomputes the algorithm's current footprint in
+  /// words by walking its *actual stored state* (containers, not
+  /// counters). In audit mode the driver cross-checks this walk against
+  /// the self-reported SpaceTracker after the final pass; a mismatch is an
+  /// accounting bug and aborts. Algorithms keep their tracker current at
+  /// end of run, so the two must agree exactly. Return kNoSpaceAudit (the
+  /// default) if the walk is not implemented.
+  virtual std::size_t AuditSpace() const { return kNoSpaceAudit; }
+
+  /// The algorithm's space tracker, or nullptr if it does not track space.
+  /// Used by the audit cross-check and by the metrics layer to export the
+  /// peak-space component breakdown.
+  virtual const SpaceTracker* space_tracker() const { return nullptr; }
 };
 
 /// Interface for algorithms over adjacency-list streams. Position is the
@@ -33,6 +53,12 @@ class AdjacencyStreamAlgorithm {
   virtual void ProcessList(int pass, const AdjacencyList& list,
                            std::size_t position) = 0;
   virtual void EndPass(int pass) = 0;
+
+  /// See EdgeStreamAlgorithm::AuditSpace.
+  virtual std::size_t AuditSpace() const { return kNoSpaceAudit; }
+
+  /// See EdgeStreamAlgorithm::space_tracker.
+  virtual const SpaceTracker* space_tracker() const { return nullptr; }
 };
 
 /// Runs all passes of `alg` over `stream`.
@@ -41,6 +67,39 @@ void RunEdgeStream(EdgeStreamAlgorithm& alg, const EdgeStream& stream);
 /// Runs all passes of `alg` over the adjacency stream.
 void RunAdjacencyStream(AdjacencyStreamAlgorithm& alg,
                         const AdjacencyStream& stream);
+
+/// Enables the space audit: after the final pass of every Run*Stream, the
+/// driver cross-checks AuditSpace() against the algorithm's SpaceTracker
+/// and aborts on any mismatch. The walk is O(state), so this is meant for
+/// Debug / CI smoke runs (`--audit` on the experiment binaries), not
+/// benchmarking. Also enabled by the environment variable
+/// CYCLESTREAM_AUDIT_SPACE=1. Set once at startup, like SetDefaultThreads.
+void SetSpaceAudit(bool enabled);
+
+/// Whether the space audit is active (flag or environment).
+bool SpaceAuditEnabled();
+
+/// Process-wide driver counters, aggregated across every Run*Stream call
+/// on any thread. Totals are sums of per-run values, so they are
+/// deterministic at any thread count (per the util/parallel.h contract the
+/// set of runs is scheduling-independent); only the timing fields are
+/// wall-clock and excluded from deterministic manifest comparisons.
+struct StreamStats {
+  std::uint64_t runs = 0;             // Completed Run*Stream calls.
+  std::uint64_t passes = 0;           // Passes executed.
+  std::uint64_t edges_processed = 0;  // ProcessEdge calls.
+  std::uint64_t lists_processed = 0;  // ProcessList calls.
+  std::uint64_t audits_passed = 0;    // Successful audit cross-checks.
+  double pass_seconds[4] = {0, 0, 0, 0};  // Wall time by pass index (3+ folded
+                                          // into the last slot). Not
+                                          // deterministic.
+};
+
+/// Snapshot of the process-wide counters.
+StreamStats GlobalStreamStats();
+
+/// Zeroes the process-wide counters (tests; experiment startup).
+void ResetStreamStats();
 
 }  // namespace cyclestream
 

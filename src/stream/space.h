@@ -1,39 +1,138 @@
 #ifndef CYCLESTREAM_STREAM_SPACE_H_
 #define CYCLESTREAM_STREAM_SPACE_H_
 
-#include <algorithm>
 #include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
 
 namespace cyclestream {
 
 /// Peak-space tracker. Streaming algorithms report their space in "words":
 /// one word per stored edge endpoint pair, per counter, and per hash-seed
-/// coefficient. Algorithms call Update with their current word count (e.g.
-/// once per processed element); the space-scaling experiments read Peak().
+/// coefficient. The space-scaling experiments read Peak().
 ///
 /// This measures the *information the algorithm retains*, which is the
 /// quantity the paper's Õ(·) bounds are about — independent of container
 /// overheads like hash-table load factors.
+///
+/// Space decomposes into *named components* so a peak figure can be
+/// explained ("levels: 4096, hash seeds: 64, candidates: 17"):
+///
+///   space_.SetComponent("levels", 2 * level_edges);   // absolute
+///   space_.Charge("reservoir", 2);                    // incremental
+///   space_.Release("reservoir", 2);
+///
+/// Every mutation folds the current total into the peak, and the component
+/// breakdown at the moment the peak was (last) attained is kept for the
+/// run manifests. The legacy single-bucket `Update(words)` sets the
+/// anonymous "state" component and remains exactly equivalent to the
+/// historical tracker for algorithms that never name components.
+///
+/// Incremental accounting (Charge/Release) is exactly what can silently
+/// drift from the truth, so algorithms additionally expose an
+/// `AuditSpace()` walk of their real containers that the stream driver
+/// cross-checks in audit mode (see stream/driver.h).
+///
+/// Components live in a small flat vector (an algorithm names a handful at
+/// most), so the per-stream-element update path allocates nothing once all
+/// component names have been seen.
 class SpaceTracker {
  public:
-  /// Records the current footprint and folds it into the peak.
-  void Update(std::size_t words) {
-    current_ = words;
-    peak_ = std::max(peak_, words);
+  /// Legacy interface: records the current footprint as one anonymous
+  /// component and folds it into the peak.
+  void Update(std::size_t words) { SetComponent("state", words); }
+
+  /// Sets the current footprint of one named component.
+  void SetComponent(std::string_view name, std::size_t words) {
+    Slot(name) = words;
+    Refresh();
   }
 
-  /// Adds a fixed baseline (e.g. hash seeds) counted in every Update.
+  /// Adds `delta` words to a named component.
+  void Charge(std::string_view name, std::size_t delta) {
+    Slot(name) += delta;
+    Refresh();
+  }
+
+  /// Removes `delta` words from a named component. Releasing more than the
+  /// component holds is an accounting bug and aborts.
+  void Release(std::string_view name, std::size_t delta) {
+    std::size_t& slot = Slot(name);
+    CHECK_GE(slot, delta) << "SpaceTracker::Release underflow on component '"
+                          << std::string(name) << "'";
+    slot -= delta;
+    Refresh();
+  }
+
+  /// Adds a fixed baseline (e.g. hash seeds) counted in every reading.
   void SetBaseline(std::size_t words) { baseline_ = words; }
 
   std::size_t Current() const { return current_ + baseline_; }
   std::size_t Peak() const { return peak_ + baseline_; }
 
+  /// Current words held by one component (0 if never charged).
+  std::size_t Component(std::string_view name) const {
+    for (const Entry& e : components_) {
+      if (e.name == name) return e.words;
+    }
+    return 0;
+  }
+
+  /// The component breakdown at the moment Peak() was last attained.
+  /// The baseline appears under "baseline" when nonzero. Ordered map:
+  /// iteration (and hence any serialization) is deterministic.
+  std::map<std::string, std::size_t, std::less<>> PeakComponents() const {
+    std::map<std::string, std::size_t, std::less<>> out;
+    for (const Entry& e : peak_components_) out[e.name] = e.words;
+    if (baseline_ > 0) out["baseline"] = baseline_;
+    return out;
+  }
+
+  /// Returns the tracker to its freshly-constructed state. Clears the
+  /// baseline too: a reused tracker must not inherit the previous run's
+  /// hash-seed baseline (historically it did, double-counting it into
+  /// every subsequent reading).
   void Reset() {
+    components_.clear();
+    peak_components_.clear();
+    baseline_ = 0;
     current_ = 0;
     peak_ = 0;
   }
 
  private:
+  struct Entry {
+    std::string name;
+    std::size_t words = 0;
+  };
+
+  std::size_t& Slot(std::string_view name) {
+    for (Entry& e : components_) {
+      if (e.name == name) return e.words;
+    }
+    components_.push_back(Entry{std::string(name), 0});
+    return components_.back().words;
+  }
+
+  void Refresh() {
+    std::size_t sum = 0;
+    for (const Entry& e : components_) sum += e.words;
+    current_ = sum;
+    if (sum >= peak_) {
+      peak_ = sum;
+      // Element-wise copy; reuses capacity (and the strings' storage) after
+      // the first snapshot, so steady-state peaks allocate nothing.
+      peak_components_ = components_;
+    }
+  }
+
+  std::vector<Entry> components_;
+  std::vector<Entry> peak_components_;
   std::size_t baseline_ = 0;
   std::size_t current_ = 0;
   std::size_t peak_ = 0;

@@ -1,7 +1,9 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <ostream>
 
 #include "util/check.h"
 #include "util/parallel.h"
@@ -53,7 +55,10 @@ std::int64_t FlagParser::GetInt(const std::string& name, std::int64_t def) {
   if (it == values_.end()) return def;
   char* end = nullptr;
   const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  CHECK(end != nullptr && *end == '\0')
+  // strtoll consumes no characters on an empty value (`--flag=`), leaving
+  // *end == '\0' — require at least one consumed character so the flag
+  // cannot silently read as 0.
+  CHECK(end != nullptr && end != it->second.c_str() && *end == '\0')
       << "flag --" << name << " expects an integer, got '" << it->second
       << "'";
   return v;
@@ -65,7 +70,7 @@ double FlagParser::GetDouble(const std::string& name, double def) {
   if (it == values_.end()) return def;
   char* end = nullptr;
   const double v = std::strtod(it->second.c_str(), &end);
-  CHECK(end != nullptr && *end == '\0')
+  CHECK(end != nullptr && end != it->second.c_str() && *end == '\0')
       << "flag --" << name << " expects a number, got '" << it->second << "'";
   return v;
 }
@@ -87,7 +92,17 @@ std::vector<std::string> FlagParser::Unused() const {
     (void)value;
     if (used_.find(name) == used_.end()) out.push_back(name);
   }
+  // The backing container is ordered today, but the warning output (and
+  // anything diffing it) must stay deterministic regardless of how the
+  // storage evolves — sort explicitly.
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+void WarnUnusedFlags(const FlagParser& flags, std::ostream& os) {
+  for (const std::string& name : flags.Unused()) {
+    os << "warning: unused flag --" << name << "\n";
+  }
 }
 
 }  // namespace cyclestream

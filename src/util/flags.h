@@ -2,6 +2,7 @@
 #define CYCLESTREAM_UTIL_FLAGS_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -9,6 +10,11 @@
 namespace cyclestream {
 
 class FlagParser;
+
+/// Prints one `warning: unused flag --name` line per unused flag (sorted)
+/// to `os`. Every experiment binary calls this before exiting so typos
+/// never pass silently.
+void WarnUnusedFlags(const FlagParser& flags, std::ostream& os);
 
 /// Reads the shared `--threads N` flag (0 = hardware concurrency, 1 =
 /// serial) and installs it process-wide via SetDefaultThreads; every
@@ -35,11 +41,16 @@ class FlagParser {
   double GetDouble(const std::string& name, double def);
   bool GetBool(const std::string& name, bool def);
 
-  /// Flags present on the command line that were never queried.
+  /// Flags present on the command line that were never queried. Sorted by
+  /// name, so warning output is deterministic.
   std::vector<std::string> Unused() const;
 
   /// Positional (non-flag) arguments, in order.
   const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All flags present on the command line (name -> raw value), for run
+  /// manifests. Ordered map: iteration is deterministic.
+  const std::map<std::string, std::string>& values() const { return values_; }
 
  private:
   std::map<std::string, std::string> values_;

@@ -1,0 +1,179 @@
+#ifndef CYCLESTREAM_UTIL_JSON_H_
+#define CYCLESTREAM_UTIL_JSON_H_
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cyclestream {
+
+/// Minimal streaming JSON writer for the run manifests. Emits pretty-printed,
+/// deterministic output: keys are written in caller order, doubles use the
+/// shortest round-trip representation (std::to_chars), and there is no
+/// locale dependence. Usage:
+///
+///   JsonWriter w(os);
+///   w.BeginObject();
+///   w.Key("experiment"); w.String("E2");
+///   w.Key("rows"); w.BeginArray(); w.Uint(3); w.EndArray();
+///   w.EndObject();
+///
+/// Structural misuse (a value with no pending key inside an object, unclosed
+/// containers at destruction) aborts via CHECK — manifests are written by
+/// library code, so malformed output is a programming error.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent_step = 2)
+      : os_(os), indent_step_(indent_step) {}
+
+  ~JsonWriter() { CHECK(stack_.empty()) << "JsonWriter: unclosed container"; }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject() {
+    BeforeValue();
+    os_ << '{';
+    stack_.push_back(Frame{'{', false});
+  }
+
+  void EndObject() {
+    CHECK(!stack_.empty() && stack_.back().kind == '{' && !key_pending_)
+        << "JsonWriter: mismatched EndObject";
+    const bool had_items = stack_.back().has_items;
+    stack_.pop_back();
+    if (had_items) NewlineIndent();
+    os_ << '}';
+  }
+
+  void BeginArray() {
+    BeforeValue();
+    os_ << '[';
+    stack_.push_back(Frame{'[', false});
+  }
+
+  void EndArray() {
+    CHECK(!stack_.empty() && stack_.back().kind == '[')
+        << "JsonWriter: mismatched EndArray";
+    const bool had_items = stack_.back().has_items;
+    stack_.pop_back();
+    if (had_items) NewlineIndent();
+    os_ << ']';
+  }
+
+  void Key(std::string_view key) {
+    CHECK(!stack_.empty() && stack_.back().kind == '{' && !key_pending_)
+        << "JsonWriter: Key outside an object";
+    if (stack_.back().has_items) os_ << ',';
+    stack_.back().has_items = true;
+    NewlineIndent();
+    os_ << '"' << Escape(key) << "\": ";
+    key_pending_ = true;
+  }
+
+  void String(std::string_view value) {
+    BeforeValue();
+    os_ << '"' << Escape(value) << '"';
+  }
+
+  void Int(std::int64_t value) {
+    BeforeValue();
+    os_ << value;
+  }
+
+  void Uint(std::uint64_t value) {
+    BeforeValue();
+    os_ << value;
+  }
+
+  void Bool(bool value) {
+    BeforeValue();
+    os_ << (value ? "true" : "false");
+  }
+
+  void Null() {
+    BeforeValue();
+    os_ << "null";
+  }
+
+  /// Shortest round-trip representation; non-finite values (not valid
+  /// JSON) are emitted as null.
+  void Double(double value) {
+    BeforeValue();
+    if (!std::isfinite(value)) {
+      os_ << "null";
+      return;
+    }
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    CHECK(ec == std::errc()) << "JsonWriter: double conversion failed";
+    os_.write(buf, ptr - buf);
+  }
+
+  /// Escapes `"`, `\`, and control characters per RFC 8259.
+  static std::string Escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Frame {
+    char kind;       // '{' or '['.
+    bool has_items;  // Whether a comma is needed before the next item.
+  };
+
+  void BeforeValue() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;
+    }
+    if (stack_.empty()) return;  // Top-level value.
+    CHECK_EQ(stack_.back().kind, '[')
+        << "JsonWriter: value inside an object requires a Key first";
+    if (stack_.back().has_items) os_ << ',';
+    stack_.back().has_items = true;
+    NewlineIndent();
+  }
+
+  void NewlineIndent() {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size() * indent_step_; ++i) os_ << ' ';
+  }
+
+  std::ostream& os_;
+  std::size_t indent_step_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_UTIL_JSON_H_

@@ -32,6 +32,11 @@ class Table {
 
   std::size_t num_rows() const { return rows_.size(); }
 
+  // Structured access (run-manifest serialization).
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   // Cell formatting helpers.
   static std::string Num(double v, int precision = 3);
   static std::string Int(std::int64_t v);

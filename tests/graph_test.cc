@@ -234,5 +234,47 @@ TEST(IoTest, MissingFileReturnsNullopt) {
   EXPECT_FALSE(LoadEdgeListText("/nonexistent/file.txt").has_value());
 }
 
+// Regression: stream extraction into std::uint64_t accepts a leading '-'
+// and wraps (strtoull semantics), so "-3" used to densify as 2^64 - 3 and
+// load without complaint. Negative ids must reject the whole file.
+TEST(IoTest, NegativeVertexIdIsRejected) {
+  const std::string path = ::testing::TempDir() + "/negative.txt";
+  {
+    std::ofstream out(path);
+    out << "1 2\n-3 4\n";
+  }
+  EXPECT_FALSE(LoadEdgeListText(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, NonNumericVertexIdIsRejected) {
+  const std::string path = ::testing::TempDir() + "/nonnumeric.txt";
+  {
+    std::ofstream out(path);
+    out << "1 2\nfoo 4\n";
+  }
+  EXPECT_FALSE(LoadEdgeListText(path).has_value());
+  {
+    std::ofstream out(path);
+    out << "1 2\n3x 4\n";  // Numeric prefix with junk glued on.
+  }
+  EXPECT_FALSE(LoadEdgeListText(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, TrailingGarbageLoadsEndpointsAndContinues) {
+  const std::string path = ::testing::TempDir() + "/weighted.txt";
+  {
+    std::ofstream out(path);
+    // SNAP-style extras (weights / timestamps) after the endpoints.
+    out << "1 2 0.75\n2 3 1588000000\n";
+  }
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_vertices(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace cyclestream

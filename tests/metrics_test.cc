@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gen/generators.h"
+#include "stream/driver.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/table.h"
+
+namespace cyclestream {
+namespace {
+
+TEST(MetricsRegistryTest, CountersGaugesAndLabels) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.Inc("edges");
+  m.Inc("edges", 4);
+  m.SetInt("rows", 12);
+  m.Set("slope", -0.5);
+  m.SetStr("workload", "ba");
+  EXPECT_EQ(m.GetInt("edges"), 5);
+  EXPECT_EQ(m.GetInt("rows"), 12);
+  EXPECT_DOUBLE_EQ(m.GetDouble("slope"), -0.5);
+  EXPECT_TRUE(m.Has("workload"));
+  EXPECT_FALSE(m.Has("absent"));
+  EXPECT_EQ(m.GetInt("absent"), 0);
+  EXPECT_DOUBLE_EQ(m.GetDouble("absent"), 0.0);
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MetricsRegistryTest, DeterministicJsonSortsKeysAndExcludesTimings) {
+  MetricsRegistry m;
+  m.SetInt("zebra", 1);
+  m.SetInt("apple", 2);
+  m.SetTiming("wall.seconds", 3.14);
+  const std::string json = m.DeterministicJson();
+  EXPECT_LT(json.find("apple"), json.find("zebra"));
+  EXPECT_EQ(json.find("wall.seconds"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, InsertionOrderDoesNotChangeJson) {
+  MetricsRegistry a, b;
+  a.SetInt("x", 1);
+  a.Set("y", 2.5);
+  b.Set("y", 2.5);
+  b.SetInt("x", 1);
+  EXPECT_EQ(a.DeterministicJson(), b.DeterministicJson());
+}
+
+RunManifest MakeManifest(int threads) {
+  SetDefaultThreads(threads);
+  ResetStreamStats();
+  // A real (deterministic) stream run, so stream.* stats are populated the
+  // same way the experiment drivers populate them.
+  Rng rng(7);
+  const EdgeList graph = ErdosRenyiGnm(100, 300, rng);
+
+  RunManifest manifest("TEST");
+  manifest.SetThreads(threads);
+  manifest.SetConfig({{"seed", "7"}, {"quick", "true"}});
+  manifest.metrics().SetInt("graph.edges",
+                            static_cast<std::int64_t>(graph.num_edges()));
+  manifest.metrics().SetTiming("wall.seconds", threads * 0.25);
+  Table t({"k", "v"});
+  t.AddRow({"edges", Table::Int(static_cast<std::int64_t>(graph.num_edges()))});
+  manifest.AddTable("results", t);
+  return manifest;
+}
+
+TEST(RunManifestTest, DeterministicJsonIsThreadCountInvariant) {
+  const std::string at1 = MakeManifest(1).DeterministicJson();
+  const std::string at8 = MakeManifest(8).DeterministicJson();
+  SetDefaultThreads(1);
+  EXPECT_EQ(at1, at8);
+  // And the thread count / git stamp / timings really are absent.
+  EXPECT_EQ(at1.find("threads"), std::string::npos);
+  EXPECT_EQ(at1.find("git"), std::string::npos);
+  EXPECT_EQ(at1.find("wall.seconds"), std::string::npos);
+}
+
+TEST(RunManifestTest, FullManifestCarriesEnvironmentAndTables) {
+  RunManifest manifest("E99");
+  manifest.SetThreads(4);
+  manifest.SetConfig({{"trials", "3"}});
+  Table t({"a", "b"});
+  t.set_title("demo");
+  t.AddRow({"1", "2"});
+  manifest.AddTable("demo_table", t);
+  std::ostringstream os;
+  manifest.Write(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"experiment\": \"E99\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"git\""), std::string::npos);
+  EXPECT_NE(json.find("\"demo_table\""), std::string::npos);
+  EXPECT_NE(json.find("\"trials\": \"3\""), std::string::npos);
+}
+
+TEST(RunManifestTest, WriteFileRoundTrips) {
+  RunManifest manifest("FILE");
+  manifest.metrics().SetInt("x", 42);
+  const std::string path =
+      ::testing::TempDir() + "/cyclestream_manifest_test.json";
+  ASSERT_TRUE(manifest.WriteFile(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"x\": 42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RunManifestTest, WriteFileFailsCleanlyOnBadPath) {
+  RunManifest manifest("FILE");
+  EXPECT_FALSE(manifest.WriteFile("/nonexistent-dir/manifest.json"));
+}
+
+TEST(BuildGitDescribeTest, IsNonEmpty) {
+  EXPECT_NE(std::string(BuildGitDescribe()), "");
+}
+
+}  // namespace
+}  // namespace cyclestream

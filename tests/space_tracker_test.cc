@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "stream/driver.h"
+#include "stream/order.h"
+#include "stream/space.h"
+
+namespace cyclestream {
+namespace {
+
+TEST(SpaceTrackerTest, NamedComponentsSumIntoTotals) {
+  SpaceTracker tracker;
+  tracker.SetComponent("levels", 100);
+  tracker.SetComponent("candidates", 7);
+  EXPECT_EQ(tracker.Current(), 107u);
+  EXPECT_EQ(tracker.Peak(), 107u);
+  EXPECT_EQ(tracker.Component("levels"), 100u);
+  EXPECT_EQ(tracker.Component("candidates"), 7u);
+  EXPECT_EQ(tracker.Component("never-charged"), 0u);
+}
+
+TEST(SpaceTrackerTest, ChargeAndReleaseAdjustOneComponent) {
+  SpaceTracker tracker;
+  tracker.Charge("reservoir", 10);
+  tracker.Charge("reservoir", 5);
+  EXPECT_EQ(tracker.Component("reservoir"), 15u);
+  tracker.Release("reservoir", 12);
+  EXPECT_EQ(tracker.Component("reservoir"), 3u);
+  EXPECT_EQ(tracker.Current(), 3u);
+  EXPECT_EQ(tracker.Peak(), 15u);
+}
+
+TEST(SpaceTrackerDeathTest, ReleaseUnderflowAborts) {
+  SpaceTracker tracker;
+  tracker.Charge("reservoir", 2);
+  EXPECT_DEATH(tracker.Release("reservoir", 3), "underflow");
+}
+
+TEST(SpaceTrackerTest, PeakComponentsSnapshotTheMomentOfThePeak) {
+  SpaceTracker tracker;
+  tracker.SetBaseline(4);
+  tracker.SetComponent("a", 10);
+  tracker.SetComponent("b", 20);  // Peak: a=10, b=20 (+baseline).
+  tracker.SetComponent("a", 1);   // Below peak; snapshot must not move.
+  EXPECT_EQ(tracker.Peak(), 34u);
+  EXPECT_EQ(tracker.Current(), 25u);
+  const std::map<std::string, std::size_t, std::less<>> expected = {
+      {"a", 10}, {"b", 20}, {"baseline", 4}};
+  EXPECT_EQ(tracker.PeakComponents(), expected);
+}
+
+TEST(SpaceTrackerTest, LegacyUpdateMatchesHistoricalSingleBucketTracker) {
+  SpaceTracker tracker;
+  tracker.Update(10);
+  tracker.Update(50);
+  tracker.Update(20);
+  EXPECT_EQ(tracker.Peak(), 50u);
+  EXPECT_EQ(tracker.Current(), 20u);
+  tracker.SetBaseline(5);
+  EXPECT_EQ(tracker.Peak(), 55u);
+  EXPECT_EQ(tracker.Current(), 25u);
+}
+
+// Regression: Reset() used to keep baseline_, so a reused tracker
+// double-counted the previous run's hash-seed baseline into every
+// subsequent reading.
+TEST(SpaceTrackerTest, ResetClearsBaseline) {
+  SpaceTracker tracker;
+  tracker.SetBaseline(16);
+  tracker.SetComponent("state", 100);
+  tracker.Reset();
+  EXPECT_EQ(tracker.Peak(), 0u);
+  EXPECT_EQ(tracker.Current(), 0u);
+  tracker.SetComponent("state", 10);
+  EXPECT_EQ(tracker.Peak(), 10u) << "stale baseline leaked through Reset()";
+}
+
+// Toy algorithm with *correct* incremental accounting: stores every edge,
+// charges 2 words per edge, and audits by walking the stored vector.
+class CorrectlyAccountedAlgorithm : public EdgeStreamAlgorithm {
+ public:
+  int NumPasses() const override { return 1; }
+  void StartPass(int, std::size_t) override {}
+  void ProcessEdge(int, const Edge& e, std::size_t) override {
+    stored_.push_back(e);
+    space_.Charge("stored", 2);
+  }
+  void EndPass(int) override {}
+  std::size_t AuditSpace() const override { return 2 * stored_.size(); }
+  const SpaceTracker* space_tracker() const override { return &space_; }
+
+ protected:
+  std::vector<Edge> stored_;
+  SpaceTracker space_;
+};
+
+// Same state, but the accounting under-charges — the bug class the audit
+// exists to catch.
+class UnderchargedAlgorithm : public CorrectlyAccountedAlgorithm {
+ public:
+  void ProcessEdge(int, const Edge& e, std::size_t) override {
+    stored_.push_back(e);
+    space_.Charge("stored", 1);  // Claims half the true footprint.
+  }
+};
+
+EdgeStream TestStream() {
+  EdgeStream stream;
+  for (VertexId v = 1; v < 8; ++v) stream.push_back(Edge(0, v));
+  return stream;
+}
+
+TEST(SpaceAuditTest, DriverAcceptsCorrectAccounting) {
+  SetSpaceAudit(true);
+  ResetStreamStats();
+  CorrectlyAccountedAlgorithm alg;
+  RunEdgeStream(alg, TestStream());
+  EXPECT_EQ(GlobalStreamStats().audits_passed, 1u);
+  SetSpaceAudit(false);
+}
+
+TEST(SpaceAuditDeathTest, DriverAbortsOnDriftedAccounting) {
+  SetSpaceAudit(true);
+  UnderchargedAlgorithm alg;
+  EXPECT_DEATH(RunEdgeStream(alg, TestStream()), "space audit failed");
+  SetSpaceAudit(false);
+}
+
+TEST(SpaceAuditTest, DisabledAuditIgnoresDrift) {
+  SetSpaceAudit(false);
+  ResetStreamStats();
+  UnderchargedAlgorithm alg;
+  RunEdgeStream(alg, TestStream());  // No abort: the cross-check is off.
+  EXPECT_EQ(GlobalStreamStats().audits_passed, 0u);
+}
+
+TEST(SpaceAuditTest, AlgorithmsWithoutTheHookAreSkipped) {
+  SetSpaceAudit(true);
+  ResetStreamStats();
+  class NoHook : public EdgeStreamAlgorithm {
+   public:
+    int NumPasses() const override { return 1; }
+    void StartPass(int, std::size_t) override {}
+    void ProcessEdge(int, const Edge&, std::size_t) override {}
+    void EndPass(int) override {}
+  };
+  NoHook alg;
+  RunEdgeStream(alg, TestStream());
+  EXPECT_EQ(GlobalStreamStats().audits_passed, 0u);
+  SetSpaceAudit(false);
+}
+
+}  // namespace
+}  // namespace cyclestream

@@ -139,8 +139,12 @@ TEST(SpaceTrackerTest, TracksPeakAndBaseline) {
   EXPECT_EQ(tracker.Current(), 20u);
   tracker.SetBaseline(5);
   EXPECT_EQ(tracker.Peak(), 55u);
+  // Reset() returns the tracker to its freshly-constructed state, baseline
+  // included — a reused tracker must not double-count the previous run's
+  // hash-seed baseline.
   tracker.Reset();
-  EXPECT_EQ(tracker.Peak(), 5u);
+  EXPECT_EQ(tracker.Peak(), 0u);
+  EXPECT_EQ(tracker.Current(), 0u);
 }
 
 }  // namespace

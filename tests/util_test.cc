@@ -108,5 +108,22 @@ TEST(FlagParserTest, DefaultsAndUnused) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+TEST(FlagParserTest, UnusedIsSorted) {
+  const char* argv[] = {"prog", "--zeta=1", "--alpha=2", "--mid=3"};
+  FlagParser flags(4, const_cast<char**>(argv));
+  EXPECT_EQ(flags.Unused(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+// Regression: "--t_guess=" (empty value) used to parse as 0 via atoll /
+// atof, silently turning a fat-fingered flag into a zero threshold. An
+// empty value on a numeric flag is a usage error and must abort.
+TEST(FlagParserDeathTest, EmptyNumericValueAborts) {
+  const char* argv[] = {"prog", "--t_guess="};
+  FlagParser flags(2, const_cast<char**>(argv));
+  EXPECT_DEATH(flags.GetInt("t_guess", 100), "expects an integer");
+  EXPECT_DEATH(flags.GetDouble("t_guess", 100.0), "expects a number");
+}
+
 }  // namespace
 }  // namespace cyclestream

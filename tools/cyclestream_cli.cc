@@ -35,6 +35,7 @@
 #include "graph/io.h"
 #include "stream/order.h"
 #include "util/flags.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -50,7 +51,8 @@ int Usage() {
       "           [--delta D]   amplify: median of ~2*ln(1/D) parallel copies\n"
       "  generate --model er|gnp|ba|chung-lu|ws|grid --n N\n"
       "           [--m M | --p P | --deg D] [--seed S] --out FILE\n"
-      "  common:  --threads N   worker threads (0 = all cores, 1 = serial)\n";
+      "  common:  --threads N   worker threads (0 = all cores, 1 = serial)\n"
+      "           --json_out FILE   write a structured run manifest\n";
   return 2;
 }
 
@@ -72,7 +74,7 @@ EdgeList LoadGraph(FlagParser& flags, bool* ok) {
   return std::move(*loaded);
 }
 
-int RunStats(FlagParser& flags) {
+int RunStats(FlagParser& flags, RunManifest& manifest) {
   bool ok = false;
   const EdgeList graph = LoadGraph(flags, &ok);
   if (!ok) return 1;
@@ -93,10 +95,14 @@ int RunStats(FlagParser& flags) {
   }
   t.AddRow({"largest diamond", Table::Int(max_diamond)});
   t.Print(std::cout);
+  manifest.AddTable("stats", t);
+  manifest.metrics().SetInt("graph.vertices", g.num_vertices());
+  manifest.metrics().SetInt("graph.edges",
+                            static_cast<std::int64_t>(g.num_edges()));
   return 0;
 }
 
-int RunCount(FlagParser& flags) {
+int RunCount(FlagParser& flags, RunManifest& manifest) {
   bool ok = false;
   const EdgeList graph = LoadGraph(flags, &ok);
   if (!ok) return 1;
@@ -279,10 +285,16 @@ int RunCount(FlagParser& flags) {
   t.AddRow({"stream size (words)",
             Table::Int(2 * static_cast<std::int64_t>(g.num_edges()))});
   t.Print(std::cout);
+  manifest.AddTable("count", t);
+  manifest.metrics().Set("estimate", est.value);
+  if (show_exact && exact >= 0) manifest.metrics().Set("exact", exact);
+  manifest.metrics().SetInt("space_words",
+                            static_cast<std::int64_t>(est.space_words));
+  manifest.metrics().SetInt("passes", passes);
   return 0;
 }
 
-int RunGenerate(FlagParser& flags) {
+int RunGenerate(FlagParser& flags, RunManifest& manifest) {
   const std::string model = flags.GetString("model", "er");
   const VertexId n = static_cast<VertexId>(flags.GetInt("n", 10000));
   const std::uint64_t seed = flags.GetInt("seed", 1);
@@ -322,26 +334,38 @@ int RunGenerate(FlagParser& flags) {
   }
   std::cout << "wrote " << out << ": n=" << graph.num_vertices()
             << " m=" << graph.num_edges() << "\n";
+  manifest.metrics().SetInt("graph.vertices", graph.num_vertices());
+  manifest.metrics().SetInt("graph.edges",
+                            static_cast<std::int64_t>(graph.num_edges()));
   return 0;
 }
 
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
-  ApplyThreadsFlag(flags);
+  const int threads = ApplyThreadsFlag(flags);
   const std::string command = flags.positional()[0];
+  const std::string json_out = flags.GetString("json_out", "");
+  RunManifest manifest("cli." + command);
+  manifest.SetThreads(threads);
   int rc;
   if (command == "stats") {
-    rc = RunStats(flags);
+    rc = RunStats(flags, manifest);
   } else if (command == "count") {
-    rc = RunCount(flags);
+    rc = RunCount(flags, manifest);
   } else if (command == "generate") {
-    rc = RunGenerate(flags);
+    rc = RunGenerate(flags, manifest);
   } else {
     return Usage();
   }
-  for (const std::string& unused : flags.Unused()) {
-    std::cerr << "warning: unused flag --" << unused << "\n";
+  manifest.SetConfig(flags.values());
+  WarnUnusedFlags(flags, std::cerr);
+  if (rc == 0 && !json_out.empty()) {
+    if (!manifest.WriteFile(json_out)) {
+      std::cerr << "error: cannot write " << json_out << "\n";
+      return 1;
+    }
+    std::cerr << "run manifest written to " << json_out << "\n";
   }
   return rc;
 }
