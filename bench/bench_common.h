@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -69,6 +70,14 @@ inline void RequireOptimizedBuild(const char* binary) {
 /// resolved thread count.
 inline int ConfigureThreads(FlagParser& flags) {
   return ApplyThreadsFlag(flags);
+}
+
+/// Reads the robustness flags (--checkpoint_dir, --checkpoint_every,
+/// --resume, --kill_after) and installs the process-wide checkpoint
+/// configuration; forces --threads=1 when active (see
+/// ApplyCheckpointFlags in stream/driver.h).
+inline bool ConfigureCheckpointing(FlagParser& flags, int* threads) {
+  return ApplyCheckpointFlags(flags, threads);
 }
 
 /// Runs `trials` executions of `run` (as run(0..trials-1), concurrently)
@@ -126,8 +135,9 @@ inline void PrintHeader(const std::string& id, const std::string& claim,
 }
 
 /// Per-run harness shared by every experiment binary: resolves the common
-/// flags (--threads, --json_out, --audit), arms the driver-level space
-/// audit, and assembles the run manifest. Usage:
+/// flags (--threads, --json_out, --json_det_out, --audit, --checkpoint_dir,
+/// --checkpoint_every, --resume, --kill_after), arms the driver-level space
+/// audit and checkpointing, and assembles the run manifest. Usage:
 ///
 ///   FlagParser flags(argc, argv);
 ///   bench::ExperimentContext ctx("E2", flags);
@@ -145,9 +155,11 @@ class ExperimentContext {
  public:
   ExperimentContext(const std::string& experiment_id, FlagParser& flags)
       : flags_(flags), manifest_(experiment_id) {
-    const int threads = ConfigureThreads(flags);
+    int threads = ConfigureThreads(flags);
+    checkpointing_ = ConfigureCheckpointing(flags, &threads);
     manifest_.SetThreads(threads);
     json_out_ = flags.GetString("json_out", "");
+    json_det_out_ = flags.GetString("json_det_out", "");
     SetSpaceAudit(flags.GetBool("audit", false));
     ResetStreamStats();
   }
@@ -182,11 +194,34 @@ class ExperimentContext {
                     stats.pass_seconds[pass]);
       }
     }
+    if (checkpointing_ || stats.checkpoints_written > 0 ||
+        stats.checkpoint_failures > 0 || stats.restores > 0 ||
+        stats.restore_rejects > 0) {
+      m.SetExecution("stream.checkpoints_written",
+                     static_cast<std::int64_t>(stats.checkpoints_written));
+      m.SetExecution("stream.checkpoint_failures",
+                     static_cast<std::int64_t>(stats.checkpoint_failures));
+      m.SetExecution("stream.restores",
+                     static_cast<std::int64_t>(stats.restores));
+      m.SetExecution("stream.restore_rejects",
+                     static_cast<std::int64_t>(stats.restore_rejects));
+    }
     manifest_.SetConfig(flags_.values());
     WarnUnusedFlags(flags_, std::cerr);
     if (!json_out_.empty()) {
       if (!manifest_.WriteFile(json_out_)) return 1;
       std::cerr << "run manifest written to " << json_out_ << "\n";
+    }
+    if (!json_det_out_.empty()) {
+      std::ofstream out(json_det_out_);
+      if (out) out << manifest_.DeterministicJson();
+      if (!out) {
+        std::cerr << "ERROR: cannot write deterministic manifest to "
+                  << json_det_out_ << "\n";
+        return 1;
+      }
+      std::cerr << "deterministic manifest written to " << json_det_out_
+                << "\n";
     }
     return 0;
   }
@@ -197,6 +232,8 @@ class ExperimentContext {
   FlagParser& flags_;
   RunManifest manifest_;
   std::string json_out_;
+  std::string json_det_out_;
+  bool checkpointing_ = false;
 };
 
 /// Fits the slope of log(y) against log(x) by least squares — used by the

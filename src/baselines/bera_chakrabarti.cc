@@ -2,10 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
+namespace {
+
+// (slot, which) reference lists hang off both pick and probe maps.
+using RefList = std::vector<std::pair<std::size_t, int>>;
+
+void WriteRefList(StateWriter& w, const RefList& refs) {
+  w.Size(refs.size());
+  for (const auto& [slot, which] : refs) {
+    w.Size(slot);
+    w.I64(which);
+  }
+}
+
+bool ReadRefList(StateReader& r, RefList* refs) {
+  const std::size_t n = r.Size();
+  if (!r.ok() || n > r.Remaining() / 16) return r.Fail();
+  refs->clear();
+  refs->reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot = r.Size();
+    refs->emplace_back(slot, static_cast<int>(r.I64()));
+  }
+  return r.ok();
+}
+
+}  // namespace
 
 BeraChakrabartiCounter::BeraChakrabartiCounter(const Params& params)
     : params_(params), rng_(params.base.seed ^ 0x4243ULL) {
@@ -102,6 +130,94 @@ void BeraChakrabartiCounter::EndPass(int pass) {
                           : c_sum / static_cast<double>(slots_.size());
   result_.value = mean * pairs_total / 2.0;
   result_.space_words = 12 * slots_.size();
+}
+
+bool BeraChakrabartiCounter::SaveState(StateWriter& w) const {
+  // The RNG travels too: StartPass(0) consumes it to place the pair picks,
+  // and a mid-pass-0 resume skips StartPass.
+  w.I64(params_.num_pairs);
+  w.Double(params_.base.epsilon);
+  w.Double(params_.base.c);
+  w.Double(params_.base.t_guess);
+  w.U64(params_.base.seed);
+  rng_.SaveState(w);
+  w.Size(stream_length_);
+  w.Size(num_pairs_);
+  w.Size(slots_.size());
+  for (const Slot& slot : slots_) {
+    // Field-by-field: Slot has alignment padding, so a byte-image dump
+    // would leak indeterminate bytes into the snapshot.
+    w.U32(slot.first.u);
+    w.U32(slot.first.v);
+    w.U32(slot.second.u);
+    w.U32(slot.second.v);
+    for (bool h : slot.have) w.Bool(h);
+    for (const Edge& c : slot.connectors) {
+      w.U32(c.u);
+      w.U32(c.v);
+    }
+    w.Bool(slot.valid);
+  }
+  WriteUnordered(w, picks_, [](StateWriter& sw, const auto& kv) {
+    sw.Size(kv.first);
+    WriteRefList(sw, kv.second);
+  });
+  WriteUnordered(w, probes_, [](StateWriter& sw, const auto& kv) {
+    sw.U64(kv.first);
+    WriteRefList(sw, kv.second);
+  });
+  return true;
+}
+
+bool BeraChakrabartiCounter::RestoreState(StateReader& r) {
+  if (r.I64() != params_.num_pairs || r.Double() != params_.base.epsilon ||
+      r.Double() != params_.base.c || r.Double() != params_.base.t_guess ||
+      r.U64() != params_.base.seed) {
+    return r.Fail();
+  }
+  if (!rng_.RestoreState(r)) return false;
+  stream_length_ = r.Size();
+  num_pairs_ = r.Size();
+  const std::size_t num_slots = r.Size();
+  if (!r.ok() || num_slots > r.Remaining() / 40) return r.Fail();
+  slots_.assign(num_slots, Slot{});
+  for (Slot& slot : slots_) {
+    slot.first.u = r.U32();
+    slot.first.v = r.U32();
+    slot.second.u = r.U32();
+    slot.second.v = r.U32();
+    for (bool& h : slot.have) h = r.Bool();
+    for (Edge& c : slot.connectors) {
+      c.u = r.U32();
+      c.v = r.U32();
+    }
+    slot.valid = r.Bool();
+  }
+  std::size_t picks_buckets = 0;
+  std::vector<std::pair<std::size_t, RefList>> picks_elems;
+  if (!ReadUnordered(r, &picks_buckets, &picks_elems, [](StateReader& sr) {
+        const std::size_t pos = sr.Size();
+        RefList refs;
+        ReadRefList(sr, &refs);
+        return std::make_pair(pos, std::move(refs));
+      })) {
+    return false;
+  }
+  RestoreUnorderedOrder(picks_, picks_buckets, picks_elems,
+                        [](auto& c, const auto& kv) { c.insert(kv); });
+  std::size_t probes_buckets = 0;
+  std::vector<std::pair<std::uint64_t, RefList>> probes_elems;
+  if (!ReadUnordered(r, &probes_buckets, &probes_elems, [](StateReader& sr) {
+        const std::uint64_t key = sr.U64();
+        RefList refs;
+        ReadRefList(sr, &refs);
+        return std::make_pair(key, std::move(refs));
+      })) {
+    return false;
+  }
+  RestoreUnorderedOrder(probes_, probes_buckets, probes_elems,
+                        [](auto& c, const auto& kv) { c.insert(kv); });
+  return r.ok();
 }
 
 Estimate CountFourCyclesBeraChakrabarti(

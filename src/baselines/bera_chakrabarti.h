@@ -42,6 +42,9 @@ class BeraChakrabartiCounter : public EdgeStreamAlgorithm {
   void StartPass(int pass, std::size_t stream_length) override;
   void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
   void EndPass(int pass) override;
+  std::string_view CheckpointId() const override { return "berachak/1"; }
+  bool SaveState(StateWriter& w) const override;
+  bool RestoreState(StateReader& r) override;
 
   Estimate Result() const { return result_; }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -88,6 +90,51 @@ void CormodeJowhariCounter::EndPass(int pass) {
   }
   result_.value = estimate;
   result_.space_words = space_.Peak();
+}
+
+bool CormodeJowhariCounter::SaveState(StateWriter& w) const {
+  w.Double(r_);
+  w.Double(cap_);
+  w.Double(params_.base.epsilon);
+  w.Double(params_.base.c);
+  w.Double(params_.base.t_guess);
+  w.U64(params_.base.seed);
+  w.Size(prefix_edges_);
+  w.Size(stream_length_);
+  WriteUnordered(w, prefix_adj_, [](StateWriter& sw, const auto& kv) {
+    sw.U32(kv.first);
+    sw.Vec(kv.second);
+  });
+  w.Size(prefix_count_);
+  w.Double(capped_sum_);
+  space_.SaveState(w);
+  return true;
+}
+
+bool CormodeJowhariCounter::RestoreState(StateReader& r) {
+  if (r.Double() != r_ || r.Double() != cap_ ||
+      r.Double() != params_.base.epsilon || r.Double() != params_.base.c ||
+      r.Double() != params_.base.t_guess || r.U64() != params_.base.seed) {
+    return r.Fail();
+  }
+  prefix_edges_ = r.Size();
+  stream_length_ = r.Size();
+  std::size_t buckets = 0;
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> elems;
+  if (!ReadUnordered(r, &buckets, &elems, [](StateReader& sr) {
+        const VertexId key = sr.U32();
+        std::vector<VertexId> neighbors;
+        sr.Vec(&neighbors);
+        return std::make_pair(key, std::move(neighbors));
+      })) {
+    return false;
+  }
+  RestoreUnorderedOrder(prefix_adj_, buckets, elems,
+                        [](auto& c, const auto& kv) { c.insert(kv); });
+  prefix_count_ = r.Size();
+  capped_sum_ = r.Double();
+  if (!r.ok()) return false;
+  return space_.RestoreState(r);
 }
 
 Estimate CountTrianglesCormodeJowhari(

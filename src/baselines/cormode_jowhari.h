@@ -43,6 +43,9 @@ class CormodeJowhariCounter : public EdgeStreamAlgorithm {
   void EndPass(int pass) override;
   std::size_t AuditSpace() const override;
   const SpaceTracker* space_tracker() const override { return &space_; }
+  std::string_view CheckpointId() const override { return "cj/1"; }
+  bool SaveState(StateWriter& w) const override;
+  bool RestoreState(StateReader& r) override;
 
   Estimate Result() const { return result_; }
 

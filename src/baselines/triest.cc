@@ -1,8 +1,10 @@
 #include "baselines/triest.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -88,6 +90,58 @@ double Triest::EstimateTriangles() const {
   const double xi =
       std::max(1.0, t * (t - 1.0) * (t - 2.0) / (m * (m - 1.0) * (m - 2.0)));
   return tau_ * xi;
+}
+
+bool Triest::SaveState(StateWriter& w) const {
+  w.Size(params_.reservoir_capacity);
+  w.U8(params_.variant == Variant::kImproved ? 1 : 0);
+  w.U64(params_.seed);
+  rng_.SaveState(w);
+  w.Size(time_);
+  w.Vec(reservoir_);
+  WriteUnordered(w, adj_, [](StateWriter& sw, const auto& kv) {
+    sw.U32(kv.first);
+    WriteUnordered(sw, kv.second,
+                   [](StateWriter& sw2, VertexId v) { sw2.U32(v); });
+  });
+  w.Double(tau_);
+  return true;
+}
+
+bool Triest::RestoreState(StateReader& r) {
+  if (r.Size() != params_.reservoir_capacity ||
+      r.U8() != (params_.variant == Variant::kImproved ? 1 : 0) ||
+      r.U64() != params_.seed) {
+    return r.Fail();
+  }
+  if (!rng_.RestoreState(r)) return false;
+  time_ = r.Size();
+  if (!r.Vec(&reservoir_)) return false;
+  struct AdjEntry {
+    VertexId key = 0;
+    std::size_t buckets = 0;
+    std::vector<VertexId> members;
+  };
+  std::size_t adj_buckets = 0;
+  std::vector<AdjEntry> adj_elems;
+  if (!ReadUnordered(r, &adj_buckets, &adj_elems, [](StateReader& sr) {
+        AdjEntry entry;
+        entry.key = sr.U32();
+        ReadUnordered(sr, &entry.buckets, &entry.members,
+                      [](StateReader& sr2) { return sr2.U32(); });
+        return entry;
+      })) {
+    return false;
+  }
+  RestoreUnorderedOrder(adj_, adj_buckets, adj_elems,
+                        [](auto& c, const AdjEntry& entry) {
+                          auto& inner = c[entry.key];
+                          RestoreUnorderedOrder(
+                              inner, entry.buckets, entry.members,
+                              [](auto& s, VertexId v) { s.insert(v); });
+                        });
+  tau_ = r.Double();
+  return r.ok();
 }
 
 Estimate Triest::Result() const {

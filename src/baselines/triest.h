@@ -43,6 +43,9 @@ class Triest : public EdgeStreamAlgorithm {
   void StartPass(int pass, std::size_t stream_length) override;
   void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
   void EndPass(int pass) override;
+  std::string_view CheckpointId() const override { return "triest/1"; }
+  bool SaveState(StateWriter& w) const override;
+  bool RestoreState(StateReader& r) override;
 
   /// Current estimate of the global triangle count (valid at any time).
   double EstimateTriangles() const;

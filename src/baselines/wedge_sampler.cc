@@ -1,8 +1,40 @@
 #include "baselines/wedge_sampler.h"
 
+#include <utility>
+#include <vector>
+
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
+namespace {
+
+using AdjMap = std::unordered_map<VertexId, std::vector<VertexId>>;
+
+void WriteAdjMap(StateWriter& w, const AdjMap& adj) {
+  WriteUnordered(w, adj, [](StateWriter& sw, const auto& kv) {
+    sw.U32(kv.first);
+    sw.Vec(kv.second);
+  });
+}
+
+bool ReadAdjMap(StateReader& r, AdjMap* adj) {
+  std::size_t buckets = 0;
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> elems;
+  if (!ReadUnordered(r, &buckets, &elems, [](StateReader& sr) {
+        const VertexId key = sr.U32();
+        std::vector<VertexId> neighbors;
+        sr.Vec(&neighbors);
+        return std::make_pair(key, std::move(neighbors));
+      })) {
+    return false;
+  }
+  RestoreUnorderedOrder(*adj, buckets, elems,
+                        [](auto& c, const auto& kv) { c.insert(kv); });
+  return true;
+}
+
+}  // namespace
 
 WedgeSamplingFourCycleCounter::WedgeSamplingFourCycleCounter(
     const Params& params)
@@ -82,6 +114,32 @@ void WedgeSamplingFourCycleCounter::EndPass(int pass) {
   space_.SetComponent("sampled", 2 * sampled_edges_);
   result_.value = detections_ / scale;
   result_.space_words = space_.Peak();
+}
+
+bool WedgeSamplingFourCycleCounter::SaveState(StateWriter& w) const {
+  w.U32(params_.num_vertices);
+  w.Double(params_.vertex_rate);
+  w.Double(params_.edge_rate);
+  w.U64(params_.base.seed);
+  WriteAdjMap(w, sampled_nbrs_);
+  WriteAdjMap(w, rev_);
+  w.Size(sampled_edges_);
+  w.Double(detections_);
+  space_.SaveState(w);
+  return true;
+}
+
+bool WedgeSamplingFourCycleCounter::RestoreState(StateReader& r) {
+  if (r.U32() != params_.num_vertices ||
+      r.Double() != params_.vertex_rate || r.Double() != params_.edge_rate ||
+      r.U64() != params_.base.seed) {
+    return r.Fail();
+  }
+  if (!ReadAdjMap(r, &sampled_nbrs_) || !ReadAdjMap(r, &rev_)) return false;
+  sampled_edges_ = r.Size();
+  detections_ = r.Double();
+  if (!r.ok()) return false;
+  return space_.RestoreState(r);
 }
 
 Estimate CountFourCyclesWedgeSampling(

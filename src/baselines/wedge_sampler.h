@@ -47,6 +47,9 @@ class WedgeSamplingFourCycleCounter : public AdjacencyStreamAlgorithm {
   void EndPass(int pass) override;
   std::size_t AuditSpace() const override;
   const SpaceTracker* space_tracker() const override { return &space_; }
+  std::string_view CheckpointId() const override { return "wedge/1"; }
+  bool SaveState(StateWriter& w) const override;
+  bool RestoreState(StateReader& r) override;
 
   Estimate Result() const { return result_; }
 

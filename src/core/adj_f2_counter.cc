@@ -8,6 +8,7 @@
 #include "hash/rng.h"
 #include "sketch/median_of_means.h"
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -196,6 +197,56 @@ void AdjF2FourCycleCounter::EndPass(int pass) {
   UpdateSpace();
   result_.value = std::max(0.0, (f2_estimate_ - f1_estimate_) / 4.0);
   result_.space_words = space_.Peak();
+}
+
+bool AdjF2FourCycleCounter::SaveState(StateWriter& w) const {
+  // Config fingerprint. The sign caches, pair sample identities, and
+  // pairs_by_vertex_ index are all constructor-derived from these, so only
+  // the running counters and per-pair observations need to travel.
+  w.U32(params_.num_vertices);
+  w.U32(z_cap_);
+  w.Double(pair_rate_);
+  w.Size(num_copies_);
+  w.I64(params_.groups);
+  w.Double(params_.base.epsilon);
+  w.Double(params_.base.t_guess);
+  w.U64(params_.base.seed);
+  w.Vec(z_);
+  w.Size(pairs_.size());
+  for (const SampledPair& sp : pairs_) {
+    // Fields written individually: SampledPair has alignment padding, so a
+    // byte-image dump would leak indeterminate bytes into the snapshot.
+    w.U32(sp.u);
+    w.U32(sp.v);
+    w.U32(sp.z);
+    w.U64(sp.stamp_u);
+    w.U64(sp.stamp_v);
+    w.U64(sp.counted);
+  }
+  space_.SaveState(w);
+  return true;
+}
+
+bool AdjF2FourCycleCounter::RestoreState(StateReader& r) {
+  if (r.U32() != params_.num_vertices || r.U32() != z_cap_ ||
+      r.Double() != pair_rate_ || r.Size() != num_copies_ ||
+      r.I64() != params_.groups || r.Double() != params_.base.epsilon ||
+      r.Double() != params_.base.t_guess || r.U64() != params_.base.seed) {
+    return r.Fail();
+  }
+  std::vector<double> z;
+  if (!r.Vec(&z) || z.size() != z_.size()) return r.Fail();
+  if (r.Size() != pairs_.size()) return r.Fail();
+  z_ = std::move(z);
+  for (SampledPair& sp : pairs_) {
+    if (r.U32() != sp.u || r.U32() != sp.v) return r.Fail();
+    sp.z = r.U32();
+    sp.stamp_u = r.U64();
+    sp.stamp_v = r.U64();
+    sp.counted = r.U64();
+  }
+  if (!r.ok()) return false;
+  return space_.RestoreState(r);
 }
 
 Estimate CountFourCyclesAdjF2(const AdjacencyStream& stream,

@@ -6,6 +6,7 @@
 #include "graph/types.h"
 #include "hash/rng.h"
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -83,6 +84,32 @@ void AdjL2FourCycleCounter::EndPass(int pass) {
   space_.SetComponent("list_buffer", max_list_len_);
   result_.value = x_mean * f2;
   result_.space_words = space_.Peak();
+}
+
+bool AdjL2FourCycleCounter::SaveState(StateWriter& w) const {
+  w.U32(params_.num_vertices);
+  w.Double(params_.base.epsilon);
+  w.Double(params_.base.t_guess);
+  w.U64(params_.base.seed);
+  w.Size(params_.sketch_width);
+  w.Size(params_.sketch_depth);
+  sampler_->SaveState(w);
+  w.Size(max_list_len_);
+  space_.SaveState(w);
+  return true;
+}
+
+bool AdjL2FourCycleCounter::RestoreState(StateReader& r) {
+  if (r.U32() != params_.num_vertices ||
+      r.Double() != params_.base.epsilon ||
+      r.Double() != params_.base.t_guess || r.U64() != params_.base.seed ||
+      r.Size() != params_.sketch_width || r.Size() != params_.sketch_depth) {
+    return r.Fail();
+  }
+  if (!sampler_->RestoreState(r)) return false;
+  max_list_len_ = r.Size();
+  if (!r.ok()) return false;
+  return space_.RestoreState(r);
 }
 
 Estimate CountFourCyclesAdjL2(const AdjacencyStream& stream,

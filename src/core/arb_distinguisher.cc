@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -81,6 +83,70 @@ std::size_t ArbTwoPassDistinguisher::AuditSpace() const {
   // catch that kind of drift.
   return 2 * sample_.size() + sampled_vertices_.size() +
          2 * collected_set_.size();
+}
+
+bool ArbTwoPassDistinguisher::SaveState(StateWriter& w) const {
+  w.U32(params_.num_vertices);
+  w.Size(params_.collect_cap);
+  w.Double(p_);
+  w.Double(params_.base.t_guess);
+  w.Double(params_.base.c);
+  w.U64(params_.base.seed);
+  w.Vec(sample_);
+  WriteUnordered(w, sampled_vertices_,
+                 [](StateWriter& sw, VertexId v) { sw.U32(v); });
+  WriteUnordered(w, collected_adj_, [](StateWriter& sw, const auto& kv) {
+    sw.U32(kv.first);
+    sw.Vec(kv.second);
+  });
+  WriteU64Set(w, collected_set_);
+  w.Size(collected_count_);
+  w.Size(collect_cap_);
+  w.Bool(found_);
+  space_.SaveState(w);
+  return true;
+}
+
+bool ArbTwoPassDistinguisher::RestoreState(StateReader& r) {
+  if (r.U32() != params_.num_vertices || r.Size() != params_.collect_cap ||
+      r.Double() != p_ || r.Double() != params_.base.t_guess ||
+      r.Double() != params_.base.c || r.U64() != params_.base.seed) {
+    return r.Fail();
+  }
+  std::vector<Edge> sample;
+  if (!r.Vec(&sample)) return false;
+  std::size_t sv_buckets = 0;
+  std::vector<VertexId> sv_elems;
+  if (!ReadUnordered(r, &sv_buckets, &sv_elems,
+                     [](StateReader& sr) { return sr.U32(); })) {
+    return false;
+  }
+  std::size_t adj_buckets = 0;
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> adj_elems;
+  if (!ReadUnordered(r, &adj_buckets, &adj_elems, [](StateReader& sr) {
+        const VertexId key = sr.U32();
+        std::vector<VertexId> neighbors;
+        sr.Vec(&neighbors);
+        return std::make_pair(key, std::move(neighbors));
+      })) {
+    return false;
+  }
+  std::unordered_set<std::uint64_t, Mix64Hash> collected;
+  if (!ReadU64Set(r, &collected)) return false;
+  const std::size_t count = r.Size();
+  const std::size_t cap = r.Size();
+  const bool found = r.Bool();
+  if (!r.ok()) return false;
+  sample_ = std::move(sample);
+  RestoreUnorderedOrder(sampled_vertices_, sv_buckets, sv_elems,
+                        [](auto& c, VertexId v) { c.insert(v); });
+  RestoreUnorderedOrder(collected_adj_, adj_buckets, adj_elems,
+                        [](auto& c, const auto& kv) { c.insert(kv); });
+  collected_set_ = std::move(collected);
+  collected_count_ = count;
+  collect_cap_ = cap;
+  found_ = found;
+  return space_.RestoreState(r);
 }
 
 bool DistinguishFourCycles(const EdgeStream& stream,

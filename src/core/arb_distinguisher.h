@@ -43,6 +43,9 @@ class ArbTwoPassDistinguisher : public EdgeStreamAlgorithm {
   void EndPass(int pass) override;
   std::size_t AuditSpace() const override;
   const SpaceTracker* space_tracker() const override { return &space_; }
+  std::string_view CheckpointId() const override { return "arbdist/1"; }
+  bool SaveState(StateWriter& w) const override;
+  bool RestoreState(StateReader& r) override;
 
   /// True iff a 4-cycle was found (declare "at least T 4-cycles").
   bool FoundFourCycle() const { return found_; }

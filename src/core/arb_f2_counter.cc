@@ -7,6 +7,7 @@
 #include "hash/rng.h"
 #include "sketch/median_of_means.h"
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -127,6 +128,39 @@ Estimate ArbF2FourCycleCounter::Result() const {
   const std::size_t n = params_.num_vertices;
   result.space_words = num_copies_ * (3 * n + 2 * n / 8 + 2);
   return result;
+}
+
+bool ArbF2FourCycleCounter::SaveState(StateWriter& w) const {
+  // Only the accumulators are stream-dependent; the sign caches are
+  // constructor-derived from the fingerprinted seed.
+  w.U32(params_.num_vertices);
+  w.Size(num_copies_);
+  w.I64(params_.groups);
+  w.Double(params_.base.epsilon);
+  w.U64(params_.base.seed);
+  w.Double(params_.f1_correction);
+  w.Vec(acc_a_);
+  w.Vec(acc_b_);
+  w.Vec(acc_c_);
+  return true;
+}
+
+bool ArbF2FourCycleCounter::RestoreState(StateReader& r) {
+  if (r.U32() != params_.num_vertices || r.Size() != num_copies_ ||
+      r.I64() != params_.groups || r.Double() != params_.base.epsilon ||
+      r.U64() != params_.base.seed || r.Double() != params_.f1_correction) {
+    return r.Fail();
+  }
+  std::vector<double> a, b, c;
+  if (!r.Vec(&a) || !r.Vec(&b) || !r.Vec(&c)) return false;
+  if (a.size() != acc_a_.size() || b.size() != acc_b_.size() ||
+      c.size() != acc_c_.size()) {
+    return r.Fail();
+  }
+  acc_a_ = std::move(a);
+  acc_b_ = std::move(b);
+  acc_c_ = std::move(c);
+  return true;
 }
 
 Estimate CountFourCyclesArbF2(const EdgeStream& stream,

@@ -52,6 +52,9 @@ class ArbF2FourCycleCounter : public EdgeStreamAlgorithm {
   void StartPass(int pass, std::size_t stream_length) override;
   void ProcessEdge(int pass, const Edge& e, std::size_t position) override;
   void EndPass(int pass) override;
+  std::string_view CheckpointId() const override { return "arbf2/1"; }
+  bool SaveState(StateWriter& w) const override;
+  bool RestoreState(StateReader& r) override;
 
   /// Computes the estimate from the current counters (may be called at any
   /// time in the dynamic setting).

@@ -6,9 +6,36 @@
 #include "hash/rng.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 namespace {
+
+using AdjMap = std::unordered_map<VertexId, std::vector<VertexId>>;
+
+void WriteAdjMap(StateWriter& w, const AdjMap& m) {
+  WriteUnordered(w, m, [](StateWriter& sw, const auto& kv) {
+    sw.U32(kv.first);
+    sw.Vec(kv.second);
+  });
+}
+
+bool ReadAdjMap(StateReader& r, AdjMap* m) {
+  std::size_t buckets = 0;
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> elems;
+  if (!ReadUnordered(r, &buckets, &elems, [](StateReader& sr) {
+        std::pair<VertexId, std::vector<VertexId>> kv;
+        kv.first = sr.U32();
+        sr.Vec(&kv.second);
+        return kv;
+      })) {
+    return false;
+  }
+  RestoreUnorderedOrder(*m, buckets, elems, [](AdjMap& c, const auto& kv) {
+    c.emplace(kv.first, kv.second);
+  });
+  return true;
+}
 
 // Order-sensitive 64-bit mix for dedup keys over pairs of edge keys.
 std::uint64_t MixPair(std::uint64_t a, std::uint64_t b) {
@@ -273,6 +300,7 @@ void ArbThreePassFourCycleCounter::RMembership(std::size_t target_idx,
 }
 
 void ArbThreePassFourCycleCounter::PreparePassThree() {
+  oracle_prepared_ = true;
   targets_.clear();
   target_index_.clear();
   targets_by_endpoint_.clear();
@@ -443,6 +471,133 @@ void ArbThreePassFourCycleCounter::EndPass(int pass) {
     UpdateSpace();
     result_.space_words = space_.Peak();
   }
+}
+
+bool ArbThreePassFourCycleCounter::SaveState(StateWriter& w) const {
+  // Config fingerprint: everything the constructor derives state from.
+  // RestoreState verifies these before touching any member, so a snapshot
+  // from a differently-parameterized run is rejected without mutation.
+  w.U32(params_.num_vertices);
+  w.Double(params_.eta);
+  w.Double(params_.rate_scale);
+  w.Bool(params_.use_oracle);
+  w.Size(params_.max_stored_cycles);
+  w.Double(params_.base.epsilon);
+  w.Double(params_.base.c);
+  w.Double(params_.base.t_guess);
+  w.U64(params_.base.seed);
+  w.Double(p_);
+  w.Double(p_prime_);
+  w.Double(subsample_q_);
+  w.Double(m_cap_);
+
+  // Pass-1 collections (vector orders inside the reverse indexes feed the
+  // pass-2/pass-3 enumeration order and must round-trip exactly).
+  WriteU64Set(w, s0_set_);
+  WriteAdjMap(w, s0_adj_);
+  WriteU64Set(w, s1_edges_);
+  WriteU64Set(w, s2_edges_);
+  WriteAdjMap(w, s1_rev_);
+  WriteAdjMap(w, s2_rev_);
+  w.Size(s1_size_);
+  w.Size(s2_size_);
+
+  // Pass-2 collections.
+  w.Vec(cycles_);
+  w.Bool(cycle_cap_hit_);
+
+  // Pass-3 oracle state. The derived indexes (targets_, rmembers_by_far_,
+  // refs_by_target_side_, ...) are a pure function of the pass-1 state and
+  // are rebuilt via PreparePassThree() on restore; only the
+  // stream-dependent observations are serialized.
+  w.Bool(oracle_prepared_);
+  if (oracle_prepared_) {
+    WriteUnordered(w, arrivals_, [](StateWriter& sw, const auto& kv) {
+      sw.U64(kv.first);
+      sw.Size(kv.second);
+    });
+    WriteU64Set(w, far_incident_);
+    w.Size(targets_.size());
+    for (const Target& target : targets_) {
+      w.U64(target.f.Key());
+      w.Size(target.observations.size());
+      for (const Target::Observation& obs : target.observations) {
+        w.U64(obs.g1_key);
+        w.U64(obs.g2_key);
+        w.Bool(obs.g2_in_r1);
+        w.Bool(obs.g2_in_r2);
+      }
+      WriteU64Set(w, target.seen_pairs);
+    }
+  }
+
+  space_.SaveState(w);
+  return true;
+}
+
+bool ArbThreePassFourCycleCounter::RestoreState(StateReader& r) {
+  if (r.U32() != params_.num_vertices || r.Double() != params_.eta ||
+      r.Double() != params_.rate_scale || r.Bool() != params_.use_oracle ||
+      r.Size() != params_.max_stored_cycles ||
+      r.Double() != params_.base.epsilon || r.Double() != params_.base.c ||
+      r.Double() != params_.base.t_guess || r.U64() != params_.base.seed ||
+      r.Double() != p_ || r.Double() != p_prime_ ||
+      r.Double() != subsample_q_ || r.Double() != m_cap_ || !r.ok()) {
+    return r.Fail();
+  }
+
+  if (!ReadU64Set(r, &s0_set_) || !ReadAdjMap(r, &s0_adj_) ||
+      !ReadU64Set(r, &s1_edges_) || !ReadU64Set(r, &s2_edges_) ||
+      !ReadAdjMap(r, &s1_rev_) || !ReadAdjMap(r, &s2_rev_)) {
+    return false;
+  }
+  s1_size_ = r.Size();
+  s2_size_ = r.Size();
+
+  if (!r.Vec(&cycles_)) return false;
+  cycle_cap_hit_ = r.Bool();
+
+  oracle_prepared_ = r.Bool();
+  if (!r.ok()) return false;
+  if (oracle_prepared_) {
+    // Rebuild the derived oracle indexes from the restored pass-1 state,
+    // then lay the stream-dependent observations back over them.
+    PreparePassThree();
+    std::size_t buckets = 0;
+    std::vector<std::pair<std::uint64_t, std::size_t>> arrival_elems;
+    if (!ReadUnordered(r, &buckets, &arrival_elems, [](StateReader& sr) {
+          std::pair<std::uint64_t, std::size_t> kv;
+          kv.first = sr.U64();
+          kv.second = sr.Size();
+          return kv;
+        })) {
+      return false;
+    }
+    RestoreUnorderedOrder(arrivals_, buckets, arrival_elems,
+                          [](auto& c, const auto& kv) {
+                            c.emplace(kv.first, kv.second);
+                          });
+    if (!ReadU64Set(r, &far_incident_)) return false;
+    if (r.Size() != targets_.size()) return r.Fail();
+    for (Target& target : targets_) {
+      if (r.U64() != target.f.Key()) return r.Fail();
+      const std::size_t num_obs = r.Size();
+      if (!r.ok() || num_obs > r.Remaining()) return r.Fail();
+      target.observations.clear();
+      target.observations.reserve(num_obs);
+      for (std::size_t i = 0; i < num_obs; ++i) {
+        Target::Observation obs;
+        obs.g1_key = r.U64();
+        obs.g2_key = r.U64();
+        obs.g2_in_r1 = r.Bool();
+        obs.g2_in_r2 = r.Bool();
+        target.observations.push_back(obs);
+      }
+      if (!ReadU64Set(r, &target.seen_pairs)) return false;
+    }
+  }
+
+  return space_.RestoreState(r);
 }
 
 Estimate CountFourCyclesArbThreePass(

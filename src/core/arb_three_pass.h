@@ -68,6 +68,9 @@ class ArbThreePassFourCycleCounter : public EdgeStreamAlgorithm {
   void EndPass(int pass) override;
   std::size_t AuditSpace() const override;
   const SpaceTracker* space_tracker() const override { return &space_; }
+  std::string_view CheckpointId() const override { return "arb3pass/1"; }
+  bool SaveState(StateWriter& w) const override;
+  bool RestoreState(StateReader& r) override;
 
   Estimate Result() const { return result_; }
 
@@ -149,6 +152,11 @@ class ArbThreePassFourCycleCounter : public EdgeStreamAlgorithm {
   // Pass-2 collections.
   std::vector<StoredCycle> cycles_;
   bool cycle_cap_hit_ = false;
+
+  // Whether PreparePassThree has run (drives what a checkpoint must carry:
+  // the derived oracle indexes are rebuilt from pass-1 state on restore,
+  // but only if they had been built when the snapshot was taken).
+  bool oracle_prepared_ = false;
 
   // Pass-3 oracle state.
   std::vector<Target> targets_;

@@ -10,6 +10,7 @@
 #include "hash/kwise_bank.h"
 #include "hash/rng.h"
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -59,6 +60,60 @@ struct RevIndex {
             static_cast<std::size_t>(*r & 0xffffffffULL)};
   }
 };
+
+// RevIndex checkpoint codec. Both phases round-trip: the pass-1 append-order
+// `pairs`, and the post-Build CSR (`owners` + `ranges`). The FlatMap64 is
+// lookup-only, so content-equal restore suffices; the insertion-order replay
+// below reproduces the slot layout anyway.
+void WriteRevIndex(StateWriter& w, const RevIndex& rev) {
+  w.Size(rev.pairs.size());
+  for (const auto& [vertex, owner] : rev.pairs) {
+    w.U32(vertex);
+    w.U32(owner);
+  }
+  w.Vec(rev.owners);
+  w.Size(rev.ranges.size());
+  for (const auto& [key, value] : rev.ranges) {
+    w.U64(key);
+    w.U64(value);
+  }
+}
+
+bool ReadRevIndex(StateReader& r, RevIndex* rev) {
+  const std::size_t num_pairs = r.Size();
+  if (!r.ok() || num_pairs > r.Remaining() / 8) return r.Fail();
+  rev->pairs.clear();
+  rev->pairs.reserve(num_pairs);
+  for (std::size_t i = 0; i < num_pairs; ++i) {
+    const VertexId vertex = r.U32();
+    const VertexId owner = r.U32();
+    rev->pairs.emplace_back(vertex, owner);
+  }
+  if (!r.Vec(&rev->owners)) return false;
+  const std::size_t num_ranges = r.Size();
+  if (!r.ok() || num_ranges > r.Remaining() / 16) return r.Fail();
+  rev->ranges = FlatMap64<std::uint64_t>();
+  rev->ranges.reserve(num_ranges);
+  for (std::size_t i = 0; i < num_ranges; ++i) {
+    const std::uint64_t key = r.U64();
+    if (key == FlatMap64<std::uint64_t>::kEmptyKey) return r.Fail();
+    rev->ranges[key] = r.U64();
+  }
+  return r.ok();
+}
+
+// Empty-but-bucketed scratch maps: only the bucket count is state (contents
+// are cleared at the top of every list), but it controls the iteration order
+// of future insertions, which feeds FP-sensitive emit loops.
+template <typename Map>
+void WriteScratchBuckets(StateWriter& w, const Map& map) {
+  w.Size(map.bucket_count());
+}
+template <typename Map>
+void RestoreScratchBuckets(Map& map, std::size_t buckets) {
+  map.clear();
+  if (map.bucket_count() != buckets) map.rehash(buckets);
+}
 
 }  // namespace
 
@@ -407,6 +462,82 @@ void DiamondFourCycleCounter::EndPass(int pass) {
 
   result_.value = best / 2.0;  // Each 4-cycle lies in exactly two diamonds.
   result_.space_words = space_.Peak();
+}
+
+bool DiamondFourCycleCounter::SaveState(StateWriter& w) const {
+  // Config fingerprint: everything the constructor derives sampling rates,
+  // windows, and hash seeds from. A resume against a differently-configured
+  // instance must be rejected before any member is touched.
+  w.U32(params_.num_vertices);
+  w.Double(params_.vertex_rate_scale);
+  w.Double(params_.edge_rate_scale);
+  w.I64(params_.max_shifts);
+  w.Double(params_.base.epsilon);
+  w.Double(params_.base.c);
+  w.Double(params_.base.t_guess);
+  w.U64(params_.base.seed);
+  w.I64(num_shifts_);
+  w.Size(instances_.size());
+
+  w.VecBool(arrived_);
+  for (const auto& instance : instances_) {
+    const ClassInstance& inst = *instance;
+    // Per-instance fingerprint (derived, but cheap insurance that the
+    // snapshot's class layout matches this binary's).
+    w.I64(inst.shift_index);
+    w.Double(inst.sk);
+    w.Double(inst.pv);
+    w.Double(inst.pe);
+    w.Bool(inst.saturated);
+    WriteRevIndex(w, inst.rev1);
+    WriteRevIndex(w, inst.rev2);
+    w.Size(inst.e1_size);
+    w.Size(inst.e2_size);
+    inst.useful.SaveState(w);
+    WriteScratchBuckets(w, inst.a1_scratch);
+    WriteScratchBuckets(w, inst.a2_scratch);
+  }
+  WriteRevIndex(w, shared_->rev);
+  WriteScratchBuckets(w, shared_->scratch);
+  space_.SaveState(w);
+  return true;
+}
+
+bool DiamondFourCycleCounter::RestoreState(StateReader& r) {
+  if (r.U32() != params_.num_vertices ||
+      r.Double() != params_.vertex_rate_scale ||
+      r.Double() != params_.edge_rate_scale ||
+      r.I64() != params_.max_shifts ||
+      r.Double() != params_.base.epsilon || r.Double() != params_.base.c ||
+      r.Double() != params_.base.t_guess || r.U64() != params_.base.seed ||
+      r.I64() != num_shifts_ || r.Size() != instances_.size()) {
+    return r.Fail();
+  }
+  if (!r.VecBool(&arrived_)) return false;
+  for (auto& instance : instances_) {
+    ClassInstance& inst = *instance;
+    if (r.I64() != inst.shift_index || r.Double() != inst.sk ||
+        r.Double() != inst.pv || r.Double() != inst.pe ||
+        r.Bool() != inst.saturated) {
+      return r.Fail();
+    }
+    if (!ReadRevIndex(r, &inst.rev1) || !ReadRevIndex(r, &inst.rev2)) {
+      return false;
+    }
+    inst.e1_size = r.Size();
+    inst.e2_size = r.Size();
+    if (!r.ok() || !inst.useful.RestoreState(r)) return false;
+    const std::size_t a1_buckets = r.Size();
+    const std::size_t a2_buckets = r.Size();
+    if (!r.ok()) return false;
+    RestoreScratchBuckets(inst.a1_scratch, a1_buckets);
+    RestoreScratchBuckets(inst.a2_scratch, a2_buckets);
+  }
+  if (!ReadRevIndex(r, &shared_->rev)) return false;
+  const std::size_t scratch_buckets = r.Size();
+  if (!r.ok()) return false;
+  RestoreScratchBuckets(shared_->scratch, scratch_buckets);
+  return space_.RestoreState(r);
 }
 
 Estimate CountFourCyclesDiamond(

@@ -62,6 +62,9 @@ class DiamondFourCycleCounter : public AdjacencyStreamAlgorithm {
   void EndPass(int pass) override;
   std::size_t AuditSpace() const override;
   const SpaceTracker* space_tracker() const override { return &space_; }
+  std::string_view CheckpointId() const override { return "diamond/1"; }
+  bool SaveState(StateWriter& w) const override;
+  bool RestoreState(StateReader& r) override;
 
   /// Final estimate; valid after both passes.
   Estimate Result() const { return result_; }

@@ -2,12 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "hash/rng.h"
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 namespace {
+
+using AdjMap = std::unordered_map<VertexId, std::vector<VertexId>>;
+
+void WriteAdjMap(StateWriter& w, const AdjMap& adj) {
+  WriteUnordered(w, adj, [](StateWriter& sw, const auto& kv) {
+    sw.U32(kv.first);
+    sw.Vec(kv.second);
+  });
+}
+
+bool ReadAdjMap(StateReader& r, AdjMap* adj) {
+  std::size_t buckets = 0;
+  std::vector<std::pair<VertexId, std::vector<VertexId>>> elems;
+  if (!ReadUnordered(r, &buckets, &elems, [](StateReader& sr) {
+        const VertexId key = sr.U32();
+        std::vector<VertexId> neighbors;
+        sr.Vec(&neighbors);
+        return std::make_pair(key, std::move(neighbors));
+      })) {
+    return false;
+  }
+  RestoreUnorderedOrder(*adj, buckets, elems,
+                        [](auto& c, const auto& kv) { c.insert(kv); });
+  return true;
+}
 
 // Common-neighbor walk over hash-map adjacency: iterates the smaller
 // endpoint list and membership-tests the closing edge.
@@ -238,6 +265,63 @@ void RandomOrderTriangleCounter::EndPass(int pass) {
   result_.value = diagnostics_.light_term + diagnostics_.heavy_term;
   result_.space_words = space_.Peak();
   finished_ = true;
+}
+
+bool RandomOrderTriangleCounter::SaveState(StateWriter& w) const {
+  w.U32(params_.num_vertices);
+  w.I64(num_levels_);
+  w.Double(p_oracle_);
+  w.Double(heavy_cut_);
+  w.Double(r_);
+  w.Double(params_.level_rate);
+  w.Double(params_.prefix_rate);
+  w.Double(params_.base.epsilon);
+  w.Double(params_.base.c);
+  w.Double(params_.base.t_guess);
+  w.U64(params_.base.seed);
+
+  w.Size(s_prefix_edges_);
+  for (const Level& level : levels_) {
+    w.Double(level.p);
+    w.Double(level.q);
+    w.Size(level.prefix_edges);
+    WriteU64Set(w, level.edges);
+    WriteAdjMap(w, level.adj);
+  }
+  w.Vec(s_edges_);
+  WriteAdjMap(w, s_adj_);
+  WriteU64Set(w, c_set_);
+  w.Vec(c_edges_);
+  WriteU64Set(w, p_set_);
+  w.Vec(p_edges_);
+  space_.SaveState(w);
+  return true;
+}
+
+bool RandomOrderTriangleCounter::RestoreState(StateReader& r) {
+  if (r.U32() != params_.num_vertices || r.I64() != num_levels_ ||
+      r.Double() != p_oracle_ || r.Double() != heavy_cut_ ||
+      r.Double() != r_ || r.Double() != params_.level_rate ||
+      r.Double() != params_.prefix_rate ||
+      r.Double() != params_.base.epsilon || r.Double() != params_.base.c ||
+      r.Double() != params_.base.t_guess || r.U64() != params_.base.seed) {
+    return r.Fail();
+  }
+  s_prefix_edges_ = r.Size();
+  for (Level& level : levels_) {
+    if (r.Double() != level.p || r.Double() != level.q) return r.Fail();
+    level.prefix_edges = r.Size();
+    if (!r.ok() || !ReadU64Set(r, &level.edges) ||
+        !ReadAdjMap(r, &level.adj)) {
+      return false;
+    }
+  }
+  if (!r.Vec(&s_edges_) || !ReadAdjMap(r, &s_adj_) ||
+      !ReadU64Set(r, &c_set_) || !r.Vec(&c_edges_) ||
+      !ReadU64Set(r, &p_set_) || !r.Vec(&p_edges_)) {
+    return false;
+  }
+  return space_.RestoreState(r);
 }
 
 Estimate CountTrianglesRandomOrder(

@@ -64,6 +64,9 @@ class RandomOrderTriangleCounter : public EdgeStreamAlgorithm {
   void EndPass(int pass) override;
   std::size_t AuditSpace() const override;
   const SpaceTracker* space_tracker() const override { return &space_; }
+  std::string_view CheckpointId() const override { return "randtri/1"; }
+  bool SaveState(StateWriter& w) const override;
+  bool RestoreState(StateReader& r) override;
 
   /// Final estimate; valid after the pass completes.
   Estimate Result() const { return result_; }

@@ -1,8 +1,11 @@
 #include "core/useful_algorithm.h"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -62,6 +65,45 @@ double UsefulAlgorithm::Estimate() const {
 
 std::size_t UsefulAlgorithm::SpaceWords() const {
   return seen_r_.size() + 2 * heavy_in_r2_.size() + 4;
+}
+
+void UsefulAlgorithm::SaveState(StateWriter& w) const {
+  w.Double(config_.p);
+  w.Double(config_.m_cap);
+  w.Bool(config_.external_arrivals);
+  WriteU64Set(w, seen_r_);
+  WriteUnordered(w, heavy_in_r2_, [](StateWriter& sw, const auto& kv) {
+    sw.U64(kv.first);
+    sw.Double(kv.second);
+  });
+  w.Double(a_total_);
+  w.Double(a_heavy_);
+}
+
+bool UsefulAlgorithm::RestoreState(StateReader& r) {
+  if (r.Double() != config_.p || r.Double() != config_.m_cap ||
+      r.Bool() != config_.external_arrivals) {
+    return r.Fail();
+  }
+  std::unordered_set<std::uint64_t, Mix64Hash> seen;
+  if (!ReadU64Set(r, &seen)) return false;
+  std::size_t buckets = 0;
+  std::vector<std::pair<std::uint64_t, double>> heavy;
+  if (!ReadUnordered(r, &buckets, &heavy, [](StateReader& sr) {
+        const std::uint64_t k = sr.U64();
+        return std::make_pair(k, sr.Double());
+      })) {
+    return false;
+  }
+  const double a_total = r.Double();
+  const double a_heavy = r.Double();
+  if (!r.ok()) return false;
+  seen_r_ = std::move(seen);
+  RestoreUnorderedOrder(heavy_in_r2_, buckets, heavy,
+                        [](auto& c, const auto& kv) { c.insert(kv); });
+  a_total_ = a_total;
+  a_heavy_ = a_heavy;
+  return true;
 }
 
 }  // namespace cyclestream

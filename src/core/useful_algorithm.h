@@ -10,6 +10,9 @@
 
 namespace cyclestream {
 
+class StateWriter;
+class StateReader;
+
 /// The "Useful Algorithm" of §3: estimates the total edge weight W of a
 /// weighted graph G' = (V', E') (weights in [1, λ]) observed as a *vertex*
 /// stream in which, on the arrival of vertex v, all edges between v and the
@@ -75,6 +78,13 @@ class UsefulAlgorithm {
   std::size_t SpaceWords() const;
 
   std::size_t NumTrackedHeavy() const { return heavy_in_r2_.size(); }
+
+  /// Checkpoint serialization. The restore verifies the config fingerprint
+  /// before touching any member; `heavy_in_r2_` round-trips with its exact
+  /// iteration order because Estimate() subtracts the tracked counters in
+  /// that order.
+  void SaveState(StateWriter& w) const;
+  bool RestoreState(StateReader& r);
 
  private:
   Config config_;

@@ -3,8 +3,10 @@
 #include <charconv>
 #include <cstdint>
 #include <fstream>
+#include <istream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "graph/types.h"
 #include "util/logging.h"
@@ -17,6 +19,11 @@ std::optional<EdgeList> LoadEdgeListText(const std::string& path) {
     LOG(WARNING) << "cannot open edge list file: " << path;
     return std::nullopt;
   }
+  return LoadEdgeListText(in, path);
+}
+
+std::optional<EdgeList> LoadEdgeListText(std::istream& in,
+                                         const std::string& path) {
   std::unordered_map<std::uint64_t, VertexId> remap;
   auto densify = [&remap](std::uint64_t raw) {
     auto [it, inserted] =
@@ -48,6 +55,9 @@ std::optional<EdgeList> LoadEdgeListText(const std::string& path) {
   };
 
   std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::unordered_set<std::uint64_t> seen_edges;
+  std::size_t self_loops = 0;
+  std::size_t duplicates = 0;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -73,7 +83,38 @@ std::optional<EdgeList> LoadEdgeListText(const std::string& path) {
                    << ": trailing garbage after endpoints ignored: '" << extra
                    << "'";
     }
-    pairs.emplace_back(densify(a), densify(b));
+    if (a == b) {
+      // Policy: warn and drop. The endpoints are checked before densify so a
+      // vertex mentioned only in self-loops does not become an isolated
+      // vertex of the loaded graph.
+      ++self_loops;
+      continue;
+    }
+    const VertexId du = densify(a);
+    const VertexId dv = densify(b);
+    if (!seen_edges.insert(Edge(du, dv).Key()).second) {
+      ++duplicates;
+      continue;
+    }
+    pairs.emplace_back(du, dv);
+  }
+  // getline loops end with eofbit AND failbit set on a clean end-of-file;
+  // badbit is different — it means the underlying read itself failed (I/O
+  // error, disk eviction). Treating it as EOF would return a silently
+  // truncated graph, and every count computed downstream would be quietly
+  // wrong, so a bad stream is a load failure.
+  if (in.bad()) {
+    LOG(WARNING) << path << ": read error after line " << lineno
+                 << " (truncated input rejected)";
+    return std::nullopt;
+  }
+  if (self_loops > 0) {
+    LOG(WARNING) << path << ": dropped " << self_loops << " self-loop"
+                 << (self_loops == 1 ? "" : "s");
+  }
+  if (duplicates > 0) {
+    LOG(WARNING) << path << ": dropped " << duplicates << " duplicate edge"
+                 << (duplicates == 1 ? "" : "s");
   }
   return EdgeList::FromPairs(static_cast<VertexId>(remap.size()), pairs);
 }

@@ -1,6 +1,7 @@
 #ifndef CYCLESTREAM_GRAPH_IO_H_
 #define CYCLESTREAM_GRAPH_IO_H_
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -10,9 +11,19 @@ namespace cyclestream {
 
 /// Loads a graph from a SNAP-style text edge list: one "u v" pair per line,
 /// '#' starts a comment, blank lines ignored, arbitrary non-contiguous vertex
-/// ids are densified to {0..n-1}. Self-loops and duplicate edges are dropped.
-/// Returns nullopt if the file cannot be opened or contains a malformed line.
+/// ids are densified to {0..n-1}. Self-loops are dropped with a counted
+/// warning (their endpoints are not densified, so a vertex mentioned only in
+/// self-loops does not appear in the graph); duplicate edges are dropped
+/// with a counted warning. Returns nullopt if the file cannot be opened,
+/// contains a malformed line, or the underlying read fails mid-file (a
+/// truncated read is an error, never a silently shorter graph).
 std::optional<EdgeList> LoadEdgeListText(const std::string& path);
+
+/// Same parser over an already-open stream; `name` labels warnings.
+/// Exposed so tests (and in-memory callers) can exercise the exact
+/// file-loading code path without touching the filesystem.
+std::optional<EdgeList> LoadEdgeListText(std::istream& in,
+                                         const std::string& name);
 
 /// Writes the edge list in the same format (with a small header comment).
 /// Returns false on IO failure.

@@ -6,6 +6,7 @@
 #include "hash/mersenne.h"
 #include "hash/rng.h"
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -169,6 +170,29 @@ std::uint64_t KWiseHashBank::Eval(std::size_t i, std::uint64_t x) const {
                    coeffs_[static_cast<std::size_t>(j) * n_ + i]);
   }
   return acc;
+}
+
+void KWiseHashBank::SaveState(StateWriter& w) const {
+  w.U32(static_cast<std::uint32_t>(k_));
+  w.Size(n_);
+  w.Vec(coeffs_);
+}
+
+bool KWiseHashBank::RestoreState(StateReader& r) {
+  const int k = static_cast<int>(r.U32());
+  const std::size_t n = r.Size();
+  std::vector<std::uint64_t> coeffs;
+  if (!r.Vec(&coeffs)) return false;
+  if (coeffs.size() != static_cast<std::size_t>(k) * n) return r.Fail();
+  if (n_ != 0 || k_ != 0) {
+    // Constructed bank: the snapshot must describe this exact bank.
+    if (k != k_ || n != n_ || coeffs != coeffs_) return r.Fail();
+    return true;
+  }
+  k_ = k;
+  n_ = n;
+  coeffs_ = std::move(coeffs);
+  return true;
 }
 
 }  // namespace cyclestream

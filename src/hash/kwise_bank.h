@@ -9,6 +9,9 @@
 
 namespace cyclestream {
 
+class StateWriter;
+class StateReader;
+
 /// A bank of N independent k-wise hashes evaluated together.
 ///
 /// Every sketch in this library runs many independent copies of the same
@@ -63,6 +66,14 @@ class KWiseHashBank {
 
   /// Number of 64-bit words of state (for space accounting): k per hash.
   std::size_t SpaceWords() const { return coeffs_.size(); }
+
+  /// Checkpoint serialization. The bank is immutable after construction, so
+  /// RestoreState into a bank rebuilt from the same seeds acts as a config
+  /// verification: it fails (without mutating) if (k, n, coefficients)
+  /// differ from the snapshot. Restoring into a default-constructed bank
+  /// adopts the serialized coefficients.
+  void SaveState(StateWriter& w) const;
+  bool RestoreState(StateReader& r);
 
  private:
   int k_ = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 namespace {
@@ -100,6 +101,27 @@ Rng Rng::Fork(std::uint64_t stream) const {
   // are independent of both each other and the parent's current state.
   std::uint64_t s = seed_ ^ (0x5851f42d4c957f2dULL * (stream + 1));
   return Rng(SplitMix64(s));
+}
+
+void Rng::SaveState(StateWriter& w) const {
+  for (std::uint64_t s : state_) w.U64(s);
+  w.Bool(has_cached_normal_);
+  w.Double(cached_normal_);
+  w.U64(seed_);
+}
+
+bool Rng::RestoreState(StateReader& r) {
+  std::uint64_t state[4];
+  for (std::uint64_t& s : state) s = r.U64();
+  const bool has_cached = r.Bool();
+  const double cached = r.Double();
+  const std::uint64_t seed = r.U64();
+  if (!r.ok()) return false;
+  for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  has_cached_normal_ = has_cached;
+  cached_normal_ = cached;
+  seed_ = seed;
+  return true;
 }
 
 }  // namespace cyclestream

@@ -6,6 +6,9 @@
 
 namespace cyclestream {
 
+class StateWriter;
+class StateReader;
+
 /// Deterministic, seedable pseudo-random generator (xoshiro256**),
 /// seeded via splitmix64. Every randomized component in the library takes an
 /// explicit seed so experiments are reproducible run-to-run.
@@ -57,6 +60,12 @@ class Rng {
   /// stable across runs. Used to give each trial / each sub-structure its own
   /// reproducible randomness.
   Rng Fork(std::uint64_t stream) const;
+
+  /// Checkpoint serialization: the full generator position (xoshiro state,
+  /// cached Box–Muller variate, original seed) round-trips so a restored
+  /// generator continues the exact output sequence.
+  void SaveState(StateWriter& w) const;
+  bool RestoreState(StateReader& r);
 
  private:
   std::uint64_t state_[4];

@@ -3,6 +3,7 @@
 #include "hash/rng.h"
 #include "sketch/median_of_means.h"
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -28,6 +29,22 @@ double AmsF2::Estimate() const {
     square_scratch_[i] = counters_[i] * counters_[i];
   }
   return MedianOfMeans(square_scratch_, groups_);
+}
+
+void AmsF2::SaveState(StateWriter& w) const {
+  w.Size(groups_);
+  signs_.SaveState(w);
+  w.Vec(counters_);
+}
+
+bool AmsF2::RestoreState(StateReader& r) {
+  if (r.Size() != groups_) return r.Fail();
+  if (!signs_.RestoreState(r)) return false;
+  std::vector<double> counters;
+  if (!r.Vec(&counters)) return false;
+  if (counters.size() != counters_.size()) return r.Fail();
+  counters_ = std::move(counters);
+  return true;
 }
 
 }  // namespace cyclestream

@@ -8,6 +8,9 @@
 
 namespace cyclestream {
 
+class StateWriter;
+class StateReader;
+
 /// Alon–Matias–Szegedy F₂ sketch over a vector x indexed by 64-bit keys and
 /// updated by (key, delta) increments (deltas may be negative — turnstile).
 ///
@@ -38,6 +41,12 @@ class AmsF2 {
   std::size_t SpaceWords() const { return counters_.size() * 5; }
 
   std::size_t groups() const { return groups_; }
+
+  /// Checkpoint serialization: the counters round-trip; the sign bank is
+  /// written for verification and RestoreState rejects (without mutating)
+  /// a snapshot whose configuration differs from this sketch's.
+  void SaveState(StateWriter& w) const;
+  bool RestoreState(StateReader& r);
 
  private:
   std::size_t groups_;

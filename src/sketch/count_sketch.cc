@@ -4,6 +4,7 @@
 
 #include "hash/rng.h"
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -77,6 +78,26 @@ double CountSketch::UpdateAndQuery(std::uint64_t key, double delta) {
     }
   }
   return MedianOfRows();
+}
+
+void CountSketch::SaveState(StateWriter& w) const {
+  w.Size(depth_);
+  w.Size(width_);
+  bucket_hashes_.SaveState(w);
+  sign_hashes_.SaveState(w);
+  w.Vec(table_);
+}
+
+bool CountSketch::RestoreState(StateReader& r) {
+  if (r.Size() != depth_ || r.Size() != width_) return r.Fail();
+  if (!bucket_hashes_.RestoreState(r) || !sign_hashes_.RestoreState(r)) {
+    return false;
+  }
+  std::vector<double> table;
+  if (!r.Vec(&table)) return false;
+  if (table.size() != table_.size()) return r.Fail();
+  table_ = std::move(table);
+  return true;
 }
 
 }  // namespace cyclestream

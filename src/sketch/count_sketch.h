@@ -8,6 +8,9 @@
 
 namespace cyclestream {
 
+class StateWriter;
+class StateReader;
+
 /// CountSketch (Charikar–Chen–Farach-Colton): `depth` rows of `width`
 /// buckets. Each row hashes a key to a bucket (2-wise) and a sign (4-wise);
 /// Query returns the median over rows of sign·bucket, an unbiased estimate
@@ -39,6 +42,12 @@ class CountSketch {
 
   std::size_t depth() const { return depth_; }
   std::size_t width() const { return width_; }
+
+  /// Checkpoint serialization: the counter table round-trips; shape and
+  /// hash banks are written for verification and RestoreState rejects a
+  /// mismatched snapshot without mutating.
+  void SaveState(StateWriter& w) const;
+  bool RestoreState(StateReader& r);
 
  private:
   /// Buckets/signs for `key` into the scratch arrays; returns nothing —

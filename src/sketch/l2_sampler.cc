@@ -5,6 +5,7 @@
 
 #include "hash/rng.h"
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -86,6 +87,41 @@ std::size_t L2Sampler::SpaceWords() const {
     words += copy.sketch.SpaceWords() + 2 + 2;
   }
   return words;
+}
+
+void L2Sampler::SaveState(StateWriter& w) const {
+  w.Size(config_.copies);
+  w.Size(config_.sketch_depth);
+  w.Size(config_.sketch_width);
+  w.Double(config_.epsilon);
+  u_bank_.SaveState(w);
+  for (const Copy& copy : copies_) {
+    copy.sketch.SaveState(w);
+    w.U64(copy.best_key);
+    w.Double(copy.best_z);
+    w.Bool(copy.has_candidate);
+  }
+  f2_.SaveState(w);
+}
+
+bool L2Sampler::RestoreState(StateReader& r) {
+  if (r.Size() != config_.copies || r.Size() != config_.sketch_depth ||
+      r.Size() != config_.sketch_width || r.Double() != config_.epsilon) {
+    return r.Fail();
+  }
+  if (!u_bank_.RestoreState(r)) return false;
+  // Copy sketches restore in place; their RestoreState verifies shape and
+  // hash banks before mutating, so a mismatch part-way through can only
+  // leave earlier (valid) copies restored — and the driver discards the
+  // whole algorithm on any restore failure anyway.
+  for (Copy& copy : copies_) {
+    if (!copy.sketch.RestoreState(r)) return false;
+    copy.best_key = r.U64();
+    copy.best_z = r.Double();
+    copy.has_candidate = r.Bool();
+  }
+  if (!r.ok()) return false;
+  return f2_.RestoreState(r);
 }
 
 }  // namespace cyclestream

@@ -11,6 +11,9 @@
 
 namespace cyclestream {
 
+class StateWriter;
+class StateReader;
+
 /// Approximate ℓ₂ sampler in the style of Jowhari–Saglam–Tardos: draws a
 /// coordinate i with probability ≈ x_i² / F₂(x) from a turnstile stream of
 /// (key, delta) updates, and reports an estimate of x_i.
@@ -64,6 +67,12 @@ class L2Sampler {
   double EstimateF2() const { return f2_.Estimate(); }
 
   std::size_t SpaceWords() const;
+
+  /// Checkpoint serialization: per-copy sketches and candidates plus the
+  /// shared F₂ sketch round-trip; config and the scaling bank are written
+  /// for verification and a mismatch is rejected without mutating.
+  void SaveState(StateWriter& w) const;
+  bool RestoreState(StateReader& r);
 
  private:
   struct Copy {

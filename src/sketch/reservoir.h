@@ -2,10 +2,13 @@
 #define CYCLESTREAM_SKETCH_RESERVOIR_H_
 
 #include <cstddef>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "hash/rng.h"
 #include "util/check.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 
@@ -21,11 +24,13 @@ class Reservoir {
     items_.reserve(capacity);
   }
 
-  /// Result of offering one element.
+  /// Result of offering one element. The evicted item is carried in an
+  /// optional so T need not be default-constructible (edge-pair wrappers
+  /// without default ctors work).
   struct Offer {
     bool inserted = false;
     bool evicted = false;
-    T evicted_item{};  // Valid only when evicted.
+    std::optional<T> evicted_item;  // Engaged exactly when evicted.
   };
 
   /// Offers the t-th stream element (t counts from 1 internally).
@@ -43,7 +48,7 @@ class Reservoir {
       const std::size_t victim =
           static_cast<std::size_t>(rng_.UniformInt(capacity_));
       result.evicted = true;
-      result.evicted_item = items_[victim];
+      result.evicted_item.emplace(items_[victim]);
       items_[victim] = item;
       result.inserted = true;
     }
@@ -53,6 +58,38 @@ class Reservoir {
   const std::vector<T>& items() const { return items_; }
   std::size_t seen() const { return seen_; }
   std::size_t capacity() const { return capacity_; }
+
+  /// Checkpoint serialization. The element codec is supplied by the caller
+  /// (T is arbitrary): `write_item(w, item)` and `read_item(r) -> T`.
+  /// Restores read-then-commit: a malformed blob leaves the sampler
+  /// untouched.
+  template <typename WriteItem>
+  void SaveState(StateWriter& w, WriteItem write_item) const {
+    w.Size(capacity_);
+    rng_.SaveState(w);
+    w.Size(seen_);
+    w.Size(items_.size());
+    for (const T& item : items_) write_item(w, item);
+  }
+  template <typename ReadItem>
+  bool RestoreState(StateReader& r, ReadItem read_item) {
+    if (r.Size() != capacity_) return r.Fail();
+    Rng rng = rng_;
+    if (!rng.RestoreState(r)) return false;
+    const std::size_t seen = r.Size();
+    const std::size_t n = r.Size();
+    if (!r.ok() || n > capacity_ || n > seen) return r.Fail();
+    std::vector<T> items;
+    items.reserve(capacity_);
+    for (std::size_t i = 0; i < n; ++i) {
+      items.push_back(read_item(r));
+      if (!r.ok()) return false;
+    }
+    rng_ = rng;
+    seen_ = seen;
+    items_ = std::move(items);
+    return true;
+  }
 
  private:
   std::size_t capacity_;

@@ -1,0 +1,259 @@
+#include "stream/checkpoint.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "graph/types.h"
+#include "stream/space.h"
+#include "util/logging.h"
+
+namespace cyclestream {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'Y', 'C', 'L', 'S', 'N', 'P', '\x01'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 4;
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutLE32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutLE64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t GetLE(const char* p, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  std::uint32_t crc = 0xffffffffu;
+  for (char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string EncodeSnapshot(const Snapshot& snap) {
+  StateWriter payload;
+  payload.Str(snap.algorithm_id);
+  payload.U8(snap.stream_kind);
+  payload.U64(snap.stream_fingerprint);
+  payload.U64(snap.stream_length);
+  payload.U64(snap.pass);
+  payload.U64(snap.position);
+  payload.U64(snap.elements_processed);
+  payload.Str(snap.state);
+
+  const std::string& body = payload.str();
+  std::string out;
+  out.reserve(kHeaderSize + body.size());
+  out.append(kMagic, sizeof(kMagic));
+  PutLE32(out, kSnapshotVersion);
+  PutLE64(out, static_cast<std::uint64_t>(body.size()));
+  PutLE32(out, Crc32(body));
+  out.append(body);
+  return out;
+}
+
+std::optional<Snapshot> DecodeSnapshot(std::string_view encoded,
+                                       std::string* error) {
+  auto reject = [error](const std::string& why) -> std::optional<Snapshot> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (encoded.size() < kHeaderSize) {
+    return reject("snapshot truncated: " + std::to_string(encoded.size()) +
+                  " bytes is smaller than the header");
+  }
+  if (std::memcmp(encoded.data(), kMagic, sizeof(kMagic)) != 0) {
+    return reject("bad snapshot magic");
+  }
+  const auto version =
+      static_cast<std::uint32_t>(GetLE(encoded.data() + 8, 4));
+  if (version != kSnapshotVersion) {
+    return reject("snapshot schema version mismatch: file has v" +
+                  std::to_string(version) + ", this binary expects v" +
+                  std::to_string(kSnapshotVersion));
+  }
+  const std::uint64_t payload_size = GetLE(encoded.data() + 12, 8);
+  if (payload_size != encoded.size() - kHeaderSize) {
+    return reject("snapshot size mismatch: header declares " +
+                  std::to_string(payload_size) + " payload bytes, file has " +
+                  std::to_string(encoded.size() - kHeaderSize));
+  }
+  const auto crc = static_cast<std::uint32_t>(GetLE(encoded.data() + 20, 4));
+  const std::string_view payload = encoded.substr(kHeaderSize);
+  if (Crc32(payload) != crc) {
+    return reject("snapshot CRC mismatch (corrupt payload)");
+  }
+
+  StateReader r(payload);
+  Snapshot snap;
+  snap.algorithm_id = r.Str();
+  snap.stream_kind = r.U8();
+  snap.stream_fingerprint = r.U64();
+  snap.stream_length = r.U64();
+  snap.pass = r.U64();
+  snap.position = r.U64();
+  snap.elements_processed = r.U64();
+  snap.state = r.Str();
+  if (!r.AtEnd()) {
+    return reject("snapshot payload malformed (parse did not consume the "
+                  "declared payload exactly)");
+  }
+  return snap;
+}
+
+bool SaveSnapshot(const std::string& path, const Snapshot& snap,
+                  std::string* error, const WriteFault* fault) {
+  if (fault != nullptr && fault->fail_io) {
+    if (error != nullptr) {
+      *error = "simulated I/O error (EIO) writing " + path;
+    }
+    return false;
+  }
+  std::string encoded = EncodeSnapshot(snap);
+  if (fault != nullptr && fault->corrupt_byte >= 0 &&
+      static_cast<std::size_t>(fault->corrupt_byte) < encoded.size()) {
+    encoded[static_cast<std::size_t>(fault->corrupt_byte)] ^= 0x01;
+  }
+  if (fault != nullptr && fault->truncate_to >= 0 &&
+      static_cast<std::size_t>(fault->truncate_to) < encoded.size()) {
+    encoded.resize(static_cast<std::size_t>(fault->truncate_to));
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    out.write(encoded.data(),
+              static_cast<std::streamsize>(encoded.size()));
+    out.flush();
+    if (!out) {
+      if (error != nullptr) *error = "write failed for " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "rename " + tmp + " -> " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<Snapshot> LoadSnapshot(const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open snapshot " + path;
+    return std::nullopt;
+  }
+  std::string encoded((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    if (error != nullptr) *error = "I/O error reading snapshot " + path;
+    return std::nullopt;
+  }
+  return DecodeSnapshot(encoded, error);
+}
+
+std::uint64_t FingerprintEdgeStream(const EdgeStream& stream) {
+  std::uint64_t h = Mix64(0x45444745u ^ stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    h = Mix64(h ^ stream[i].Key());
+    h = Mix64(h ^ i);
+  }
+  return h;
+}
+
+std::uint64_t FingerprintAdjacencyStream(const AdjacencyStream& stream) {
+  std::uint64_t h = Mix64(0x41444a59u ^ stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const AdjacencyList& list = stream[i];
+    h = Mix64(h ^ static_cast<std::uint64_t>(list.vertex));
+    h = Mix64(h ^ list.neighbors.size());
+    for (VertexId v : list.neighbors) {
+      h = Mix64(h ^ static_cast<std::uint64_t>(v));
+    }
+    h = Mix64(h ^ i);
+  }
+  return h;
+}
+
+void SpaceTracker::SaveState(StateWriter& w) const {
+  auto write_entries = [&w](const std::vector<Entry>& entries) {
+    w.Size(entries.size());
+    for (const Entry& e : entries) {
+      w.Str(e.name);
+      w.Size(e.words);
+    }
+  };
+  write_entries(components_);
+  write_entries(peak_components_);
+  w.Size(baseline_);
+  w.Size(current_);
+  w.Size(peak_);
+}
+
+bool SpaceTracker::RestoreState(StateReader& r) {
+  auto read_entries = [&r](std::vector<Entry>* entries) {
+    const std::size_t n = r.Size();
+    if (!r.ok() || n > r.Remaining()) return r.Fail();
+    entries->clear();
+    entries->reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Entry e;
+      e.name = r.Str();
+      e.words = r.Size();
+      entries->push_back(std::move(e));
+    }
+    return r.ok();
+  };
+  std::vector<Entry> components, peak_components;
+  if (!read_entries(&components) || !read_entries(&peak_components)) {
+    return false;
+  }
+  const std::size_t baseline = r.Size();
+  const std::size_t current = r.Size();
+  const std::size_t peak = r.Size();
+  if (!r.ok()) return false;
+  components_ = std::move(components);
+  peak_components_ = std::move(peak_components);
+  baseline_ = baseline;
+  current_ = current;
+  peak_ = peak;
+  return true;
+}
+
+}  // namespace cyclestream

@@ -1,10 +1,20 @@
 #include "stream/driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
 
+#include "stream/checkpoint.h"
+#include "stream/fault.h"
 #include "util/check.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/parallel.h"
 
 namespace cyclestream {
 namespace {
@@ -27,6 +37,10 @@ struct AtomicStreamStats {
   std::atomic<std::uint64_t> edges_processed{0};
   std::atomic<std::uint64_t> lists_processed{0};
   std::atomic<std::uint64_t> audits_passed{0};
+  std::atomic<std::uint64_t> checkpoints_written{0};
+  std::atomic<std::uint64_t> checkpoint_failures{0};
+  std::atomic<std::uint64_t> restores{0};
+  std::atomic<std::uint64_t> restore_rejects{0};
   std::atomic<std::uint64_t> pass_nanos[4] = {};
 };
 
@@ -36,6 +50,21 @@ AtomicStreamStats& Stats() {
 }
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Process-wide checkpoint configuration (SetGlobalCheckpoint), consumed by
+// the plain Run*Stream overloads. run_seq names the snapshot file of each
+// Run*Stream call; elements drives kill_after across all runs.
+struct GlobalCheckpointState {
+  std::atomic<bool> active{false};
+  GlobalCheckpointOptions opts;
+  std::atomic<std::uint64_t> run_seq{0};
+  std::atomic<std::uint64_t> elements{0};
+};
+
+GlobalCheckpointState& GlobalCkpt() {
+  static GlobalCheckpointState state;
+  return state;
+}
 
 // Cross-checks the algorithm's self-reported footprint against a fresh
 // walk of its stored state. Called after the final pass, when every
@@ -63,6 +92,246 @@ void AddPassTime(int pass, std::chrono::steady_clock::time_point start) {
                                      kRelaxed);
 }
 
+// Per-stream-kind plumbing for the shared run loop.
+struct EdgeKind {
+  static constexpr std::uint8_t kTag = 0;
+  using Alg = EdgeStreamAlgorithm;
+  using Stream = EdgeStream;
+  static std::uint64_t Fingerprint(const Stream& s) {
+    return FingerprintEdgeStream(s);
+  }
+  static void Process(Alg& alg, int pass, const Stream& s, std::size_t i) {
+    alg.ProcessEdge(pass, s[i], i);
+  }
+  static void AddProcessed(std::uint64_t n) {
+    Stats().edges_processed.fetch_add(n, kRelaxed);
+  }
+};
+
+struct AdjacencyKind {
+  static constexpr std::uint8_t kTag = 1;
+  using Alg = AdjacencyStreamAlgorithm;
+  using Stream = AdjacencyStream;
+  static std::uint64_t Fingerprint(const Stream& s) {
+    return FingerprintAdjacencyStream(s);
+  }
+  static void Process(Alg& alg, int pass, const Stream& s, std::size_t i) {
+    alg.ProcessList(pass, s[i], i);
+  }
+  static void AddProcessed(std::uint64_t n) {
+    Stats().lists_processed.fetch_add(n, kRelaxed);
+  }
+};
+
+// Writes one snapshot per the policy. Returns true if a file landed (even
+// a deliberately damaged one — corruption faults must be caught on load,
+// not hidden at write time); false on (possibly simulated) I/O failure.
+template <typename Kind>
+bool WriteCheckpoint(typename Kind::Alg& alg, const RunOptions& options,
+                     const std::string& path, std::uint64_t fingerprint,
+                     std::uint64_t stream_length, std::uint64_t pass,
+                     std::uint64_t position, std::uint64_t elements_done,
+                     RunOutcome* out) {
+  Snapshot snap;
+  snap.algorithm_id = std::string(alg.CheckpointId());
+  snap.stream_kind = Kind::kTag;
+  snap.stream_fingerprint = fingerprint;
+  snap.stream_length = stream_length;
+  snap.pass = pass;
+  snap.position = position;
+  snap.elements_processed = elements_done;
+  StateWriter w;
+  if (!alg.SaveState(w)) return false;
+  snap.state = w.Take();
+
+  WriteFault fault;
+  if (options.faults != nullptr) fault = options.faults->NextWriteFault();
+  std::string error;
+  if (!SaveSnapshot(path, snap, &error, &fault)) {
+    LOG(WARNING) << "checkpoint write failed: " << error
+                 << " (keeping previous snapshot, run continues)";
+    ++out->checkpoint_failures;
+    Stats().checkpoint_failures.fetch_add(1, kRelaxed);
+    return false;
+  }
+  out->checkpoint_path = path;
+  ++out->checkpoints_written;
+  Stats().checkpoints_written.fetch_add(1, kRelaxed);
+  return true;
+}
+
+// Attempts to restore `alg` from options.resume_from. On success sets the
+// resume point; on any validation failure logs why and leaves the
+// algorithm untouched (restart from scratch).
+template <typename Kind>
+void TryResume(typename Kind::Alg& alg, const typename Kind::Stream& stream,
+               const RunOptions& options, int num_passes,
+               std::uint64_t fingerprint, std::uint64_t* start_pass,
+               std::uint64_t* start_pos, std::uint64_t* elements_done,
+               RunOutcome* out) {
+  std::string error;
+  std::optional<Snapshot> snap = LoadSnapshot(options.resume_from, &error);
+  bool ok = false;
+  if (snap.has_value()) {
+    if (snap->algorithm_id != alg.CheckpointId()) {
+      error = "snapshot is for algorithm '" + snap->algorithm_id +
+              "', expected '" + std::string(alg.CheckpointId()) + "'";
+    } else if (snap->stream_kind != Kind::kTag) {
+      error = "snapshot stream kind mismatch";
+    } else if (snap->stream_length != stream.size() ||
+               snap->stream_fingerprint != fingerprint) {
+      error = "snapshot was taken against a different stream";
+    } else if (snap->pass >= static_cast<std::uint64_t>(num_passes) ||
+               snap->position > stream.size()) {
+      error = "snapshot resume point out of range";
+    } else {
+      StateReader r(snap->state);
+      if (alg.RestoreState(r) && r.AtEnd()) {
+        ok = true;
+      } else {
+        error = "algorithm state blob rejected";
+      }
+    }
+  }
+  if (ok) {
+    *start_pass = snap->pass;
+    *start_pos = snap->position;
+    *elements_done = snap->elements_processed;
+    out->resumed = true;
+    Stats().restores.fetch_add(1, kRelaxed);
+  } else {
+    LOG(WARNING) << "resume from " << options.resume_from << " rejected: "
+                 << error << "; restarting from scratch";
+    out->resume_rejected = true;
+    Stats().restore_rejects.fetch_add(1, kRelaxed);
+  }
+}
+
+// The shared options-aware run loop. Completion stats are added only when
+// the run finishes, and always as the full-run totals — a killed run
+// contributes nothing and a resumed run contributes the same totals as an
+// uninterrupted one, keeping the manifest's deterministic section
+// identical across the two.
+template <typename Kind>
+RunOutcome RunWithOptions(typename Kind::Alg& alg,
+                          const typename Kind::Stream& stream,
+                          const RunOptions& options) {
+  RunOutcome out;
+  const int num_passes = alg.NumPasses();
+  const bool can_checkpoint = !alg.CheckpointId().empty();
+  const CheckpointPolicy* policy =
+      can_checkpoint ? options.checkpoint : nullptr;
+
+  std::uint64_t fingerprint = 0;
+  if (policy != nullptr ||
+      (can_checkpoint && !options.resume_from.empty())) {
+    fingerprint = Kind::Fingerprint(stream);
+  }
+
+  std::uint64_t start_pass = 0;
+  std::uint64_t start_pos = 0;
+  std::uint64_t elements_done = 0;
+  if (can_checkpoint && !options.resume_from.empty()) {
+    TryResume<Kind>(alg, stream, options, num_passes, fingerprint,
+                    &start_pass, &start_pos, &elements_done, &out);
+  }
+
+  std::string path;
+  if (policy != nullptr) {
+    path = policy->directory + "/" + policy->file_stem + ".ckpt";
+  }
+
+  GlobalCheckpointState& global = GlobalCkpt();
+  const std::uint64_t global_kill =
+      global.active.load(kRelaxed) ? global.opts.kill_after : 0;
+
+  for (int pass = static_cast<int>(start_pass); pass < num_passes; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t begin =
+        pass == static_cast<int>(start_pass)
+            ? static_cast<std::size_t>(start_pos)
+            : 0;
+    // A mid-pass resume skips StartPass: it already ran before the
+    // snapshot was taken and its effects are part of the restored state.
+    if (begin == 0) alg.StartPass(pass, stream.size());
+    for (std::size_t i = begin; i < stream.size(); ++i) {
+      Kind::Process(alg, pass, stream, i);
+      ++elements_done;
+      if (policy != nullptr && policy->every_elements > 0 &&
+          elements_done % policy->every_elements == 0) {
+        WriteCheckpoint<Kind>(alg, options, path, fingerprint, stream.size(),
+                              static_cast<std::uint64_t>(pass), i + 1,
+                              elements_done, &out);
+      }
+      if (options.faults != nullptr &&
+          options.faults->OnElementProcessed()) {
+        out.completed = false;
+        AddPassTime(pass, start);
+        return out;
+      }
+      if (global_kill > 0 &&
+          global.elements.fetch_add(1, kRelaxed) + 1 >= global_kill) {
+        // Simulated crash: no cleanup, no further output. The checkpoint
+        // for this element (if due) is already on disk.
+        std::_Exit(kKilledExitCode);
+      }
+    }
+    alg.EndPass(pass);
+    AddPassTime(pass, start);
+    if (policy != nullptr && policy->at_pass_end && pass + 1 < num_passes) {
+      WriteCheckpoint<Kind>(alg, options, path, fingerprint, stream.size(),
+                            static_cast<std::uint64_t>(pass) + 1, 0,
+                            elements_done, &out);
+    }
+  }
+  MaybeAuditSpace(alg);
+  Stats().runs.fetch_add(1, kRelaxed);
+  Stats().passes.fetch_add(static_cast<std::uint64_t>(num_passes), kRelaxed);
+  Kind::AddProcessed(static_cast<std::uint64_t>(num_passes) * stream.size());
+  return out;
+}
+
+// The plain overloads route through the options loop only when the
+// process-wide checkpoint configuration is active; otherwise they run the
+// original tight loop with zero per-element overhead.
+template <typename Kind>
+void RunPlain(typename Kind::Alg& alg, const typename Kind::Stream& stream) {
+  GlobalCheckpointState& global = GlobalCkpt();
+  if (global.active.load(kRelaxed)) {
+    const std::uint64_t seq = global.run_seq.fetch_add(1, kRelaxed);
+    CheckpointPolicy policy;
+    policy.directory = global.opts.directory;
+    policy.every_elements = global.opts.every_elements;
+    policy.at_pass_end = true;
+    policy.file_stem = "run-" + std::to_string(seq);
+    RunOptions options;
+    options.checkpoint = &policy;
+    if (global.opts.resume) {
+      const std::string path =
+          policy.directory + "/" + policy.file_stem + ".ckpt";
+      std::ifstream probe(path, std::ios::binary);
+      if (probe.good()) options.resume_from = path;
+    }
+    RunWithOptions<Kind>(alg, stream, options);
+    return;
+  }
+
+  const int num_passes = alg.NumPasses();
+  for (int pass = 0; pass < num_passes; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    alg.StartPass(pass, stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      Kind::Process(alg, pass, stream, i);
+    }
+    alg.EndPass(pass);
+    AddPassTime(pass, start);
+  }
+  MaybeAuditSpace(alg);
+  Stats().runs.fetch_add(1, kRelaxed);
+  Stats().passes.fetch_add(static_cast<std::uint64_t>(num_passes), kRelaxed);
+  Kind::AddProcessed(static_cast<std::uint64_t>(num_passes) * stream.size());
+}
+
 }  // namespace
 
 void SetSpaceAudit(bool enabled) {
@@ -74,6 +343,47 @@ bool SpaceAuditEnabled() {
   return from_env || g_audit_enabled.load(kRelaxed);
 }
 
+void SetGlobalCheckpoint(const GlobalCheckpointOptions& options) {
+  GlobalCheckpointState& global = GlobalCkpt();
+  global.opts = options;
+  global.run_seq.store(0, kRelaxed);
+  global.elements.store(0, kRelaxed);
+  global.active.store(!options.directory.empty(), kRelaxed);
+}
+
+bool ApplyCheckpointFlags(FlagParser& flags, int* threads) {
+  GlobalCheckpointOptions options;
+  options.directory = flags.GetString("checkpoint_dir", "");
+  options.every_elements = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, flags.GetInt("checkpoint_every", 0)));
+  options.resume = flags.GetBool("resume", false);
+  options.kill_after = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, flags.GetInt("kill_after", 0)));
+  if (options.directory.empty()) {
+    if (options.every_elements > 0 || options.resume ||
+        options.kill_after > 0) {
+      LOG(WARNING) << "--checkpoint_every/--resume/--kill_after have no "
+                      "effect without --checkpoint_dir";
+    }
+    SetGlobalCheckpoint(GlobalCheckpointOptions{});
+    return false;
+  }
+  if (threads != nullptr && *threads != 1) {
+    LOG(INFO) << "checkpointing needs a deterministic run sequence; "
+                 "forcing --threads=1";
+    SetDefaultThreads(1);
+    *threads = 1;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.directory, ec);
+  if (ec) {
+    LOG(WARNING) << "cannot create checkpoint directory '"
+                 << options.directory << "': " << ec.message();
+  }
+  SetGlobalCheckpoint(options);
+  return true;
+}
+
 StreamStats GlobalStreamStats() {
   StreamStats out;
   AtomicStreamStats& stats = Stats();
@@ -82,6 +392,10 @@ StreamStats GlobalStreamStats() {
   out.edges_processed = stats.edges_processed.load(kRelaxed);
   out.lists_processed = stats.lists_processed.load(kRelaxed);
   out.audits_passed = stats.audits_passed.load(kRelaxed);
+  out.checkpoints_written = stats.checkpoints_written.load(kRelaxed);
+  out.checkpoint_failures = stats.checkpoint_failures.load(kRelaxed);
+  out.restores = stats.restores.load(kRelaxed);
+  out.restore_rejects = stats.restore_rejects.load(kRelaxed);
   for (int i = 0; i < 4; ++i) {
     out.pass_seconds[i] =
         static_cast<double>(stats.pass_nanos[i].load(kRelaxed)) * 1e-9;
@@ -96,44 +410,31 @@ void ResetStreamStats() {
   stats.edges_processed.store(0, kRelaxed);
   stats.lists_processed.store(0, kRelaxed);
   stats.audits_passed.store(0, kRelaxed);
+  stats.checkpoints_written.store(0, kRelaxed);
+  stats.checkpoint_failures.store(0, kRelaxed);
+  stats.restores.store(0, kRelaxed);
+  stats.restore_rejects.store(0, kRelaxed);
   for (auto& nanos : stats.pass_nanos) nanos.store(0, kRelaxed);
 }
 
 void RunEdgeStream(EdgeStreamAlgorithm& alg, const EdgeStream& stream) {
-  const int num_passes = alg.NumPasses();
-  for (int pass = 0; pass < num_passes; ++pass) {
-    const auto start = std::chrono::steady_clock::now();
-    alg.StartPass(pass, stream.size());
-    for (std::size_t i = 0; i < stream.size(); ++i) {
-      alg.ProcessEdge(pass, stream[i], i);
-    }
-    alg.EndPass(pass);
-    AddPassTime(pass, start);
-  }
-  MaybeAuditSpace(alg);
-  Stats().runs.fetch_add(1, kRelaxed);
-  Stats().passes.fetch_add(static_cast<std::uint64_t>(num_passes), kRelaxed);
-  Stats().edges_processed.fetch_add(
-      static_cast<std::uint64_t>(num_passes) * stream.size(), kRelaxed);
+  RunPlain<EdgeKind>(alg, stream);
 }
 
 void RunAdjacencyStream(AdjacencyStreamAlgorithm& alg,
                         const AdjacencyStream& stream) {
-  const int num_passes = alg.NumPasses();
-  for (int pass = 0; pass < num_passes; ++pass) {
-    const auto start = std::chrono::steady_clock::now();
-    alg.StartPass(pass, stream.size());
-    for (std::size_t i = 0; i < stream.size(); ++i) {
-      alg.ProcessList(pass, stream[i], i);
-    }
-    alg.EndPass(pass);
-    AddPassTime(pass, start);
-  }
-  MaybeAuditSpace(alg);
-  Stats().runs.fetch_add(1, kRelaxed);
-  Stats().passes.fetch_add(static_cast<std::uint64_t>(num_passes), kRelaxed);
-  Stats().lists_processed.fetch_add(
-      static_cast<std::uint64_t>(num_passes) * stream.size(), kRelaxed);
+  RunPlain<AdjacencyKind>(alg, stream);
+}
+
+RunOutcome RunEdgeStream(EdgeStreamAlgorithm& alg, const EdgeStream& stream,
+                         const RunOptions& options) {
+  return RunWithOptions<EdgeKind>(alg, stream, options);
+}
+
+RunOutcome RunAdjacencyStream(AdjacencyStreamAlgorithm& alg,
+                              const AdjacencyStream& stream,
+                              const RunOptions& options) {
+  return RunWithOptions<AdjacencyKind>(alg, stream, options);
 }
 
 }  // namespace cyclestream

@@ -3,11 +3,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "stream/order.h"
 #include "stream/space.h"
 
 namespace cyclestream {
+
+class StateWriter;
+class StateReader;
+class FaultPlan;
 
 /// Sentinel return of AuditSpace(): the algorithm does not implement the
 /// audit walk.
@@ -40,6 +46,30 @@ class EdgeStreamAlgorithm {
   /// Used by the audit cross-check and by the metrics layer to export the
   /// peak-space component breakdown.
   virtual const SpaceTracker* space_tracker() const { return nullptr; }
+
+  /// Checkpoint identity: a stable tag naming the algorithm and its state
+  /// schema (e.g. "arb3pass/1"). Bump the suffix whenever the SaveState
+  /// layout changes. Empty (the default) means the algorithm does not
+  /// support checkpointing and the driver skips snapshots for it.
+  virtual std::string_view CheckpointId() const { return {}; }
+
+  /// Serializes the stream-dependent mutable state into `w`. Returns false
+  /// if unsupported. State derived purely from construction parameters
+  /// (hash coefficients, sign caches) is not serialized — RestoreState
+  /// verifies it via config fingerprints instead.
+  virtual bool SaveState(StateWriter& w) const {
+    (void)w;
+    return false;
+  }
+
+  /// Restores state saved by SaveState into a *freshly constructed*
+  /// algorithm with identical Params. Must validate before mutating: on a
+  /// fingerprint or decode mismatch it returns false leaving the algorithm
+  /// untouched, so the driver can fall back to a from-scratch run.
+  virtual bool RestoreState(StateReader& r) {
+    (void)r;
+    return false;
+  }
 };
 
 /// Interface for algorithms over adjacency-list streams. Position is the
@@ -59,6 +89,52 @@ class AdjacencyStreamAlgorithm {
 
   /// See EdgeStreamAlgorithm::space_tracker.
   virtual const SpaceTracker* space_tracker() const { return nullptr; }
+
+  /// See EdgeStreamAlgorithm::CheckpointId.
+  virtual std::string_view CheckpointId() const { return {}; }
+
+  /// See EdgeStreamAlgorithm::SaveState.
+  virtual bool SaveState(StateWriter& w) const {
+    (void)w;
+    return false;
+  }
+
+  /// See EdgeStreamAlgorithm::RestoreState.
+  virtual bool RestoreState(StateReader& r) {
+    (void)r;
+    return false;
+  }
+};
+
+/// When and where the driver writes snapshots during a run.
+struct CheckpointPolicy {
+  std::string directory;  // Must exist; files are `<directory>/<stem>.ckpt`.
+  /// Snapshot after every k processed elements (counted across passes).
+  /// 0 disables the element trigger.
+  std::uint64_t every_elements = 0;
+  /// Snapshot at each pass boundary (recorded as pass+1, position 0).
+  bool at_pass_end = true;
+  std::string file_stem = "run";
+};
+
+/// Per-run driver options. All pointers are borrowed and may be null.
+struct RunOptions {
+  const CheckpointPolicy* checkpoint = nullptr;
+  FaultPlan* faults = nullptr;
+  /// Path of a snapshot to restore before running. Invalid or mismatched
+  /// snapshots are rejected (with a warning) and the run restarts from
+  /// scratch — never a partial restore.
+  std::string resume_from;
+};
+
+/// What happened during a Run*Stream call with options.
+struct RunOutcome {
+  bool completed = true;        // False iff a FaultPlan kill stopped the run.
+  bool resumed = false;         // A snapshot was successfully restored.
+  bool resume_rejected = false; // resume_from was set but rejected.
+  std::string checkpoint_path;  // Last successfully written snapshot.
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_failures = 0;
 };
 
 /// Runs all passes of `alg` over `stream`.
@@ -67,6 +143,53 @@ void RunEdgeStream(EdgeStreamAlgorithm& alg, const EdgeStream& stream);
 /// Runs all passes of `alg` over the adjacency stream.
 void RunAdjacencyStream(AdjacencyStreamAlgorithm& alg,
                         const AdjacencyStream& stream);
+
+/// As above, with checkpoint/resume/fault-injection control. Resume
+/// semantics: the restored snapshot records (pass, position) of the first
+/// unprocessed element; the driver skips StartPass for a mid-pass resume
+/// (it already ran before the snapshot) and replays the stream from the
+/// recorded position. A resumed run that completes is bit-identical to an
+/// uninterrupted run of a freshly constructed algorithm with the same
+/// Params over the same stream.
+RunOutcome RunEdgeStream(EdgeStreamAlgorithm& alg, const EdgeStream& stream,
+                         const RunOptions& options);
+RunOutcome RunAdjacencyStream(AdjacencyStreamAlgorithm& alg,
+                              const AdjacencyStream& stream,
+                              const RunOptions& options);
+
+/// Process-wide checkpoint configuration consumed by the plain (void)
+/// Run*Stream overloads, letting experiment binaries checkpoint every
+/// embedded run without plumbing RunOptions through the trial helpers.
+/// When active, the Nth Run*Stream call of the process (a deterministic
+/// index at --threads=1, which the experiment drivers enforce) snapshots to
+/// `<directory>/run-<N>.ckpt` and, when `resume` is set, restores from
+/// that file if present. `kill_after` > 0 terminates the process with
+/// _Exit(kKilledExitCode) once that many elements have been processed
+/// across all runs — the crash half of the crash/resume tests.
+struct GlobalCheckpointOptions {
+  std::string directory;
+  std::uint64_t every_elements = 0;
+  bool resume = false;
+  std::uint64_t kill_after = 0;
+};
+
+/// Exit code of a kill_after-terminated process.
+inline constexpr int kKilledExitCode = 86;
+
+/// Installs (or, with an empty directory, clears) the process-wide
+/// checkpoint configuration. Call once at startup, like SetSpaceAudit.
+void SetGlobalCheckpoint(const GlobalCheckpointOptions& options);
+
+class FlagParser;
+
+/// Reads the robustness flags (--checkpoint_dir, --checkpoint_every,
+/// --resume, --kill_after) and installs the process-wide checkpoint
+/// configuration. Snapshot files are named by the order in which Run*Stream
+/// calls start, so the run sequence must be deterministic: when
+/// checkpointing is active the process is forced to serial execution and
+/// `*threads` is rewritten to 1. Creates the checkpoint directory if
+/// missing. Returns true when checkpointing is active for this process.
+bool ApplyCheckpointFlags(FlagParser& flags, int* threads);
 
 /// Enables the space audit: after the final pass of every Run*Stream, the
 /// driver cross-checks AuditSpace() against the algorithm's SpaceTracker
@@ -90,6 +213,13 @@ struct StreamStats {
   std::uint64_t edges_processed = 0;  // ProcessEdge calls.
   std::uint64_t lists_processed = 0;  // ProcessList calls.
   std::uint64_t audits_passed = 0;    // Successful audit cross-checks.
+  // Checkpoint/restore counters. Execution-dependent (they differ between a
+  // killed+resumed process pair and an uninterrupted one), so the manifest
+  // exports them outside the deterministic section.
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_failures = 0;
+  std::uint64_t restores = 0;         // Snapshots successfully restored.
+  std::uint64_t restore_rejects = 0;  // Snapshots rejected on validation.
   double pass_seconds[4] = {0, 0, 0, 0};  // Wall time by pass index (3+ folded
                                           // into the last slot). Not
                                           // deterministic.

@@ -1,0 +1,13 @@
+#include "stream/fault.h"
+
+#include "graph/types.h"
+
+namespace cyclestream {
+
+std::uint64_t FaultPlan::PickKillPoint(std::uint64_t seed,
+                                       std::uint64_t total) {
+  if (total == 0) return 0;
+  return 1 + Mix64(seed ^ 0xfa017u) % total;
+}
+
+}  // namespace cyclestream

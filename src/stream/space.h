@@ -12,6 +12,9 @@
 
 namespace cyclestream {
 
+class StateWriter;
+class StateReader;
+
 /// Peak-space tracker. Streaming algorithms report their space in "words":
 /// one word per stored edge endpoint pair, per counter, and per hash-seed
 /// coefficient. The space-scaling experiments read Peak().
@@ -104,6 +107,13 @@ class SpaceTracker {
     current_ = 0;
     peak_ = 0;
   }
+
+  /// Checkpoint serialization (defined in stream/checkpoint.cc): the full
+  /// tracker round-trips — components in order (Slot() is a linear scan, so
+  /// order affects nothing but is preserved anyway), peak breakdown,
+  /// baseline, current, and peak.
+  void SaveState(StateWriter& w) const;
+  bool RestoreState(StateReader& r);
 
  private:
   struct Entry {

@@ -37,6 +37,11 @@ void MetricsRegistry::SetTiming(const std::string& name, double seconds) {
   timings_[name] = seconds;
 }
 
+void MetricsRegistry::SetExecution(const std::string& name,
+                                   std::int64_t value) {
+  execution_[name] = value;
+}
+
 std::int64_t MetricsRegistry::GetInt(const std::string& name) const {
   auto it = values_.find(name);
   if (it == values_.end()) return 0;
@@ -60,6 +65,7 @@ bool MetricsRegistry::Has(const std::string& name) const {
 void MetricsRegistry::Clear() {
   values_.clear();
   timings_.clear();
+  execution_.clear();
 }
 
 void MetricsRegistry::WriteJson(JsonWriter& w) const {
@@ -80,6 +86,15 @@ void MetricsRegistry::WriteTimingsJson(JsonWriter& w) const {
   for (const auto& [name, seconds] : timings_) {
     w.Key(name);
     w.Double(seconds);
+  }
+  w.EndObject();
+}
+
+void MetricsRegistry::WriteExecutionJson(JsonWriter& w) const {
+  w.BeginObject();
+  for (const auto& [name, value] : execution_) {
+    w.Key(name);
+    w.Int(value);
   }
   w.EndObject();
 }
@@ -129,9 +144,17 @@ void RunManifest::WriteImpl(std::ostream& os, bool deterministic_only) const {
   w.Key("config");
   w.BeginObject();
   for (const auto& [name, value] : config_) {
-    // The --threads flag is scheduling, not configuration: it must not
-    // change any result, so the deterministic payload omits it.
-    if (deterministic_only && name == "threads") continue;
+    // Scheduling/robustness flags are execution policy, not configuration:
+    // they must not change any result (a killed-and-resumed run is required
+    // to match an uninterrupted one), so the deterministic payload omits
+    // them alongside --threads.
+    if (deterministic_only &&
+        (name == "threads" || name == "checkpoint_dir" ||
+         name == "checkpoint_every" || name == "resume" ||
+         name == "kill_after" || name == "json_out" ||
+         name == "json_det_out")) {
+      continue;
+    }
     w.Key(name);
     w.String(value);
   }
@@ -166,6 +189,10 @@ void RunManifest::WriteImpl(std::ostream& os, bool deterministic_only) const {
   if (!deterministic_only) {
     w.Key("timings");
     metrics_.WriteTimingsJson(w);
+    if (metrics_.has_execution()) {
+      w.Key("execution");
+      metrics_.WriteExecutionJson(w);
+    }
   }
   w.EndObject();
   os << "\n";

@@ -42,6 +42,13 @@ class MetricsRegistry {
   /// deterministic section.
   void SetTiming(const std::string& name, double seconds);
 
+  /// Records an execution counter — facts about *how* the run executed
+  /// (checkpoints written, restores performed) rather than what it computed.
+  /// Like timings, these live outside the deterministic section: a killed
+  /// and resumed run must produce a byte-identical deterministic payload to
+  /// an uninterrupted one, and these counters legitimately differ.
+  void SetExecution(const std::string& name, std::int64_t value);
+
   /// Reads an integer counter/gauge (0 when absent; doubles truncate).
   std::int64_t GetInt(const std::string& name) const;
 
@@ -59,6 +66,10 @@ class MetricsRegistry {
   /// Writes the timings section as a JSON object value.
   void WriteTimingsJson(JsonWriter& w) const;
 
+  /// Writes the execution section as a JSON object value.
+  void WriteExecutionJson(JsonWriter& w) const;
+  bool has_execution() const { return !execution_.empty(); }
+
   /// Standalone deterministic JSON object (tests).
   std::string DeterministicJson() const;
 
@@ -73,6 +84,7 @@ class MetricsRegistry {
 
   std::map<std::string, Value> values_;
   std::map<std::string, double> timings_;
+  std::map<std::string, std::int64_t> execution_;
 };
 
 /// Structured description of one experiment (or CLI) run: configuration,

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <streambuf>
 
 #include "graph/datasets.h"
 #include "graph/exact.h"
@@ -274,6 +276,62 @@ TEST(IoTest, TrailingGarbageLoadsEndpointsAndContinues) {
   EXPECT_EQ(loaded->num_vertices(), 3u);
   EXPECT_EQ(loaded->num_edges(), 2u);
   std::remove(path.c_str());
+}
+
+TEST(IoTest, StreamOverloadParses) {
+  std::istringstream in("0 1\n1 2\n");
+  auto loaded = LoadEdgeListText(in, "<memory>");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_vertices(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 2u);
+}
+
+TEST(IoTest, SelfLoopsDroppedWithoutDensifying) {
+  // Policy: self-loops are dropped (warn-and-drop), and their endpoints are
+  // checked before densification — a vertex mentioned only in self-loops
+  // must not survive as an isolated vertex.
+  std::istringstream in("5 5\n1 2\n7 7\n2 3\n");
+  auto loaded = LoadEdgeListText(in, "<memory>");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  EXPECT_EQ(loaded->num_vertices(), 3u);  // Only {1, 2, 3} densified.
+}
+
+TEST(IoTest, DuplicateEdgesDropped) {
+  // "2 1" duplicates "1 2" after canonicalization; both copies plus the
+  // literal repeat collapse to one edge.
+  std::istringstream in("1 2\n2 1\n1 2\n2 3\n");
+  auto loaded = LoadEdgeListText(in, "<memory>");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  EXPECT_EQ(loaded->num_vertices(), 3u);
+}
+
+// Streambuf that serves a prefix of real data, then fails the underlying
+// read (as a disk error would), driving the istream's badbit.
+class FailingAfterPrefixBuf : public std::streambuf {
+ public:
+  explicit FailingAfterPrefixBuf(std::string prefix)
+      : prefix_(std::move(prefix)) {
+    setg(prefix_.data(), prefix_.data(), prefix_.data() + prefix_.size());
+  }
+
+ protected:
+  int_type underflow() override { throw std::ios_base::failure("io error"); }
+
+ private:
+  std::string prefix_;
+};
+
+// Regression: the getline loop used to treat *any* stream termination as a
+// clean EOF, so a mid-file read error returned a silently truncated graph
+// and every count computed on it was quietly wrong. A bad stream must fail
+// the load outright.
+TEST(IoTest, ReadErrorMidFileRejectsTruncatedGraph) {
+  FailingAfterPrefixBuf buf("0 1\n1 2\n2 3\n");
+  std::istream in(&buf);
+  EXPECT_FALSE(LoadEdgeListText(in, "<failing>").has_value());
+  EXPECT_TRUE(in.bad());
 }
 
 }  // namespace

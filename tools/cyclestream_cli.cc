@@ -13,6 +13,7 @@
 // Graphs are SNAP-format text edge lists. All estimators print the
 // estimate, the exact count (unless --no-exact), and the peak space.
 
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -33,6 +34,7 @@
 #include "graph/exact.h"
 #include "graph/graph.h"
 #include "graph/io.h"
+#include "stream/driver.h"
 #include "stream/order.h"
 #include "util/flags.h"
 #include "util/metrics.h"
@@ -52,7 +54,10 @@ int Usage() {
       "  generate --model er|gnp|ba|chung-lu|ws|grid --n N\n"
       "           [--m M | --p P | --deg D] [--seed S] --out FILE\n"
       "  common:  --threads N   worker threads (0 = all cores, 1 = serial)\n"
-      "           --json_out FILE   write a structured run manifest\n";
+      "           --json_out FILE   write a structured run manifest\n"
+      "           --json_det_out FILE   write the deterministic manifest\n"
+      "           --checkpoint_dir DIR --checkpoint_every K [--resume]\n"
+      "           [--kill_after N]   snapshot/resume (see DESIGN.md §10)\n";
   return 2;
 }
 
@@ -343,11 +348,14 @@ int RunGenerate(FlagParser& flags, RunManifest& manifest) {
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
-  const int threads = ApplyThreadsFlag(flags);
+  int threads = ApplyThreadsFlag(flags);
+  const bool checkpointing = ApplyCheckpointFlags(flags, &threads);
   const std::string command = flags.positional()[0];
   const std::string json_out = flags.GetString("json_out", "");
+  const std::string json_det_out = flags.GetString("json_det_out", "");
   RunManifest manifest("cli." + command);
   manifest.SetThreads(threads);
+  ResetStreamStats();
   int rc;
   if (command == "stats") {
     rc = RunStats(flags, manifest);
@@ -358,6 +366,19 @@ int Main(int argc, char** argv) {
   } else {
     return Usage();
   }
+  const StreamStats stats = GlobalStreamStats();
+  if (checkpointing || stats.checkpoints_written > 0 || stats.restores > 0 ||
+      stats.checkpoint_failures > 0 || stats.restore_rejects > 0) {
+    MetricsRegistry& m = manifest.metrics();
+    m.SetExecution("stream.checkpoints_written",
+                   static_cast<std::int64_t>(stats.checkpoints_written));
+    m.SetExecution("stream.checkpoint_failures",
+                   static_cast<std::int64_t>(stats.checkpoint_failures));
+    m.SetExecution("stream.restores",
+                   static_cast<std::int64_t>(stats.restores));
+    m.SetExecution("stream.restore_rejects",
+                   static_cast<std::int64_t>(stats.restore_rejects));
+  }
   manifest.SetConfig(flags.values());
   WarnUnusedFlags(flags, std::cerr);
   if (rc == 0 && !json_out.empty()) {
@@ -366,6 +387,15 @@ int Main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "run manifest written to " << json_out << "\n";
+  }
+  if (rc == 0 && !json_det_out.empty()) {
+    std::ofstream out(json_det_out);
+    if (out) out << manifest.DeterministicJson();
+    if (!out) {
+      std::cerr << "error: cannot write " << json_det_out << "\n";
+      return 1;
+    }
+    std::cerr << "deterministic manifest written to " << json_det_out << "\n";
   }
   return rc;
 }
