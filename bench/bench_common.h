@@ -101,12 +101,12 @@ struct TrialStats {
   Summary estimate;
 };
 
-/// Runs `trials` executions of `run` (seeded 0..trials-1, concurrently)
-/// against `truth` and aggregates. `run` returns (estimate, space_words).
-inline TrialStats RunTrials(
-    int trials, double truth,
-    const std::function<std::pair<double, std::size_t>(int)>& run) {
-  const auto results = CollectTrials(trials, run);
+/// Aggregates already-collected (estimate, space_words) results against
+/// `truth`. Shared by RunTrials and by callers that obtain their per-trial
+/// results some other way (the engine's shared-pass batches), so both paths
+/// summarize identically.
+inline TrialStats SummarizeTrials(
+    const std::vector<std::pair<double, std::size_t>>& results, double truth) {
   std::vector<double> errors, spaces, estimates;
   errors.reserve(results.size());
   spaces.reserve(results.size());
@@ -121,6 +121,14 @@ inline TrialStats RunTrials(
   stats.space_words = Summarize(std::move(spaces));
   stats.estimate = Summarize(std::move(estimates));
   return stats;
+}
+
+/// Runs `trials` executions of `run` (seeded 0..trials-1, concurrently)
+/// against `truth` and aggregates. `run` returns (estimate, space_words).
+inline TrialStats RunTrials(
+    int trials, double truth,
+    const std::function<std::pair<double, std::size_t>(int)>& run) {
+  return SummarizeTrials(CollectTrials(trials, run), truth);
 }
 
 /// Standard experiment header: prints the experiment id, the paper claim

@@ -3,8 +3,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
 #include "baselines/triest.h"
 #include "bench/bench_common.h"
+#include "engine/broker.h"
+#include "engine/query.h"
+#include "graph/binary_io.h"
+#include "graph/io.h"
 #include "core/adj_f2_counter.h"
 #include "core/amplify.h"
 #include "core/arb_f2_counter.h"
@@ -238,6 +246,85 @@ void BM_AdjF2List(benchmark::State& state) {
                           static_cast<std::int64_t>(g.num_edges()));
 }
 BENCHMARK(BM_AdjF2List);
+
+// Engine fan-out: one physical pass over the shared stream feeding Arg
+// concurrent Triest estimators. items/s counts *delivered* edges
+// (stream × queries), so flat items/s across Args means the broker adds
+// no per-query overhead beyond the estimators themselves.
+void BM_BrokerFanout(benchmark::State& state) {
+  const EdgeList& graph = BaGraph();
+  Rng rng(12);
+  const EdgeStream stream = MakeRandomOrderStream(graph, rng);
+  const int queries = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    engine::StreamBroker broker;
+    for (int q = 0; q < queries; ++q) {
+      engine::QuerySpec spec;
+      spec.name = "triest-" + std::to_string(q);
+      spec.kind = engine::QueryKind::kTriest;
+      spec.base.seed = seed++;
+      spec.reservoir_capacity = 1000;
+      broker.AddQuery(std::move(spec));
+    }
+    benchmark::DoNotOptimize(broker.RunEdgeQueries(stream));
+  }
+  state.SetItemsProcessed(state.iterations() * queries *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_BrokerFanout)->Arg(1)->Arg(8)->Arg(16);
+
+// Ingest formats: the same BA edge stream parsed from SNAP-style text vs
+// opened from the binary format (mmap + full header/CRC/edge validation,
+// zero-copy after that). items/s is edges ingested per second.
+struct IngestFixture {
+  std::string text_path;
+  std::string bin_path;
+  std::size_t edges = 0;
+
+  IngestFixture() {
+    const auto dir = std::filesystem::temp_directory_path();
+    text_path = (dir / "cyclestream_bm_ingest.txt").string();
+    bin_path = (dir / "cyclestream_bm_ingest.bin").string();
+    const EdgeList& graph = BaGraph();
+    edges = graph.num_edges();
+    if (!SaveEdgeListText(graph, text_path) ||
+        !WriteBinaryEdgeStream(graph, bin_path)) {
+      std::fprintf(stderr, "BM_Ingest fixture: cannot write temp files\n");
+      std::abort();
+    }
+  }
+};
+
+const IngestFixture& Ingest() {
+  static const IngestFixture* fixture = new IngestFixture();
+  return *fixture;
+}
+
+void BM_IngestText(benchmark::State& state) {
+  const IngestFixture& fx = Ingest();
+  for (auto _ : state) {
+    auto loaded = LoadEdgeListText(fx.text_path);
+    if (!loaded) std::abort();
+    benchmark::DoNotOptimize(loaded->num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.edges));
+}
+BENCHMARK(BM_IngestText);
+
+void BM_IngestBinary(benchmark::State& state) {
+  const IngestFixture& fx = Ingest();
+  for (auto _ : state) {
+    BinaryEdgeReader reader;
+    std::string error;
+    if (!reader.Open(fx.bin_path, &error)) std::abort();
+    benchmark::DoNotOptimize(reader.edges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.edges));
+}
+BENCHMARK(BM_IngestBinary);
 
 // Amplified run on the thread pool: Arg = thread count. The estimates are
 // bit-identical across Args (the parallel layer's determinism contract);

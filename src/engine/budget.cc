@@ -1,0 +1,54 @@
+#include "engine/budget.h"
+
+#include "util/check.h"
+
+namespace cyclestream::engine {
+
+namespace {
+constexpr std::string_view kReservedComponent = "reserved";
+}  // namespace
+
+std::string_view AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kQueued:
+      return "queued";
+    case AdmissionOutcome::kRejected:
+      return "rejected";
+  }
+  CHECK(false) << "unreachable AdmissionOutcome";
+  return "";
+}
+
+AdmissionController::AdmissionController(const BudgetPolicy& policy)
+    : policy_(policy) {}
+
+AdmissionOutcome AdmissionController::Offer(std::size_t declared_words) {
+  if (declared_words == 0) {
+    // Unbudgeted query: nothing to reserve. Fine without an aggregate cap;
+    // under one, admitting it would make the cap unenforceable.
+    return policy_.aggregate_words == 0 ? AdmissionOutcome::kAdmitted
+                                        : AdmissionOutcome::kRejected;
+  }
+  if (policy_.per_query_words > 0 && declared_words > policy_.per_query_words) {
+    return AdmissionOutcome::kRejected;
+  }
+  if (policy_.aggregate_words > 0) {
+    if (declared_words > policy_.aggregate_words) {
+      return AdmissionOutcome::kRejected;  // No wave can ever fit it.
+    }
+    if (tracker_.Current() + declared_words > policy_.aggregate_words) {
+      return AdmissionOutcome::kQueued;
+    }
+  }
+  tracker_.Charge(kReservedComponent, declared_words);
+  return AdmissionOutcome::kAdmitted;
+}
+
+void AdmissionController::Release(std::size_t declared_words) {
+  if (declared_words == 0) return;  // Unbudgeted queries hold no reservation.
+  tracker_.Release(kReservedComponent, declared_words);
+}
+
+}  // namespace cyclestream::engine

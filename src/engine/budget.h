@@ -1,0 +1,69 @@
+#ifndef CYCLESTREAM_ENGINE_BUDGET_H_
+#define CYCLESTREAM_ENGINE_BUDGET_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "stream/space.h"
+
+namespace cyclestream::engine {
+
+/// Memory policy for one engine batch, in words (the same unit SpaceTracker
+/// and AuditSpace use). Zero means "no cap".
+struct BudgetPolicy {
+  /// Upper bound on any single query's declared budget. A query declaring
+  /// more can never run under this policy → rejected outright.
+  std::size_t per_query_words = 0;
+  /// Upper bound on the sum of declared budgets running concurrently. A
+  /// query that fits the policy but not the currently free headroom is
+  /// queued to a later wave (each wave is one more physical read of the
+  /// stream, traded for staying under the cap).
+  std::size_t aggregate_words = 0;
+};
+
+/// What the admission layer decided for one offered query.
+enum class AdmissionOutcome {
+  kAdmitted,  // Reserved; runs in the current wave.
+  kQueued,    // Fits the policy, not the current headroom; later wave.
+  kRejected,  // Can never fit this policy; never runs.
+};
+
+std::string_view AdmissionOutcomeName(AdmissionOutcome outcome);
+
+/// Reservation bookkeeping against a BudgetPolicy. Reservations are held in
+/// a SpaceTracker so the engine's own accounting is audited with the same
+/// machinery as the algorithms it hosts: Offer() charges the declared words
+/// on admission, Release() returns them when the query's wave completes.
+///
+/// Semantics (deterministic — pure function of policy + offer sequence):
+///  - declared == 0 ("unbudgeted"): admitted freely when no aggregate cap is
+///    configured; rejected under an aggregate cap (an unbudgeted query gives
+///    the controller nothing to reserve, so admitting it would make the cap
+///    unenforceable).
+///  - declared > per_query_words (cap set): rejected.
+///  - declared > aggregate_words (cap set): rejected — no wave can fit it.
+///  - declared > free headroom under the aggregate cap: queued.
+///  - otherwise: admitted, `declared` words reserved until Release().
+class AdmissionController {
+ public:
+  explicit AdmissionController(const BudgetPolicy& policy);
+
+  /// Decides the fate of a query declaring `declared_words`. Reserves on
+  /// kAdmitted; no state change otherwise.
+  AdmissionOutcome Offer(std::size_t declared_words);
+
+  /// Returns an admitted query's reservation (call once per kAdmitted).
+  void Release(std::size_t declared_words);
+
+  const BudgetPolicy& policy() const { return policy_; }
+  std::size_t reserved_words() const { return tracker_.Current(); }
+  std::size_t peak_reserved_words() const { return tracker_.Peak(); }
+
+ private:
+  BudgetPolicy policy_;
+  SpaceTracker tracker_;
+};
+
+}  // namespace cyclestream::engine
+
+#endif  // CYCLESTREAM_ENGINE_BUDGET_H_

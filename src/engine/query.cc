@@ -1,0 +1,180 @@
+#include "engine/query.h"
+
+#include <utility>
+
+#include "baselines/bera_chakrabarti.h"
+#include "baselines/cormode_jowhari.h"
+#include "baselines/triest.h"
+#include "core/adj_f2_counter.h"
+#include "core/adj_l2_counter.h"
+#include "core/arb_f2_counter.h"
+#include "core/arb_three_pass.h"
+#include "core/diamond_counter.h"
+#include "core/random_order_triangles.h"
+#include "util/check.h"
+
+namespace cyclestream::engine {
+namespace {
+
+// Wraps a concrete algorithm (which owns its own Result() signature) into
+// the type-erased query pair. The closure captures a raw pointer into the
+// unique_ptr it rides alongside, so it stays valid for the query's lifetime.
+template <typename Alg>
+EdgeQuery WrapEdge(std::unique_ptr<Alg> alg) {
+  Alg* raw = alg.get();
+  return EdgeQuery{std::move(alg), [raw] { return raw->Result(); }};
+}
+
+template <typename Alg>
+AdjacencyQuery WrapAdjacency(std::unique_ptr<Alg> alg) {
+  Alg* raw = alg.get();
+  return AdjacencyQuery{std::move(alg), [raw] { return raw->Result(); }};
+}
+
+}  // namespace
+
+std::string_view QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRandomOrderTriangles:
+      return "random-order";
+    case QueryKind::kTriest:
+      return "triest";
+    case QueryKind::kCormodeJowhari:
+      return "cormode-jowhari";
+    case QueryKind::kArbF2:
+      return "arb-f2";
+    case QueryKind::kArbThreePass:
+      return "arb-three-pass";
+    case QueryKind::kBeraChakrabarti:
+      return "bera-chakrabarti";
+    case QueryKind::kAdjDiamond:
+      return "adj-diamond";
+    case QueryKind::kAdjF2:
+      return "adj-f2";
+    case QueryKind::kAdjL2:
+      return "adj-l2";
+  }
+  CHECK(false) << "unreachable QueryKind " << static_cast<int>(kind);
+  return "";
+}
+
+std::optional<QueryKind> ParseQueryKind(std::string_view name) {
+  for (QueryKind kind :
+       {QueryKind::kRandomOrderTriangles, QueryKind::kTriest,
+        QueryKind::kCormodeJowhari, QueryKind::kArbF2,
+        QueryKind::kArbThreePass, QueryKind::kBeraChakrabarti,
+        QueryKind::kAdjDiamond, QueryKind::kAdjF2, QueryKind::kAdjL2}) {
+    if (name == QueryKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+bool IsEdgeKind(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRandomOrderTriangles:
+    case QueryKind::kTriest:
+    case QueryKind::kCormodeJowhari:
+    case QueryKind::kArbF2:
+    case QueryKind::kArbThreePass:
+    case QueryKind::kBeraChakrabarti:
+      return true;
+    case QueryKind::kAdjDiamond:
+    case QueryKind::kAdjF2:
+    case QueryKind::kAdjL2:
+      return false;
+  }
+  CHECK(false) << "unreachable QueryKind " << static_cast<int>(kind);
+  return false;
+}
+
+std::string_view QueryKindTarget(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRandomOrderTriangles:
+    case QueryKind::kTriest:
+    case QueryKind::kCormodeJowhari:
+      return "triangles";
+    default:
+      return "c4";
+  }
+}
+
+EdgeQuery MakeEdgeQuery(const QuerySpec& spec) {
+  CHECK(IsEdgeKind(spec.kind))
+      << "MakeEdgeQuery: '" << spec.name << "' has adjacency kind "
+      << QueryKindName(spec.kind);
+  switch (spec.kind) {
+    case QueryKind::kRandomOrderTriangles: {
+      RandomOrderTriangleCounter::Params p;
+      p.base = spec.base;
+      p.num_vertices = spec.num_vertices;
+      p.level_rate = spec.level_rate;
+      p.prefix_rate = spec.prefix_rate;
+      return WrapEdge(std::make_unique<RandomOrderTriangleCounter>(p));
+    }
+    case QueryKind::kTriest: {
+      Triest::Params p;
+      p.reservoir_capacity = spec.reservoir_capacity;
+      p.seed = spec.base.seed;
+      return WrapEdge(std::make_unique<Triest>(p));
+    }
+    case QueryKind::kCormodeJowhari: {
+      CormodeJowhariCounter::Params p;
+      p.base = spec.base;
+      p.prefix_rate = spec.prefix_rate;
+      return WrapEdge(std::make_unique<CormodeJowhariCounter>(p));
+    }
+    case QueryKind::kArbF2: {
+      ArbF2FourCycleCounter::Params p;
+      p.base = spec.base;
+      p.num_vertices = spec.num_vertices;
+      return WrapEdge(std::make_unique<ArbF2FourCycleCounter>(p));
+    }
+    case QueryKind::kArbThreePass: {
+      ArbThreePassFourCycleCounter::Params p;
+      p.base = spec.base;
+      p.num_vertices = spec.num_vertices;
+      return WrapEdge(std::make_unique<ArbThreePassFourCycleCounter>(p));
+    }
+    case QueryKind::kBeraChakrabarti: {
+      BeraChakrabartiCounter::Params p;
+      p.base = spec.base;
+      return WrapEdge(std::make_unique<BeraChakrabartiCounter>(p));
+    }
+    default:
+      break;
+  }
+  CHECK(false) << "unreachable edge QueryKind";
+  return {};
+}
+
+AdjacencyQuery MakeAdjacencyQuery(const QuerySpec& spec) {
+  CHECK(!IsEdgeKind(spec.kind))
+      << "MakeAdjacencyQuery: '" << spec.name << "' has edge kind "
+      << QueryKindName(spec.kind);
+  switch (spec.kind) {
+    case QueryKind::kAdjDiamond: {
+      DiamondFourCycleCounter::Params p;
+      p.base = spec.base;
+      p.num_vertices = spec.num_vertices;
+      return WrapAdjacency(std::make_unique<DiamondFourCycleCounter>(p));
+    }
+    case QueryKind::kAdjF2: {
+      AdjF2FourCycleCounter::Params p;
+      p.base = spec.base;
+      p.num_vertices = spec.num_vertices;
+      return WrapAdjacency(std::make_unique<AdjF2FourCycleCounter>(p));
+    }
+    case QueryKind::kAdjL2: {
+      AdjL2FourCycleCounter::Params p;
+      p.base = spec.base;
+      p.num_vertices = spec.num_vertices;
+      return WrapAdjacency(std::make_unique<AdjL2FourCycleCounter>(p));
+    }
+    default:
+      break;
+  }
+  CHECK(false) << "unreachable adjacency QueryKind";
+  return {};
+}
+
+}  // namespace cyclestream::engine

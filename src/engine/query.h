@@ -1,0 +1,88 @@
+#ifndef CYCLESTREAM_ENGINE_QUERY_H_
+#define CYCLESTREAM_ENGINE_QUERY_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/config.h"
+#include "graph/types.h"
+#include "stream/driver.h"
+
+namespace cyclestream::engine {
+
+/// The estimators the multi-query engine can host. A "query" is one small-
+/// memory estimator riding the shared pass; the engine fans the same edge
+/// (or adjacency) blocks out to every registered query, so N queries cost
+/// one stream read per logical pass instead of N.
+enum class QueryKind {
+  // Edge-stream algorithms (triangles).
+  kRandomOrderTriangles,
+  kTriest,
+  kCormodeJowhari,
+  // Edge-stream algorithms (four-cycles).
+  kArbF2,
+  kArbThreePass,
+  kBeraChakrabarti,
+  // Adjacency-stream algorithms (four-cycles).
+  kAdjDiamond,
+  kAdjF2,
+  kAdjL2,
+};
+
+/// Stable CLI/manifest name ("random-order", "triest", ...).
+std::string_view QueryKindName(QueryKind kind);
+
+/// Inverse of QueryKindName; nullopt for unknown names.
+std::optional<QueryKind> ParseQueryKind(std::string_view name);
+
+/// True for kinds consuming edge streams (vs adjacency-list streams).
+bool IsEdgeKind(QueryKind kind);
+
+/// "triangles" or "c4" — what the estimate approximates.
+std::string_view QueryKindTarget(QueryKind kind);
+
+/// One registered query: which estimator, its parameters, its seed, and the
+/// word budget it declares to the admission layer. The spec is a pure value
+/// — constructing the same spec twice yields algorithms with bit-identical
+/// behavior, which is what makes engine runs comparable to standalone runs.
+struct QuerySpec {
+  std::string name;  // Unique within a batch; keys the manifest section.
+  QueryKind kind = QueryKind::kRandomOrderTriangles;
+  ApproxConfig base;  // epsilon, c, t_guess, seed.
+  VertexId num_vertices = 0;
+  // Kind-specific knobs (ignored by kinds that don't use them).
+  double level_rate = -1.0;   // random-order: cv override.
+  double prefix_rate = -1.0;  // random-order / cormode-jowhari: r override.
+  std::size_t reservoir_capacity = 1000;  // triest: M.
+  /// Declared peak-space budget in words; what the admission layer reserves
+  /// against the aggregate budget. 0 = unbudgeted (admitted only when no
+  /// aggregate budget is configured).
+  std::size_t space_budget_words = 0;
+};
+
+/// A constructed edge-stream query: the algorithm plus a result extractor
+/// (each algorithm class exposes its own Result(); the closure erases that).
+struct EdgeQuery {
+  std::unique_ptr<EdgeStreamAlgorithm> algorithm;
+  std::function<Estimate()> result;
+};
+
+/// Builds the algorithm for an edge-kind spec. Aborts on adjacency kinds.
+EdgeQuery MakeEdgeQuery(const QuerySpec& spec);
+
+/// A constructed adjacency-stream query.
+struct AdjacencyQuery {
+  std::unique_ptr<AdjacencyStreamAlgorithm> algorithm;
+  std::function<Estimate()> result;
+};
+
+/// Builds the algorithm for an adjacency-kind spec. Aborts on edge kinds.
+AdjacencyQuery MakeAdjacencyQuery(const QuerySpec& spec);
+
+}  // namespace cyclestream::engine
+
+#endif  // CYCLESTREAM_ENGINE_QUERY_H_

@@ -22,8 +22,19 @@ std::optional<EdgeList> LoadEdgeListText(const std::string& path) {
   return LoadEdgeListText(in, path);
 }
 
-std::optional<EdgeList> LoadEdgeListText(std::istream& in,
-                                         const std::string& path) {
+std::optional<EdgeTextReadStats> ForEachEdgeText(
+    const std::string& path, const std::function<void(const Edge&)>& fn) {
+  std::ifstream in(path);
+  if (!in) {
+    LOG(WARNING) << "cannot open edge list file: " << path;
+    return std::nullopt;
+  }
+  return ForEachEdgeText(in, path, fn);
+}
+
+std::optional<EdgeTextReadStats> ForEachEdgeText(
+    std::istream& in, const std::string& path,
+    const std::function<void(const Edge&)>& fn) {
   std::unordered_map<std::uint64_t, VertexId> remap;
   auto densify = [&remap](std::uint64_t raw) {
     auto [it, inserted] =
@@ -54,10 +65,8 @@ std::optional<EdgeList> LoadEdgeListText(std::istream& in,
     return true;
   };
 
-  std::vector<std::pair<VertexId, VertexId>> pairs;
   std::unordered_set<std::uint64_t> seen_edges;
-  std::size_t self_loops = 0;
-  std::size_t duplicates = 0;
+  EdgeTextReadStats stats;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -87,16 +96,16 @@ std::optional<EdgeList> LoadEdgeListText(std::istream& in,
       // Policy: warn and drop. The endpoints are checked before densify so a
       // vertex mentioned only in self-loops does not become an isolated
       // vertex of the loaded graph.
-      ++self_loops;
+      ++stats.self_loops;
       continue;
     }
-    const VertexId du = densify(a);
-    const VertexId dv = densify(b);
-    if (!seen_edges.insert(Edge(du, dv).Key()).second) {
-      ++duplicates;
+    const Edge e(densify(a), densify(b));
+    if (!seen_edges.insert(e.Key()).second) {
+      ++stats.duplicates;
       continue;
     }
-    pairs.emplace_back(du, dv);
+    ++stats.edges;
+    fn(e);
   }
   // getline loops end with eofbit AND failbit set on a clean end-of-file;
   // badbit is different — it means the underlying read itself failed (I/O
@@ -108,15 +117,26 @@ std::optional<EdgeList> LoadEdgeListText(std::istream& in,
                  << " (truncated input rejected)";
     return std::nullopt;
   }
-  if (self_loops > 0) {
-    LOG(WARNING) << path << ": dropped " << self_loops << " self-loop"
-                 << (self_loops == 1 ? "" : "s");
+  if (stats.self_loops > 0) {
+    LOG(WARNING) << path << ": dropped " << stats.self_loops << " self-loop"
+                 << (stats.self_loops == 1 ? "" : "s");
   }
-  if (duplicates > 0) {
-    LOG(WARNING) << path << ": dropped " << duplicates << " duplicate edge"
-                 << (duplicates == 1 ? "" : "s");
+  if (stats.duplicates > 0) {
+    LOG(WARNING) << path << ": dropped " << stats.duplicates
+                 << " duplicate edge" << (stats.duplicates == 1 ? "" : "s");
   }
-  return EdgeList::FromPairs(static_cast<VertexId>(remap.size()), pairs);
+  stats.num_vertices = static_cast<VertexId>(remap.size());
+  return stats;
+}
+
+std::optional<EdgeList> LoadEdgeListText(std::istream& in,
+                                         const std::string& path) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  const auto stats = ForEachEdgeText(in, path, [&pairs](const Edge& e) {
+    pairs.emplace_back(e.u, e.v);
+  });
+  if (!stats.has_value()) return std::nullopt;
+  return EdgeList::FromPairs(stats->num_vertices, pairs);
 }
 
 bool SaveEdgeListText(const EdgeList& edges, const std::string& path) {

@@ -1,6 +1,8 @@
 #ifndef CYCLESTREAM_GRAPH_IO_H_
 #define CYCLESTREAM_GRAPH_IO_H_
 
+#include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -8,6 +10,31 @@
 #include "graph/edge_list.h"
 
 namespace cyclestream {
+
+/// Outcome of one streaming text parse (ForEachEdgeText).
+struct EdgeTextReadStats {
+  VertexId num_vertices = 0;   // Densified vertex count.
+  std::size_t edges = 0;       // Edges delivered to the callback.
+  std::size_t self_loops = 0;  // Dropped with a counted warning.
+  std::size_t duplicates = 0;  // Dropped with a counted warning.
+};
+
+/// Streaming edge source over a SNAP-style text edge list: invokes `fn`
+/// once per kept edge, in file order, with the same densification,
+/// self-loop/duplicate warn-and-drop policy, and strict error handling as
+/// LoadEdgeListText — but without materializing the edge vector, so
+/// single-pass consumers (and the stream engine's ingest path) can process
+/// edges as they are parsed. Deduplication still needs the seen-edge set,
+/// so memory is O(m) keys, not O(m) Edge records plus keys. Returns nullopt
+/// on any parse or read failure (after possibly delivering a prefix of the
+/// edges — single-pass consumers must discard their state on failure).
+std::optional<EdgeTextReadStats> ForEachEdgeText(
+    std::istream& in, const std::string& name,
+    const std::function<void(const Edge&)>& fn);
+
+/// File-path convenience overload.
+std::optional<EdgeTextReadStats> ForEachEdgeText(
+    const std::string& path, const std::function<void(const Edge&)>& fn);
 
 /// Loads a graph from a SNAP-style text edge list: one "u v" pair per line,
 /// '#' starts a comment, blank lines ignored, arbitrary non-contiguous vertex
@@ -17,6 +44,8 @@ namespace cyclestream {
 /// with a counted warning. Returns nullopt if the file cannot be opened,
 /// contains a malformed line, or the underlying read fails mid-file (a
 /// truncated read is an error, never a silently shorter graph).
+/// Implemented on ForEachEdgeText; the two paths keep identical warn-and-
+/// drop semantics by construction.
 std::optional<EdgeList> LoadEdgeListText(const std::string& path);
 
 /// Same parser over an already-open stream; `name` labels warnings.

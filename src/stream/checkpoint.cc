@@ -1,12 +1,12 @@
 #include "stream/checkpoint.h"
 
-#include <array>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "graph/types.h"
 #include "stream/space.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace cyclestream {
@@ -14,18 +14,6 @@ namespace {
 
 constexpr char kMagic[8] = {'C', 'Y', 'C', 'L', 'S', 'N', 'P', '\x01'};
 constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 4;
-
-std::array<std::uint32_t, 256> MakeCrcTable() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
 
 void PutLE32(std::string& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -49,15 +37,6 @@ std::uint64_t GetLE(const char* p, int bytes) {
 }
 
 }  // namespace
-
-std::uint32_t Crc32(std::string_view data) {
-  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
-  std::uint32_t crc = 0xffffffffu;
-  for (char ch : data) {
-    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xff] ^ (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
-}
 
 std::string EncodeSnapshot(const Snapshot& snap) {
   StateWriter payload;

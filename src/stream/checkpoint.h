@@ -60,9 +60,6 @@ struct WriteFault {
   std::int64_t truncate_to = -1;   // Truncate the encoded file to this size.
 };
 
-/// CRC-32 (IEEE 802.3 polynomial) of `data`.
-std::uint32_t Crc32(std::string_view data);
-
 /// Encodes `snap` to the full wire format (header + payload).
 std::string EncodeSnapshot(const Snapshot& snap);
 

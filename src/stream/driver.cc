@@ -417,6 +417,15 @@ void ResetStreamStats() {
   for (auto& nanos : stats.pass_nanos) nanos.store(0, kRelaxed);
 }
 
+void AddExternalRunStats(const ExternalRunStats& s) {
+  AtomicStreamStats& stats = Stats();
+  stats.runs.fetch_add(s.runs, kRelaxed);
+  stats.passes.fetch_add(s.passes, kRelaxed);
+  stats.edges_processed.fetch_add(s.edges_processed, kRelaxed);
+  stats.lists_processed.fetch_add(s.lists_processed, kRelaxed);
+  stats.audits_passed.fetch_add(s.audits_passed, kRelaxed);
+}
+
 void RunEdgeStream(EdgeStreamAlgorithm& alg, const EdgeStream& stream) {
   RunPlain<EdgeKind>(alg, stream);
 }

@@ -231,6 +231,23 @@ StreamStats GlobalStreamStats();
 /// Zeroes the process-wide counters (tests; experiment startup).
 void ResetStreamStats();
 
+/// Credit for algorithm runs driven *outside* Run*Stream — the engine's
+/// shared-pass broker makes the Start/Process/End calls itself (one stream
+/// read fans out to many algorithms), so it reports the equivalent per-run
+/// totals here and GlobalStreamStats() stays the one process-wide ledger.
+/// Only the deterministic fields exist: external drivers own their stream
+/// I/O and checkpointing.
+struct ExternalRunStats {
+  std::uint64_t runs = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t edges_processed = 0;
+  std::uint64_t lists_processed = 0;
+  std::uint64_t audits_passed = 0;
+};
+
+/// Adds `stats` into the process-wide counters.
+void AddExternalRunStats(const ExternalRunStats& stats);
+
 }  // namespace cyclestream
 
 #endif  // CYCLESTREAM_STREAM_DRIVER_H_

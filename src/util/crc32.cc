@@ -1,0 +1,47 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace cyclestream {
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  return table;
+}
+
+std::uint32_t Advance(std::uint32_t crc, const unsigned char* data,
+                      std::size_t size) {
+  const auto& table = CrcTable();
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  return Advance(0xffffffffu,
+                 reinterpret_cast<const unsigned char*>(data.data()),
+                 data.size()) ^
+         0xffffffffu;
+}
+
+void Crc32Accumulator::Update(const void* data, std::size_t size) {
+  state_ = Advance(state_, static_cast<const unsigned char*>(data), size);
+}
+
+}  // namespace cyclestream

@@ -117,6 +117,11 @@ void RunManifest::SetConfig(std::map<std::string, std::string> config) {
 
 void RunManifest::SetThreads(int threads) { threads_ = threads; }
 
+void RunManifest::AddQuerySection(const std::string& name,
+                                  MetricsRegistry metrics) {
+  query_sections_[name] = std::move(metrics);
+}
+
 void RunManifest::AddTable(const std::string& name, const Table& table) {
   StoredTable stored;
   stored.name = name;
@@ -161,6 +166,15 @@ void RunManifest::WriteImpl(std::ostream& os, bool deterministic_only) const {
   w.EndObject();
   w.Key("metrics");
   metrics_.WriteJson(w);
+  if (!query_sections_.empty()) {
+    w.Key("queries");
+    w.BeginObject();
+    for (const auto& [name, metrics] : query_sections_) {
+      w.Key(name);
+      metrics.WriteJson(w);
+    }
+    w.EndObject();
+  }
   w.Key("tables");
   w.BeginArray();
   for (const StoredTable& table : tables_) {

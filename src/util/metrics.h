@@ -111,6 +111,13 @@ class RunManifest {
   /// Captures a rendered result table (header + rows) under `name`.
   void AddTable(const std::string& name, const Table& table);
 
+  /// Records one engine query's metrics as a named sub-section, emitted
+  /// under "queries" in both the full and deterministic payloads (ordered
+  /// by name). Only the deterministic side of `metrics` is emitted, so the
+  /// section is thread-count-invariant by construction. Re-adding a name
+  /// replaces the section.
+  void AddQuerySection(const std::string& name, MetricsRegistry metrics);
+
   /// Writes the full manifest JSON.
   void Write(std::ostream& os) const;
 
@@ -136,6 +143,7 @@ class RunManifest {
   std::map<std::string, std::string> config_;
   std::vector<StoredTable> tables_;
   MetricsRegistry metrics_;
+  std::map<std::string, MetricsRegistry> query_sections_;
 };
 
 /// The `git describe --always --dirty` stamp baked in at configure time

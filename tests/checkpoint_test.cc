@@ -18,6 +18,7 @@
 #include "stream/fault.h"
 #include "stream/order.h"
 #include "tests/test_util.h"
+#include "util/crc32.h"
 #include "util/serialize.h"
 
 namespace cyclestream {

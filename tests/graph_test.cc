@@ -307,6 +307,50 @@ TEST(IoTest, DuplicateEdgesDropped) {
   EXPECT_EQ(loaded->num_vertices(), 3u);
 }
 
+// Regression: LoadEdgeListText is implemented on the streaming
+// ForEachEdgeText, and the two must keep identical warn-and-drop policy.
+// Feed both paths an input exercising every drop rule and require the
+// streaming stats to match the materialized EdgeList exactly.
+TEST(IoTest, StreamingStatsMatchVectorPath) {
+  const std::string input =
+      "# header\n"
+      "5 5\n"      // Self-loop: dropped, endpoints not densified.
+      "1 2\n"
+      "2 1\n"      // Duplicate of 1-2 after canonicalization.
+      "1 2\n"      // Literal duplicate.
+      "2 3\n"
+      "7 7\n"      // Another self-loop.
+      "9 3\n";
+  std::istringstream vec_in(input);
+  const auto loaded = LoadEdgeListText(vec_in, "<memory>");
+  ASSERT_TRUE(loaded.has_value());
+
+  std::istringstream stream_in(input);
+  std::size_t delivered = 0;
+  const auto stats =
+      ForEachEdgeText(stream_in, "<memory>", [&](const Edge&) {
+        ++delivered;
+      });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->edges, loaded->num_edges());
+  EXPECT_EQ(stats->edges, delivered);
+  EXPECT_EQ(stats->num_vertices, loaded->num_vertices());
+  EXPECT_EQ(stats->self_loops, 2u);
+  EXPECT_EQ(stats->duplicates, 2u);
+}
+
+// The streaming path must reject a mid-file error like the vector path,
+// even though a prefix was already delivered.
+TEST(IoTest, StreamingPathRejectsMalformedLine) {
+  std::istringstream in("0 1\n1 2\nbogus x\n");
+  std::size_t delivered = 0;
+  const auto stats = ForEachEdgeText(in, "<memory>", [&](const Edge&) {
+    ++delivered;
+  });
+  EXPECT_FALSE(stats.has_value());
+  EXPECT_EQ(delivered, 2u);  // The contract: discard state on failure.
+}
+
 // Streambuf that serves a prefix of real data, then fails the underlying
 // read (as a disk error would), driving the istream's badbit.
 class FailingAfterPrefixBuf : public std::streambuf {

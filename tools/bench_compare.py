@@ -6,15 +6,21 @@ Matches benchmarks by name, normalizes time units, and prints a ratio table
 machines don't block merges; pass --fail-on-regression to turn regressions
 beyond --threshold into a nonzero exit for strict local gating.
 
+A benchmark present in only one of the two files (new benchmark, or one
+removed since the baseline) is warned about on stderr and skipped — it can
+never be a regression, and it must not crash the comparison.
+
 Usage:
   tools/bench_compare.py BENCH_baseline.json current.json
   tools/bench_compare.py BENCH_baseline.json current.json \
       --fail-on-regression --threshold 1.25
+  tools/bench_compare.py --self-test
 """
 
 import argparse
 import json
 import sys
+import tempfile
 
 _UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -46,11 +52,127 @@ def format_ns(ns):
     return f"{ns:.0f}ns"
 
 
+def compare(baseline, current, metric="cpu", threshold=1.25, out=sys.stdout,
+            err=sys.stderr):
+    """Compares two {name: {real_ns, cpu_ns}} dicts.
+
+    Prints the ratio table to `out` and one-sided warnings to `err`.
+    Returns (matched_names, regressions) where regressions is a list of
+    (name, ratio) pairs beyond `threshold`.
+    """
+    key = "cpu_ns" if metric == "cpu" else "real_ns"
+    matched = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+
+    # One-sided benchmarks are skipped, loudly: a rename or deletion that
+    # silently shrank the comparison set would defeat the regression gate.
+    for name in only_baseline:
+        print(f"warning: {name}: only in baseline (removed or renamed?); "
+              "skipped", file=err)
+    for name in only_current:
+        print(f"warning: {name}: only in current run (no baseline yet); "
+              "skipped", file=err)
+
+    regressions = []
+    if not matched:
+        print("No benchmarks in common between the two files.", file=out)
+        return matched, regressions
+
+    name_width = max(len(n) for n in matched)
+    header = (f"{'benchmark':<{name_width}}  {'baseline':>10}  "
+              f"{'current':>10}  {'ratio':>7}  status")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+
+    for name in matched:
+        base_ns = baseline[name][key]
+        cur_ns = current[name][key]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        if ratio > threshold:
+            status = "REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < 1 / threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        print(f"{name:<{name_width}}  {format_ns(base_ns):>10}  "
+              f"{format_ns(cur_ns):>10}  {ratio:>6.2f}x  {status}",
+              file=out)
+    return matched, regressions
+
+
+def self_test():
+    """Pytest-free smoke test of the comparison logic (run by CI)."""
+    import io
+
+    def entry(ns):
+        return {"real_ns": ns, "cpu_ns": ns}
+
+    # Regression detection and ratio math.
+    out, err = io.StringIO(), io.StringIO()
+    matched, regressions = compare(
+        {"a": entry(100), "b": entry(100), "c": entry(100)},
+        {"a": entry(100), "b": entry(200), "c": entry(50)},
+        threshold=1.25, out=out, err=err)
+    assert matched == ["a", "b", "c"], matched
+    assert regressions == [("b", 2.0)], regressions
+    assert "REGRESSION" in out.getvalue()
+    assert "improved" in out.getvalue()
+    assert err.getvalue() == "", err.getvalue()
+
+    # One-sided benchmarks: warned on stderr, skipped, never a regression.
+    out, err = io.StringIO(), io.StringIO()
+    matched, regressions = compare(
+        {"shared": entry(100), "removed": entry(100)},
+        {"shared": entry(100), "added": entry(1)},
+        out=out, err=err)
+    assert matched == ["shared"], matched
+    assert regressions == [], regressions
+    assert "removed: only in baseline" in err.getvalue(), err.getvalue()
+    assert "added: only in current" in err.getvalue(), err.getvalue()
+
+    # Fully disjoint files: no crash, no regressions, explicit message.
+    out, err = io.StringIO(), io.StringIO()
+    matched, regressions = compare(
+        {"x": entry(100)}, {"y": entry(100)}, out=out, err=err)
+    assert matched == [] and regressions == []
+    assert "No benchmarks in common" in out.getvalue()
+
+    # End-to-end through real files: unit normalization and the aggregate-
+    # row filter.
+    baseline_json = {"benchmarks": [
+        {"name": "bm", "real_time": 1.0, "cpu_time": 1.0, "time_unit": "ms"},
+        {"name": "bm_mean", "real_time": 9.0, "cpu_time": 9.0,
+         "time_unit": "ms", "run_type": "aggregate"},
+    ]}
+    current_json = {"benchmarks": [
+        {"name": "bm", "real_time": 1500.0, "cpu_time": 1500.0,
+         "time_unit": "us"},
+    ]}
+    with tempfile.NamedTemporaryFile("w", suffix=".json") as fb, \
+            tempfile.NamedTemporaryFile("w", suffix=".json") as fc:
+        json.dump(baseline_json, fb)
+        json.dump(current_json, fc)
+        fb.flush()
+        fc.flush()
+        baseline = load_benchmarks(fb.name)
+        current = load_benchmarks(fc.name)
+    assert list(baseline) == ["bm"], baseline  # Aggregate row dropped.
+    out, err = io.StringIO(), io.StringIO()
+    _, regressions = compare(baseline, current, out=out, err=err)
+    assert regressions == [("bm", 1.5)], regressions  # 1.5ms vs 1.0ms.
+
+    print("bench_compare self-test: OK")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two google-benchmark JSON files by benchmark name.")
-    parser.add_argument("baseline", help="baseline JSON (committed reference)")
-    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline JSON (committed reference)")
+    parser.add_argument("current", nargs="?", help="freshly measured JSON")
     parser.add_argument("--metric", choices=["cpu", "real"], default="cpu",
                         help="time column to compare (default: cpu)")
     parser.add_argument("--threshold", type=float, default=1.25,
@@ -59,45 +181,21 @@ def main():
     parser.add_argument("--fail-on-regression", action="store_true",
                         help="exit 1 if any matched benchmark regresses "
                              "beyond the threshold (default: report only)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in smoke test and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required (or --self-test)")
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
-    key = "cpu_ns" if args.metric == "cpu" else "real_ns"
-
-    matched = sorted(set(baseline) & set(current))
-    only_baseline = sorted(set(baseline) - set(current))
-    only_current = sorted(set(current) - set(baseline))
-
+    matched, regressions = compare(baseline, current, metric=args.metric,
+                                   threshold=args.threshold)
     if not matched:
-        print("No benchmarks in common between the two files.")
         return 1
-
-    name_width = max(len(n) for n in matched)
-    header = (f"{'benchmark':<{name_width}}  {'baseline':>10}  "
-              f"{'current':>10}  {'ratio':>7}  status")
-    print(header)
-    print("-" * len(header))
-
-    regressions = []
-    for name in matched:
-        base_ns = baseline[name][key]
-        cur_ns = current[name][key]
-        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
-        if ratio > args.threshold:
-            status = "REGRESSION"
-            regressions.append((name, ratio))
-        elif ratio < 1 / args.threshold:
-            status = "improved"
-        else:
-            status = "ok"
-        print(f"{name:<{name_width}}  {format_ns(base_ns):>10}  "
-              f"{format_ns(cur_ns):>10}  {ratio:>6.2f}x  {status}")
-
-    for name in only_baseline:
-        print(f"{name:<{name_width}}  (missing from current run)")
-    for name in only_current:
-        print(f"{name:<{name_width}}  (new; no baseline)")
 
     print()
     if regressions:

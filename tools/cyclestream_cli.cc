@@ -9,19 +9,36 @@
 //   cyclestream_cli generate --model er|gnp|ba|chung-lu|ws|grid
 //                            --n 10000 [--m 50000 | --p 0.01 | --deg 6]
 //                            --out g.txt
+//   cyclestream_cli sweep    --graph g.txt|g.bin --algorithms a,b,c
+//                            --queries 16 [--order shuffled|file]
+//                            [--per-query-budget W] [--aggregate-budget W]
+//   cyclestream_cli serve    --graph g.txt|g.bin --spec queries.txt
 //
-// Graphs are SNAP-format text edge lists. All estimators print the
+// Graphs are SNAP-format text edge lists, or binary edge streams (.bin,
+// see graph/binary_io.h and tools/edge2bin). All estimators print the
 // estimate, the exact count (unless --no-exact), and the peak space.
+//
+// `sweep` and `serve` run many estimators over ONE shared stream read per
+// logical pass via the engine's StreamBroker: sweep generates a query
+// matrix (round-robin over --algorithms, seeds S, S+1, ...), serve reads
+// explicit QuerySpecs from a file of `key=value` lines.
 
+#include <cmath>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/bera_chakrabarti.h"
 #include "baselines/cormode_jowhari.h"
 #include "baselines/triest.h"
 #include "baselines/wedge_sampler.h"
+#include "engine/broker.h"
+#include "engine/budget.h"
+#include "engine/query.h"
 #include "core/adj_f2_counter.h"
 #include "core/adj_l2_counter.h"
 #include "core/amplify.h"
@@ -30,6 +47,7 @@
 #include "core/diamond_counter.h"
 #include "core/random_order_triangles.h"
 #include "gen/generators.h"
+#include "graph/binary_io.h"
 #include "graph/datasets.h"
 #include "graph/exact.h"
 #include "graph/graph.h"
@@ -46,19 +64,35 @@ namespace {
 
 int Usage() {
   std::cerr <<
-      "usage: cyclestream_cli <stats|count|generate> [flags]\n"
+      "usage: cyclestream_cli <stats|count|generate|sweep|serve> [flags]\n"
       "  stats    --graph FILE | --karate\n"
       "  count    --graph FILE --target triangles|c4 [--algorithm NAME]\n"
       "           [--epsilon E] [--t-guess T] [--seed S] [--no-exact]\n"
       "           [--delta D]   amplify: median of ~2*ln(1/D) parallel copies\n"
       "  generate --model er|gnp|ba|chung-lu|ws|grid --n N\n"
       "           [--m M | --p P | --deg D] [--seed S] --out FILE\n"
+      "  sweep    --graph FILE --algorithms a,b,... --queries N\n"
+      "           [--order shuffled|file] [--epsilon E] [--t-guess T]\n"
+      "           [--seed S] [--budget-words W] [--per-query-budget W]\n"
+      "           [--aggregate-budget W] [--block-edges B] [--no-exact]\n"
+      "           one shared stream read serves all N queries per pass;\n"
+      "           kinds: random-order triest cormode-jowhari arb-f2\n"
+      "                  arb-three-pass bera-chakrabarti (edge family)\n"
+      "                  adj-diamond adj-f2 adj-l2 (adjacency family)\n"
+      "  serve    --graph FILE --spec FILE   QuerySpecs from key=value lines\n"
+      "           (name= kind= [seed=] [budget=] [epsilon=] [c=] [t_guess=]\n"
+      "            [level_rate=] [prefix_rate=] [reservoir=])\n"
       "  common:  --threads N   worker threads (0 = all cores, 1 = serial)\n"
       "           --json_out FILE   write a structured run manifest\n"
       "           --json_det_out FILE   write the deterministic manifest\n"
       "           --checkpoint_dir DIR --checkpoint_every K [--resume]\n"
-      "           [--kill_after N]   snapshot/resume (see DESIGN.md §10)\n";
+      "           [--kill_after N]   snapshot/resume (see DESIGN.md §10)\n"
+      "           .bin graphs (tools/edge2bin) mmap in zero-copy\n";
   return 2;
+}
+
+bool IsBinaryGraphPath(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
 }
 
 EdgeList LoadGraph(FlagParser& flags, bool* ok) {
@@ -70,7 +104,8 @@ EdgeList LoadGraph(FlagParser& flags, bool* ok) {
     *ok = false;
     return EdgeList();
   }
-  auto loaded = LoadEdgeListText(path);
+  auto loaded = IsBinaryGraphPath(path) ? LoadEdgeListBinary(path)
+                                        : LoadEdgeListText(path);
   if (!loaded) {
     std::cerr << "error: cannot load " << path << "\n";
     *ok = false;
@@ -299,6 +334,289 @@ int RunCount(FlagParser& flags, RunManifest& manifest) {
   return 0;
 }
 
+// Shared engine-batch driver behind `sweep` and `serve`: loads the graph
+// (text, .bin, or karate), fills spec defaults (n, t_guess from the exact
+// count of each query's target), builds the stream of the batch's family,
+// runs the broker, and prints/exports per-query outcomes. Everything
+// printed and exported is deterministic at any --threads.
+int RunEngineBatch(FlagParser& flags, RunManifest& manifest,
+                   std::vector<engine::QuerySpec> specs) {
+  if (specs.empty()) {
+    std::cerr << "error: no queries to run\n";
+    return 1;
+  }
+  const bool edge_family = engine::IsEdgeKind(specs[0].kind);
+  for (const engine::QuerySpec& spec : specs) {
+    if (engine::IsEdgeKind(spec.kind) != edge_family) {
+      std::cerr << "error: query '" << spec.name << "' ("
+                << engine::QueryKindName(spec.kind)
+                << ") mixes stream families; one batch = one stream\n";
+      return 1;
+    }
+  }
+
+  const std::string path = flags.GetString("graph", "");
+  const bool karate = flags.GetBool("karate", false);
+  const bool binary = !karate && IsBinaryGraphPath(path);
+  BinaryEdgeReader reader;
+  EdgeList graph;
+  if (karate) {
+    graph = KarateClub();
+  } else if (path.empty()) {
+    std::cerr << "error: --graph FILE (or --karate) is required\n";
+    return 1;
+  } else if (binary) {
+    std::string error;
+    if (!reader.Open(path, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    graph = reader.ToEdgeList();
+  } else {
+    auto loaded = LoadEdgeListText(path);
+    if (!loaded) {
+      std::cerr << "error: cannot load " << path << "\n";
+      return 1;
+    }
+    graph = std::move(*loaded);
+  }
+  const Graph g(graph);
+
+  const std::uint64_t seed = flags.GetInt("seed", 1);
+  const std::string order = flags.GetString("order", "shuffled");
+  if (order != "shuffled" && order != "file") {
+    std::cerr << "error: --order must be shuffled or file\n";
+    return 1;
+  }
+  const bool show_exact = !flags.GetBool("no-exact", false);
+
+  // Exact counts, computed lazily per target: the default t_guess, and the
+  // reference for the printed relative errors.
+  double exact_triangles = -1.0;
+  double exact_c4 = -1.0;
+  auto exact_for = [&](engine::QueryKind kind) {
+    if (engine::QueryKindTarget(kind) == "triangles") {
+      if (exact_triangles < 0) {
+        exact_triangles = static_cast<double>(CountTriangles(g));
+      }
+      return exact_triangles;
+    }
+    if (exact_c4 < 0) exact_c4 = static_cast<double>(CountFourCycles(g));
+    return exact_c4;
+  };
+
+  engine::BrokerOptions options;
+  options.block_size =
+      static_cast<std::size_t>(flags.GetInt("block-edges", 4096));
+  options.budget.per_query_words =
+      static_cast<std::size_t>(flags.GetInt("per-query-budget", 0));
+  options.budget.aggregate_words =
+      static_cast<std::size_t>(flags.GetInt("aggregate-budget", 0));
+  engine::StreamBroker broker(options);
+  for (engine::QuerySpec& spec : specs) {
+    if (spec.num_vertices == 0) spec.num_vertices = g.num_vertices();
+    if (spec.base.t_guess <= 1.0) {
+      spec.base.t_guess = std::max(1.0, exact_for(spec.kind));
+    }
+    broker.AddQuery(spec);
+  }
+
+  std::vector<engine::QueryOutcome> outcomes;
+  if (edge_family) {
+    if (binary && order == "file") {
+      // Zero-copy: blocks point straight into the mmap'd .bin payload.
+      engine::BinaryEdgeSource source(reader);
+      outcomes = broker.RunEdgeQueries(source);
+    } else if (order == "file") {
+      EdgeStream stream = graph.edges();
+      outcomes = broker.RunEdgeQueries(stream);
+    } else {
+      Rng order_rng(seed ^ 0x5eedULL);
+      const EdgeStream stream = MakeRandomOrderStream(graph, order_rng);
+      outcomes = broker.RunEdgeQueries(stream);
+    }
+  } else {
+    Rng order_rng(seed ^ 0x5eedULL);
+    const AdjacencyStream stream = MakeAdjacencyStream(g, order_rng);
+    outcomes = broker.RunAdjacencyQueries(stream);
+  }
+
+  Table t({"query", "kind", "admission", "wave", "estimate", "rel.err",
+           "space(w)"});
+  for (const engine::QueryOutcome& out : outcomes) {
+    const bool ran = out.admission == engine::AdmissionOutcome::kAdmitted;
+    std::string rel = "-";
+    if (ran && show_exact) {
+      const double exact = exact_for(out.spec.kind);
+      rel = Table::Pct(exact > 0
+                           ? std::abs(out.estimate.value - exact) / exact
+                           : out.estimate.value);
+    }
+    t.AddRow({out.spec.name, std::string(engine::QueryKindName(out.spec.kind)),
+              std::string(engine::AdmissionOutcomeName(out.admission)),
+              Table::Int(out.wave),
+              ran ? Table::Num(out.estimate.value, 1) : "-", rel,
+              ran ? Table::Int(static_cast<std::int64_t>(
+                        out.estimate.space_words))
+                  : "-"});
+  }
+  t.set_title("engine batch: " + std::to_string(outcomes.size()) +
+              " queries, " + std::to_string(broker.stats().physical_passes) +
+              " physical stream reads");
+  t.Print(std::cout);
+  manifest.AddTable("engine", t);
+  engine::ExportToManifest(outcomes, broker.stats(), manifest);
+  if (show_exact && exact_triangles >= 0) {
+    manifest.metrics().Set("exact.triangles", exact_triangles);
+  }
+  if (show_exact && exact_c4 >= 0) {
+    manifest.metrics().Set("exact.c4", exact_c4);
+  }
+  return 0;
+}
+
+int RunSweep(FlagParser& flags, RunManifest& manifest) {
+  const std::string algos =
+      flags.GetString("algorithms", "random-order,triest,cormode-jowhari");
+  std::vector<engine::QueryKind> kinds;
+  std::size_t start = 0;
+  while (start <= algos.size()) {
+    std::size_t comma = algos.find(',', start);
+    if (comma == std::string::npos) comma = algos.size();
+    const std::string name = algos.substr(start, comma - start);
+    if (!name.empty()) {
+      const auto kind = engine::ParseQueryKind(name);
+      if (!kind.has_value()) {
+        std::cerr << "error: unknown algorithm '" << name << "'\n";
+        return Usage();
+      }
+      kinds.push_back(*kind);
+    }
+    start = comma + 1;
+  }
+  if (kinds.empty()) {
+    std::cerr << "error: --algorithms must name at least one algorithm\n";
+    return Usage();
+  }
+
+  const int num_queries =
+      static_cast<int>(flags.GetInt("queries", 16));
+  engine::QuerySpec base;
+  base.base.epsilon = flags.GetDouble("epsilon", 0.2);
+  base.base.c = flags.GetDouble("c", 2.0);
+  base.base.t_guess = flags.GetDouble("t-guess", 0.0);
+  base.reservoir_capacity =
+      static_cast<std::size_t>(flags.GetInt("reservoir", 1000));
+  base.level_rate = flags.GetDouble("level-rate", -1.0);
+  base.prefix_rate = flags.GetDouble("prefix-rate", -1.0);
+  base.space_budget_words =
+      static_cast<std::size_t>(flags.GetInt("budget-words", 0));
+  const std::uint64_t seed = flags.GetInt("seed", 1);
+
+  std::vector<engine::QuerySpec> specs;
+  for (int i = 0; i < num_queries; ++i) {
+    engine::QuerySpec spec = base;
+    spec.kind = kinds[static_cast<std::size_t>(i) % kinds.size()];
+    spec.name =
+        std::string(engine::QueryKindName(spec.kind)) + "-" + std::to_string(i);
+    spec.base.seed = seed + static_cast<std::uint64_t>(i);
+    specs.push_back(std::move(spec));
+  }
+  return RunEngineBatch(flags, manifest, std::move(specs));
+}
+
+// Parses a `serve` spec file: one query per line, `key=value` tokens, '#'
+// comments. Returns false (with a message) on any malformed line.
+bool ParseSpecFile(const std::string& path, const engine::QuerySpec& defaults,
+                   std::vector<engine::QuerySpec>* specs) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open spec file " << path << "\n";
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string token;
+    engine::QuerySpec spec = defaults;
+    bool any = false, have_kind = false;
+    bool bad = false;
+    while (ls >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        bad = true;
+        break;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      any = true;
+      try {
+        if (key == "name") {
+          spec.name = value;
+        } else if (key == "kind") {
+          const auto kind = engine::ParseQueryKind(value);
+          if (!kind.has_value()) {
+            bad = true;
+            break;
+          }
+          spec.kind = *kind;
+          have_kind = true;
+        } else if (key == "seed") {
+          spec.base.seed = std::stoull(value);
+        } else if (key == "budget") {
+          spec.space_budget_words = std::stoull(value);
+        } else if (key == "epsilon") {
+          spec.base.epsilon = std::stod(value);
+        } else if (key == "c") {
+          spec.base.c = std::stod(value);
+        } else if (key == "t_guess") {
+          spec.base.t_guess = std::stod(value);
+        } else if (key == "level_rate") {
+          spec.level_rate = std::stod(value);
+        } else if (key == "prefix_rate") {
+          spec.prefix_rate = std::stod(value);
+        } else if (key == "reservoir") {
+          spec.reservoir_capacity = std::stoull(value);
+        } else {
+          bad = true;
+          break;
+        }
+      } catch (const std::exception&) {
+        bad = true;
+        break;
+      }
+    }
+    if (!any) continue;  // Blank or comment-only line.
+    if (bad || spec.name.empty() || !have_kind) {
+      std::cerr << "error: " << path << ":" << lineno
+                << ": malformed query spec (need name=... kind=...)\n";
+      return false;
+    }
+    specs->push_back(std::move(spec));
+  }
+  return true;
+}
+
+int RunServe(FlagParser& flags, RunManifest& manifest) {
+  const std::string spec_path = flags.GetString("spec", "");
+  if (spec_path.empty()) {
+    std::cerr << "error: --spec FILE is required\n";
+    return Usage();
+  }
+  engine::QuerySpec defaults;
+  defaults.base.epsilon = flags.GetDouble("epsilon", 0.2);
+  defaults.base.c = flags.GetDouble("c", 2.0);
+  defaults.base.t_guess = flags.GetDouble("t-guess", 0.0);
+  defaults.base.seed = flags.GetInt("seed", 1);
+  std::vector<engine::QuerySpec> specs;
+  if (!ParseSpecFile(spec_path, defaults, &specs)) return 1;
+  return RunEngineBatch(flags, manifest, std::move(specs));
+}
+
 int RunGenerate(FlagParser& flags, RunManifest& manifest) {
   const std::string model = flags.GetString("model", "er");
   const VertexId n = static_cast<VertexId>(flags.GetInt("n", 10000));
@@ -363,6 +681,10 @@ int Main(int argc, char** argv) {
     rc = RunCount(flags, manifest);
   } else if (command == "generate") {
     rc = RunGenerate(flags, manifest);
+  } else if (command == "sweep") {
+    rc = RunSweep(flags, manifest);
+  } else if (command == "serve") {
+    rc = RunServe(flags, manifest);
   } else {
     return Usage();
   }

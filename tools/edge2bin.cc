@@ -1,0 +1,234 @@
+// edge2bin — converts text edge lists to the binary edge-stream format
+// (graph/binary_io.h) and back.
+//
+//   edge2bin IN.txt OUT.bin [--num_vertices N]
+//   edge2bin --to-text IN.bin OUT.txt
+//
+// The text parser here deliberately differs from LoadEdgeListText: vertex
+// ids are taken *literally* (no densification), duplicates are kept, and
+// edge order is preserved — a .bin file is a stream, not a graph, and the
+// conversion must be invertible. For a file produced by SaveEdgeListText
+// (e.g. `cyclestream_cli generate`), text -> bin -> text reproduces the
+// original byte-for-byte, which CI asserts with `diff`.
+//
+// The vertex count comes from --num_vertices, else from the
+// "# cyclestream edge list: N vertices, ..." header comment, else from
+// max(id)+1. Self-loops are errors (the binary format cannot represent
+// them); reversed endpoints (u > v) are canonicalized with a counted
+// warning.
+
+#include <algorithm>
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/binary_io.h"
+#include "graph/types.h"
+#include "util/crc32.h"
+#include "util/flags.h"
+
+namespace cyclestream {
+namespace {
+
+int Usage() {
+  std::cerr << "usage: edge2bin IN.txt OUT.bin [--num_vertices N]\n"
+               "       edge2bin --to-text IN.bin OUT.txt\n";
+  return 2;
+}
+
+bool ParseVertex(const std::string& token, std::uint64_t* out) {
+  if (token.empty() || token[0] == '-') return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out, 10);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+// Recognizes SaveEdgeListText's header comment and extracts N.
+bool ParseHeaderComment(const std::string& line, std::uint64_t* n) {
+  constexpr char kPrefix[] = "# cyclestream edge list: ";
+  if (line.rfind(kPrefix, 0) != 0) return false;
+  const std::size_t start = sizeof(kPrefix) - 1;
+  const std::size_t end = line.find(' ', start);
+  if (end == std::string::npos ||
+      line.compare(end, 9, " vertices") != 0) {
+    return false;
+  }
+  return ParseVertex(line.substr(start, end - start), n);
+}
+
+int TextToBin(const std::string& in_path, const std::string& out_path,
+              std::int64_t num_vertices_flag) {
+  std::ifstream in(in_path);
+  if (!in) {
+    std::cerr << "error: cannot open " << in_path << "\n";
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  // Header placeholder; patched once the CRC and counts are known.
+  char header[kBinaryEdgeHeaderSize] = {};
+  out.write(header, sizeof(header));
+
+  auto fail = [&out_path](const std::string& message) {
+    std::cerr << "error: " << message << "\n";
+    std::remove(out_path.c_str());
+    return 1;
+  };
+
+  Crc32Accumulator crc;
+  std::vector<Edge> buffer;
+  buffer.reserve(1 << 16);
+  auto flush = [&] {
+    const char* bytes = reinterpret_cast<const char*>(buffer.data());
+    const std::size_t size = buffer.size() * sizeof(Edge);
+    crc.Update(bytes, size);
+    out.write(bytes, static_cast<std::streamsize>(size));
+    buffer.clear();
+  };
+
+  std::uint64_t header_vertices = 0;
+  bool have_header_vertices = false;
+  std::uint64_t count = 0;
+  std::uint64_t max_id = 0;
+  std::uint64_t swapped = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!have_header_vertices && count == 0 &&
+        ParseHeaderComment(line, &header_vertices)) {
+      have_header_vertices = true;
+    }
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string ta, tb;
+    if (!(ls >> ta)) continue;  // Blank or comment-only line.
+    std::uint64_t a = 0, b = 0;
+    if (!(ls >> tb) || !ParseVertex(ta, &a) || !ParseVertex(tb, &b)) {
+      return fail(in_path + ":" + std::to_string(lineno) +
+                  ": malformed line");
+    }
+    if (a == b) {
+      return fail(in_path + ":" + std::to_string(lineno) + ": self-loop " +
+                  std::to_string(a) +
+                  " (the binary stream format cannot represent it)");
+    }
+    if (a > b) {
+      std::swap(a, b);
+      ++swapped;
+    }
+    if (b > 0xffffffffull) {
+      return fail(in_path + ":" + std::to_string(lineno) + ": vertex id " +
+                  std::to_string(b) + " exceeds 32 bits");
+    }
+    max_id = std::max(max_id, b);
+    buffer.emplace_back(static_cast<VertexId>(a), static_cast<VertexId>(b));
+    ++count;
+    if (buffer.size() == buffer.capacity()) flush();
+  }
+  if (in.bad()) {
+    return fail(in_path + ": read error after line " + std::to_string(lineno));
+  }
+  flush();
+
+  std::uint64_t num_vertices = count > 0 ? max_id + 1 : 0;
+  if (num_vertices_flag > 0) {
+    num_vertices = static_cast<std::uint64_t>(num_vertices_flag);
+  } else if (have_header_vertices) {
+    num_vertices = header_vertices;
+  }
+  if (num_vertices > 0xffffffffull) {
+    return fail("vertex count " + std::to_string(num_vertices) +
+                " exceeds 32 bits");
+  }
+  if (count > 0 && max_id >= num_vertices) {
+    return fail("vertex id " + std::to_string(max_id) +
+                " out of range for num_vertices=" +
+                std::to_string(num_vertices));
+  }
+  if (swapped > 0) {
+    std::cerr << "warning: " << in_path << ": canonicalized " << swapped
+              << " reversed edge" << (swapped == 1 ? "" : "s") << "\n";
+  }
+
+  // Patch the real header (same layout as WriteBinaryEdgeStream).
+  constexpr char kMagic[8] = {'C', 'Y', 'S', 'B', 'I', 'N', '\x01', '\n'};
+  std::memcpy(header, kMagic, sizeof(kMagic));
+  const std::uint32_t version = kBinaryEdgeVersion;
+  const std::uint32_t n32 = static_cast<std::uint32_t>(num_vertices);
+  const std::uint32_t crc32 = crc.Final();
+  std::memcpy(header + 8, &version, 4);
+  std::memcpy(header + 12, &n32, 4);
+  std::memcpy(header + 16, &count, 8);
+  std::memcpy(header + 24, &crc32, 4);
+  out.seekp(0);
+  out.write(header, sizeof(header));
+  out.flush();
+  if (!out) return fail("write failed: " + out_path);
+  std::cerr << "wrote " << out_path << ": n=" << num_vertices
+            << " m=" << count << "\n";
+  return 0;
+}
+
+int BinToText(const std::string& in_path, const std::string& out_path) {
+  BinaryEdgeReader reader;
+  std::string error;
+  if (!reader.Open(in_path, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  // Same shape as SaveEdgeListText, so bin -> text of a converted
+  // generator file diffs clean against the original.
+  out << "# cyclestream edge list: " << reader.num_vertices() << " vertices, "
+      << reader.num_edges() << " edges\n";
+  const Edge* edges = reader.edges();
+  for (std::size_t i = 0; i < reader.num_edges(); ++i) {
+    out << edges[i].u << ' ' << edges[i].v << '\n';
+  }
+  out.flush();
+  if (!out) {
+    std::cerr << "error: write failed: " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << out_path << ": n=" << reader.num_vertices()
+            << " m=" << reader.num_edges() << "\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  // FlagParser's `--flag value` syntax makes a bare `--to-text IN.bin`
+  // swallow the input path as the flag value; reconstruct the positionals
+  // so both `--to-text IN OUT` and `--to-text=1 IN OUT` work.
+  const std::string to_text_value = flags.GetString("to-text", "");
+  const bool to_text = !to_text_value.empty();
+  std::vector<std::string> paths;
+  if (to_text && to_text_value != "true" && to_text_value != "1") {
+    paths.push_back(to_text_value);  // The swallowed input path.
+  }
+  paths.insert(paths.end(), flags.positional().begin(),
+               flags.positional().end());
+  if (paths.size() != 2) return Usage();
+  if (to_text) return BinToText(paths[0], paths[1]);
+  return TextToBin(paths[0], paths[1], flags.GetInt("num_vertices", 0));
+}
+
+}  // namespace
+}  // namespace cyclestream
+
+int main(int argc, char** argv) { return cyclestream::Main(argc, argv); }
