@@ -148,6 +148,19 @@ bool BinaryEdgeReader::Open(const std::string& path, std::string* error) {
   const VertexId num_vertices = GetU32(base + 12);
   const std::uint64_t num_edges = GetU64(base + 16);
   const std::uint32_t crc = GetU32(base + 24);
+  // A forged num_edges near 2^64 wraps the expected-size product modulo
+  // 2^64, so a tiny file could slide past the exact-size check below and
+  // send the per-edge validation loop reading far out of bounds. Reject any
+  // count whose byte size is not even representable; ordinary mismatches
+  // (truncation, trailing garbage) still fall through to the exact check
+  // and keep its descriptive error.
+  constexpr std::uint64_t kMaxDeclaredEdges =
+      (~std::uint64_t{0} - kBinaryEdgeHeaderSize) / sizeof(Edge);
+  if (num_edges > kMaxDeclaredEdges) {
+    return reject("header declares " + std::to_string(num_edges) +
+                  " edges, which overflows the file-size computation "
+                  "(forged or corrupt header)");
+  }
   const std::uint64_t expected_size =
       kBinaryEdgeHeaderSize + num_edges * sizeof(Edge);
   if (file_size != expected_size) {

@@ -1,0 +1,41 @@
+#ifndef CYCLESTREAM_GRAPH_DODG_KERNELS_H_
+#define CYCLESTREAM_GRAPH_DODG_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/types.h"
+
+// Internal kernel surface for the DODG exact backend. dodg.cc dispatches
+// between the portable implementations (defined there) and the AVX2 ones
+// (defined in dodg_kernels_avx2.cc, the only TU compiled with -mavx2;
+// present only when CYCLESTREAM_HAVE_AVX2 is defined by the build). Every
+// kernel pair returns bit-identical counts — the AVX2 versions are pure
+// reorderings of the same integer arithmetic.
+
+namespace cyclestream::internal {
+
+/// |a ∩ b| for sorted duplicate-free id lists.
+using IntersectFn = std::uint64_t (*)(const VertexId* a, std::size_t na,
+                                      const VertexId* b, std::size_t nb);
+
+/// popcount(a & b) over `words` 64-bit words.
+using AndPopcountFn = std::uint64_t (*)(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        std::size_t words);
+
+std::uint64_t IntersectScalar(const VertexId* a, std::size_t na,
+                              const VertexId* b, std::size_t nb);
+std::uint64_t AndPopcountScalar(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words);
+
+#if defined(CYCLESTREAM_HAVE_AVX2)
+std::uint64_t IntersectAvx2(const VertexId* a, std::size_t na,
+                            const VertexId* b, std::size_t nb);
+std::uint64_t AndPopcountAvx2(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t words);
+#endif
+
+}  // namespace cyclestream::internal
+
+#endif  // CYCLESTREAM_GRAPH_DODG_KERNELS_H_

@@ -1,0 +1,119 @@
+// AVX2 kernels for the DODG exact backend — the only translation unit
+// compiled with -mavx2, so these functions must only ever be *called* after
+// the runtime dispatch in dodg.cc has confirmed CPU support. Both kernels
+// compute exactly the integer results of their scalar twins, just wider.
+
+#include "graph/dodg_kernels.h"
+
+#if defined(CYCLESTREAM_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "graph/intersect.h"
+
+namespace cyclestream::internal {
+
+namespace {
+
+/// Compares an 8-lane block of `a` against all 8 rotations of a block of
+/// `b` and returns the number of matching lanes. Sorted duplicate-free
+/// inputs mean every equality is a distinct intersection element.
+inline int BlockMatches(__m256i va, __m256i vb) {
+  const __m256i rot = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  __m256i matched = _mm256_cmpeq_epi32(va, vb);
+  __m256i r = vb;
+  for (int k = 1; k < 8; ++k) {
+    r = _mm256_permutevar8x32_epi32(r, rot);
+    matched = _mm256_or_si256(matched, _mm256_cmpeq_epi32(va, r));
+  }
+  return __builtin_popcount(static_cast<unsigned>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(matched))));
+}
+
+}  // namespace
+
+std::uint64_t IntersectAvx2(const VertexId* a, std::size_t na,
+                            const VertexId* b, std::size_t nb) {
+  if (na > nb) {
+    const VertexId* tp = a;
+    a = b;
+    b = tp;
+    const std::size_t ts = na;
+    na = nb;
+    nb = ts;
+  }
+  if (na == 0) return 0;
+  // Heavily skewed pairs (hub vs. leaf) are better served by galloping than
+  // by streaming the whole long list through SIMD blocks; same cutover as
+  // the scalar path so both backends do identical arithmetic.
+  if (nb >= kGallopRatio * na) {
+    return SortedIntersectionCount({a, na}, {b, nb});
+  }
+
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    count += static_cast<std::uint64_t>(BlockMatches(va, vb));
+    // Advance whichever block's maximum is smaller: every unseen element of
+    // the other list is strictly larger than everything just retired.
+    const VertexId amax = a[i + 7];
+    const VertexId bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::uint64_t AndPopcountAvx2(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t words) {
+  std::size_t i = 0;
+  std::uint64_t total = 0;
+  if (words >= 8) {
+    // Mula nibble-LUT popcount: per-byte counts via two table lookups, then
+    // horizontal sums into four 64-bit lanes with SAD against zero.
+    const __m256i lut =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                         0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = zero;
+    for (; i + 4 <= words; i += 4) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      const __m256i v = _mm256_and_si256(va, vb);
+      const __m256i lo = _mm256_and_si256(v, low_mask);
+      const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+      const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                             _mm256_shuffle_epi8(lut, hi));
+      acc = _mm256_add_epi64(acc, _mm256_sad_epu8(counts, zero));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  }
+  for (; i < words; ++i) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return total;
+}
+
+}  // namespace cyclestream::internal
+
+#endif  // CYCLESTREAM_HAVE_AVX2

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "graph/dodg.h"
 #include "graph/intersect.h"
 #include "util/check.h"
 #include "util/parallel.h"
@@ -28,6 +29,10 @@ inline std::uint64_t Choose2(std::uint64_t x) { return x * (x - 1) / 2; }
 }  // namespace
 
 std::uint64_t CountTriangles(const Graph& g) {
+  if (GetExactBackend() == ExactBackend::kDodg) {
+    return DodgGraph::Build(g.edges().data(), g.num_edges(), g.num_vertices())
+        .CountTriangles();
+  }
   const VertexId n = g.num_vertices();
   RankOrder before{&g};
   // Oriented adjacency: out[v] = higher-ranked neighbors of v, sorted by id.
@@ -166,6 +171,10 @@ std::uint64_t CountFourCyclesFromWedges(const WedgeVector& x) {
 }
 
 std::uint64_t CountFourCycles(const Graph& g) {
+  if (GetExactBackend() == ExactBackend::kDodg) {
+    return DodgGraph::Build(g.edges().data(), g.num_edges(), g.num_vertices())
+        .CountFourCycles();
+  }
   return CountFourCyclesFromWedges(ComputeWedgeVector(g));
 }
 

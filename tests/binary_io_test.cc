@@ -179,6 +179,25 @@ TEST_F(BinaryIoDamageTest, OutOfRangeVertexRejected) {
   ExpectRejected(damaged, "canonical");
 }
 
+TEST_F(BinaryIoDamageTest, WrappingEdgeCountRejected) {
+  // Forge num_edges = 2^61 + 3: the expected-size product (num_edges * 8)
+  // wraps modulo 2^64 to exactly this file's 24 payload bytes, so a reader
+  // that only compared expected_size == file_size accepted the header and
+  // then walked 2^61 edges straight off the end of the mapping. The bound
+  // against the actually-mapped payload must reject it first.
+  std::string damaged = bytes_;
+  const std::uint64_t forged = (std::uint64_t{1} << 61) + 3;
+  std::memcpy(damaged.data() + 16, &forged, 8);
+  ExpectRejected(damaged, "overflows the file-size computation");
+}
+
+TEST_F(BinaryIoDamageTest, SaturatedEdgeCountRejected) {
+  std::string damaged = bytes_;
+  const std::uint64_t forged = ~std::uint64_t{0};
+  std::memcpy(damaged.data() + 16, &forged, 8);
+  ExpectRejected(damaged, "overflows the file-size computation");
+}
+
 TEST(BinaryIoTest, LoadEdgeListBinaryConvenience) {
   Rng rng(2);
   const EdgeList graph = ErdosRenyiGnm(100, 300, rng);

@@ -49,6 +49,7 @@
 #include "gen/generators.h"
 #include "graph/binary_io.h"
 #include "graph/datasets.h"
+#include "graph/dodg.h"
 #include "graph/exact.h"
 #include "graph/graph.h"
 #include "graph/io.h"
@@ -58,14 +59,19 @@
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace cyclestream {
 namespace {
 
 int Usage() {
   std::cerr <<
-      "usage: cyclestream_cli <stats|count|generate|sweep|serve> [flags]\n"
+      "usage: cyclestream_cli <stats|count|exact|generate|sweep|serve> "
+      "[flags]\n"
       "  stats    --graph FILE | --karate\n"
+      "  exact    --graph FILE [--target triangles|c4|both]\n"
+      "           [--exact_backend naive|dodg] [--hub-range H]\n"
+      "           .bin graphs mmap straight into the DODG CSR build\n"
       "  count    --graph FILE --target triangles|c4 [--algorithm NAME]\n"
       "           [--epsilon E] [--t-guess T] [--seed S] [--no-exact]\n"
       "           [--delta D]   amplify: median of ~2*ln(1/D) parallel copies\n"
@@ -139,6 +145,114 @@ int RunStats(FlagParser& flags, RunManifest& manifest) {
   manifest.metrics().SetInt("graph.vertices", g.num_vertices());
   manifest.metrics().SetInt("graph.edges",
                             static_cast<std::int64_t>(g.num_edges()));
+  return 0;
+}
+
+// Exact-count front end: the scale path for ground truth. With the dodg
+// backend a .bin graph (tools/edge2bin) feeds the mmap'd edge array
+// straight into the DODG CSR build — no text parse, no EdgeList. Counts,
+// sizes, and the backend go into the deterministic manifest (identical
+// across ISAs and thread counts); kernel choice and timings stay on stderr
+// and in the timing section.
+int RunExact(FlagParser& flags, RunManifest& manifest) {
+  const std::string target = flags.GetString("target", "both");
+  if (target != "triangles" && target != "c4" && target != "both") {
+    std::cerr << "error: --target must be triangles, c4, or both\n";
+    return Usage();
+  }
+  const ExactBackend backend = GetExactBackend();
+  const bool want_triangles = target != "c4";
+  const bool want_c4 = target != "triangles";
+
+  VertexId num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::uint64_t triangles = 0;
+  std::uint64_t four_cycles = 0;
+  double build_seconds = 0.0;
+  double count_seconds = 0.0;
+
+  if (backend == ExactBackend::kDodg) {
+    DodgGraph::Options options;
+    options.hub_range =
+        static_cast<VertexId>(flags.GetInt("hub-range", 0));
+    const std::string path = flags.GetString("graph", "");
+    Timer build_timer;
+    DodgGraph dodg;
+    if (flags.GetBool("karate", false)) {
+      dodg = DodgGraph::Build(KarateClub(), options);
+    } else if (path.empty()) {
+      std::cerr << "error: --graph FILE (or --karate) is required\n";
+      return 1;
+    } else if (IsBinaryGraphPath(path)) {
+      BinaryEdgeReader reader;
+      std::string error;
+      if (!reader.Open(path, &error)) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+      }
+      dodg = DodgGraph::Build(reader.edges(), reader.num_edges(),
+                              reader.num_vertices(), options);
+    } else {
+      auto loaded = LoadEdgeListText(path);
+      if (!loaded) {
+        std::cerr << "error: cannot load " << path << "\n";
+        return 1;
+      }
+      dodg = DodgGraph::Build(*loaded, options);
+    }
+    build_seconds = build_timer.Seconds();
+    std::cerr << "exact backend: dodg (kernels: " << ActiveExactKernels()
+              << ", hub range " << dodg.hub_range() << ")\n";
+    num_vertices = dodg.num_vertices();
+    num_edges = dodg.num_edges();
+    Timer count_timer;
+    if (want_triangles) triangles = dodg.CountTriangles();
+    if (want_c4) four_cycles = dodg.CountFourCycles();
+    count_seconds = count_timer.Seconds();
+  } else {
+    bool ok = false;
+    const EdgeList graph = LoadGraph(flags, &ok);
+    if (!ok) return 1;
+    Timer build_timer;
+    const Graph g(graph);
+    build_seconds = build_timer.Seconds();
+    std::cerr << "exact backend: naive\n";
+    num_vertices = g.num_vertices();
+    num_edges = g.num_edges();
+    Timer count_timer;
+    if (want_triangles) triangles = CountTriangles(g);
+    if (want_c4) four_cycles = CountFourCycles(g);
+    count_seconds = count_timer.Seconds();
+  }
+
+  Table t({"statistic", "value"});
+  t.AddRow({"backend", ExactBackendName(backend)});
+  t.AddRow({"vertices", Table::Int(num_vertices)});
+  t.AddRow({"edges", Table::Int(static_cast<std::int64_t>(num_edges))});
+  if (want_triangles) {
+    t.AddRow({"triangles", Table::Int(static_cast<std::int64_t>(triangles))});
+  }
+  if (want_c4) {
+    t.AddRow(
+        {"four-cycles", Table::Int(static_cast<std::int64_t>(four_cycles))});
+  }
+  t.Print(std::cout);
+  std::cerr << "build " << build_seconds << "s, count " << count_seconds
+            << "s\n";
+  manifest.AddTable("exact", t);
+  manifest.metrics().SetInt("graph.vertices", num_vertices);
+  manifest.metrics().SetInt("graph.edges",
+                            static_cast<std::int64_t>(num_edges));
+  if (want_triangles) {
+    manifest.metrics().SetInt("exact.triangles",
+                              static_cast<std::int64_t>(triangles));
+  }
+  if (want_c4) {
+    manifest.metrics().SetInt("exact.c4",
+                              static_cast<std::int64_t>(four_cycles));
+  }
+  manifest.metrics().SetTiming("exact.build_seconds", build_seconds);
+  manifest.metrics().SetTiming("exact.count_seconds", count_seconds);
   return 0;
 }
 
@@ -668,6 +782,7 @@ int Main(int argc, char** argv) {
   if (flags.positional().empty()) return Usage();
   int threads = ApplyThreadsFlag(flags);
   const bool checkpointing = ApplyCheckpointFlags(flags, &threads);
+  ApplyExactBackendFlag(flags);
   const std::string command = flags.positional()[0];
   const std::string json_out = flags.GetString("json_out", "");
   const std::string json_det_out = flags.GetString("json_det_out", "");
@@ -677,6 +792,8 @@ int Main(int argc, char** argv) {
   int rc;
   if (command == "stats") {
     rc = RunStats(flags, manifest);
+  } else if (command == "exact") {
+    rc = RunExact(flags, manifest);
   } else if (command == "count") {
     rc = RunCount(flags, manifest);
   } else if (command == "generate") {
