@@ -18,9 +18,11 @@ struct EdgeTraits {
   static constexpr bool kEdgeKind = true;
   using Query = EdgeQuery;
   static Query Make(const QuerySpec& spec) { return MakeEdgeQuery(spec); }
-  static void Process(EdgeStreamAlgorithm& alg, int pass, const Edge& item,
-                      std::size_t position) {
-    alg.ProcessEdge(pass, item, position);
+  static void ProcessBlock(EdgeStreamAlgorithm& alg, int pass,
+                           const Edge* items, std::size_t n,
+                           std::size_t base_position) {
+    alg.ProcessEdgeBlock(pass, std::span<const Edge>(items, n),
+                         base_position);
   }
 };
 
@@ -28,9 +30,12 @@ struct AdjacencyTraits {
   static constexpr bool kEdgeKind = false;
   using Query = AdjacencyQuery;
   static Query Make(const QuerySpec& spec) { return MakeAdjacencyQuery(spec); }
-  static void Process(AdjacencyStreamAlgorithm& alg, int pass,
-                      const AdjacencyList& item, std::size_t position) {
-    alg.ProcessList(pass, item, position);
+  static void ProcessBlock(AdjacencyStreamAlgorithm& alg, int pass,
+                           const AdjacencyList* items, std::size_t n,
+                           std::size_t base_position) {
+    for (std::size_t i = 0; i < n; ++i) {
+      alg.ProcessList(pass, items[i], base_position + i);
+    }
   }
 };
 
@@ -109,6 +114,10 @@ void RunWave(Source& source, const BrokerOptions& options,
     // query (slot qi → shard qi mod shards, each shard serial), so the
     // per-query call sequence is the exact standalone sequence — the block
     // barrier only bounds how far queries can drift apart in the stream.
+    // With a single active query the outer ParallelFor is bypassed entirely
+    // (not even a 1-wide region): util/parallel.h runs nested ParallelFor
+    // calls serially inline, so the bypass is what lets a lone query's own
+    // intra-query shards (ProcessEdgeBlock) actually use the pool.
     ++stats.physical_passes;
     const std::size_t shards =
         std::min(active.size(), static_cast<std::size_t>(DefaultThreads()));
@@ -118,15 +127,21 @@ void RunWave(Source& source, const BrokerOptions& options,
     for (const auto* block = source.NextBlock(options.block_size, &n);
          block != nullptr; block = source.NextBlock(options.block_size, &n)) {
       stats.source_items_read += n;
-      ParallelFor(shards, [&](std::size_t shard) {
-        for (std::size_t qi = shard; qi < active.size(); qi += shards) {
-          auto& alg = *queries[active[qi]].algorithm;
-          for (std::size_t i = 0; i < n; ++i) {
-            Traits::Process(alg, pass, block[i], base + i);
-          }
+      if (shards <= 1) {
+        for (std::size_t qi = 0; qi < active.size(); ++qi) {
+          Traits::ProcessBlock(*queries[active[qi]].algorithm, pass, block, n,
+                               base);
           delivered[active[qi]] += n;
         }
-      });
+      } else {
+        ParallelFor(shards, [&](std::size_t shard) {
+          for (std::size_t qi = shard; qi < active.size(); qi += shards) {
+            Traits::ProcessBlock(*queries[active[qi]].algorithm, pass, block,
+                                 n, base);
+            delivered[active[qi]] += n;
+          }
+        });
+      }
       stats.items_delivered += static_cast<std::uint64_t>(n) * active.size();
       base += n;
     }

@@ -127,6 +127,8 @@ EdgeQuery MakeEdgeQuery(const QuerySpec& spec) {
       ArbF2FourCycleCounter::Params p;
       p.base = spec.base;
       p.num_vertices = spec.num_vertices;
+      p.sketch_backend = spec.sketch_backend;
+      p.intra_shards = spec.intra_shards;
       return WrapEdge(std::make_unique<ArbF2FourCycleCounter>(p));
     }
     case QueryKind::kArbThreePass: {

@@ -1,0 +1,139 @@
+#include "hash/kwise_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "hash/mersenne.h"
+
+namespace cyclestream {
+namespace internal {
+
+// The scalar block kernels replay the per-key sweeps of kwise_bank.cc over
+// each key of the block: lazy Horner stages, canonicalize on consumption.
+// They are the reference the SIMD tiers are tested against, and the
+// fallback for k outside the power-basis window (k−1 ∉ [1,3]).
+
+void AccumulateSignedBlockScalar(const SketchBankView& bank,
+                                 const std::uint64_t* keys, std::size_t count,
+                                 double delta, double* counters) {
+  const std::size_t n = bank.n;
+  std::uint64_t delta_bits;
+  std::memcpy(&delta_bits, &delta, sizeof(delta));
+  if (bank.k == 4) {
+    // The AMS sign-hash case: fully fused single-fold chain (bounds in
+    // HornerStepLazy1Fold61 — exactly 3 stages fit).
+    const std::uint64_t* c3 = bank.coeffs + 3 * n;
+    const std::uint64_t* c2 = bank.coeffs + 2 * n;
+    const std::uint64_t* c1 = bank.coeffs + 1 * n;
+    const std::uint64_t* c0 = bank.coeffs;
+    for (std::size_t b = 0; b < count; ++b) {
+      const std::uint64_t xm = ReduceMod61(keys[b]);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t acc = c3[i];
+        acc = HornerStepLazy1Fold61(acc, xm, c2[i]);
+        acc = HornerStepLazy1Fold61(acc, xm, c1[i]);
+        acc = HornerStepLazy1Fold61(acc, xm, c0[i]);
+        const std::uint64_t odd = CanonicalizeMod61(acc) & 1ULL;
+        const std::uint64_t bits = delta_bits ^ ((odd ^ 1ULL) << 63);
+        double signed_delta;
+        std::memcpy(&signed_delta, &bits, sizeof(signed_delta));
+        counters[i] += signed_delta;
+      }
+    }
+    return;
+  }
+  constexpr std::size_t kTile = 64;
+  std::uint64_t acc[kTile];
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::uint64_t xm = ReduceMod61(keys[b]);
+    for (std::size_t base = 0; base < n; base += kTile) {
+      const std::size_t len = std::min(kTile, n - base);
+      const std::uint64_t* top =
+          bank.coeffs + static_cast<std::size_t>(bank.k - 1) * n + base;
+      for (std::size_t i = 0; i < len; ++i) acc[i] = top[i];
+      for (int j = bank.k - 2; j >= 0; --j) {
+        const std::uint64_t* row =
+            bank.coeffs + static_cast<std::size_t>(j) * n + base;
+        for (std::size_t i = 0; i < len; ++i) {
+          acc[i] = HornerStepLazy61(acc[i], xm, row[i]);
+        }
+      }
+      double* c = counters + base;
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::uint64_t odd = CanonicalizeMod61(acc[i]) & 1ULL;
+        const std::uint64_t bits = delta_bits ^ ((odd ^ 1ULL) << 63);
+        double signed_delta;
+        std::memcpy(&signed_delta, &bits, sizeof(signed_delta));
+        c[i] += signed_delta;
+      }
+    }
+  }
+}
+
+void EvalBlockScalar(const SketchBankView& bank, const std::uint64_t* keys,
+                     std::size_t count, std::uint64_t* out) {
+  const std::size_t n = bank.n;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::uint64_t xm = ReduceMod61(keys[b]);
+    std::uint64_t* o = out + b * n;
+    const std::uint64_t* top =
+        bank.coeffs + static_cast<std::size_t>(bank.k - 1) * n;
+    for (std::size_t i = 0; i < n; ++i) o[i] = top[i];
+    for (int j = bank.k - 2; j >= 0; --j) {
+      const std::uint64_t* row =
+          bank.coeffs + static_cast<std::size_t>(j) * n;
+      for (std::size_t i = 0; i < n; ++i) {
+        o[i] = HornerStepLazy61(o[i], xm, row[i]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) o[i] = CanonicalizeMod61(o[i]);
+  }
+}
+
+namespace {
+
+constexpr SketchKernelTable kScalarTable{&AccumulateSignedBlockScalar,
+                                         &EvalBlockScalar, "scalar"};
+#if defined(CYCLESTREAM_HAVE_AVX2)
+constexpr SketchKernelTable kAvx2Table{&AccumulateSignedBlockAvx2,
+                                       &EvalBlockAvx2, "avx2"};
+#endif
+#if defined(CYCLESTREAM_HAVE_AVX512)
+constexpr SketchKernelTable kAvx512Table{&AccumulateSignedBlockAvx512,
+                                         &EvalBlockAvx512, "avx512"};
+#endif
+
+SketchSimdMode g_sketch_simd_mode = SketchSimdMode::kAuto;
+
+}  // namespace
+
+const SketchKernelTable& PickSketchKernels() {
+#if defined(CYCLESTREAM_HAVE_AVX512)
+  if (g_sketch_simd_mode == SketchSimdMode::kAuto &&
+      __builtin_cpu_supports("avx512f")) {
+    return kAvx512Table;
+  }
+#endif
+#if defined(CYCLESTREAM_HAVE_AVX2)
+  if ((g_sketch_simd_mode == SketchSimdMode::kAuto ||
+       g_sketch_simd_mode == SketchSimdMode::kAvx2) &&
+      __builtin_cpu_supports("avx2")) {
+    return kAvx2Table;
+  }
+#endif
+  return kScalarTable;
+}
+
+}  // namespace internal
+
+void SetSketchSimdMode(SketchSimdMode mode) {
+  internal::g_sketch_simd_mode = mode;
+}
+
+SketchSimdMode GetSketchSimdMode() { return internal::g_sketch_simd_mode; }
+
+const char* ActiveSketchKernels() {
+  return internal::PickSketchKernels().name;
+}
+
+}  // namespace cyclestream

@@ -1,0 +1,104 @@
+#ifndef CYCLESTREAM_HASH_KWISE_KERNELS_H_
+#define CYCLESTREAM_HASH_KWISE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Internal kernel surface for the block (batched-key) k-wise hash paths.
+// kwise_kernels.cc owns the portable implementations and the runtime
+// dispatch; kwise_kernels_avx2.cc / kwise_kernels_avx512.cc are the only
+// TUs compiled with -mavx2 / -mavx512f (present only when the build defines
+// CYCLESTREAM_HAVE_AVX2 / CYCLESTREAM_HAVE_AVX512), mirroring the DODG
+// exact-kernel layout in graph/dodg_kernels.h. Every kernel tier produces
+// bit-identical outputs: all of them compute the same canonical residues
+// mod p = 2^61 − 1, so the counters receive the same IEEE additions in the
+// same order regardless of ISA.
+//
+// The SIMD tiers do not evaluate Horner's rule. A k-wise polynomial with
+// k ≤ 4 is evaluated in the *power basis*: h = c₃x³ + c₂x² + c₁x + c₀ with
+// the powers x, x², x³ computed once per key (scalar, canonical) and every
+// coefficient pre-split at bank build time as c = lo31 + hi31·2³¹. Each
+// 64×64 product then decomposes into three 32×32 products that
+// _mm*_mul_epu32 can form directly, partial products are summed across the
+// ≤ 3 terms *before* any modular fold (the deferred-fold trick — bounds in
+// kwise_kernels_avx2.cc), and one fold chain per vector finishes the job.
+// This removes the loop-carried Horner dependency entirely; k > 4 would
+// overflow the 64-bit partial sums and falls back to the scalar tier.
+
+namespace cyclestream {
+
+/// Runtime SIMD selection for the sketch block kernels, mirroring the DODG
+/// backend's ExactSimdMode. kAuto picks the widest compiled tier the CPU
+/// supports (AVX-512 > AVX2 > scalar); kAvx2 caps the choice at AVX2 (for
+/// cross-tier equivalence tests on AVX-512 hosts); kScalar forces the
+/// portable kernels. Set once at startup or from tests.
+enum class SketchSimdMode { kAuto, kScalar, kAvx2 };
+void SetSketchSimdMode(SketchSimdMode mode);
+SketchSimdMode GetSketchSimdMode();
+
+/// Name of the kernel tier the next block call will use: "avx512", "avx2"
+/// or "scalar". Diagnostic only — keep it out of deterministic manifests,
+/// which are compared byte-for-byte across ISAs.
+const char* ActiveSketchKernels();
+
+namespace internal {
+
+/// Borrowed view of one KWiseHashBank's coefficient storage plus its
+/// derived power-basis split tables (KWiseHashBank::EnsureBlockTables).
+/// lo31/hi31 may be null — the SIMD kernels then take the scalar path.
+struct SketchBankView {
+  int k = 0;
+  std::size_t n = 0;
+  const std::uint64_t* coeffs = nullptr;  // coeffs[j·n + i] = c_j of hash i.
+  const std::uint64_t* lo31 = nullptr;    // c_j & (2³¹−1), same layout.
+  const std::uint64_t* hi31 = nullptr;    // c_j >> 31 (< 2³⁰), same layout.
+};
+
+/// counters[i] += delta·sign_i(keys[b]) for b = 0..count in key order — the
+/// block form of KWiseHashBank::AccumulateSigned. Each counter receives the
+/// identical IEEE addition sequence the per-key loop would issue.
+using AccumulateSignedBlockFn = void (*)(const SketchBankView& bank,
+                                         const std::uint64_t* keys,
+                                         std::size_t count, double delta,
+                                         double* counters);
+
+/// out[b·bank.n + i] = h_i(keys[b]), canonical in [0, p).
+using EvalBlockFn = void (*)(const SketchBankView& bank,
+                             const std::uint64_t* keys, std::size_t count,
+                             std::uint64_t* out);
+
+struct SketchKernelTable {
+  AccumulateSignedBlockFn accumulate_signed_block;
+  EvalBlockFn eval_block;
+  const char* name;
+};
+
+/// The table for the active tier (honors SetSketchSimdMode and CPUID).
+const SketchKernelTable& PickSketchKernels();
+
+void AccumulateSignedBlockScalar(const SketchBankView& bank,
+                                 const std::uint64_t* keys, std::size_t count,
+                                 double delta, double* counters);
+void EvalBlockScalar(const SketchBankView& bank, const std::uint64_t* keys,
+                     std::size_t count, std::uint64_t* out);
+
+#if defined(CYCLESTREAM_HAVE_AVX2)
+void AccumulateSignedBlockAvx2(const SketchBankView& bank,
+                               const std::uint64_t* keys, std::size_t count,
+                               double delta, double* counters);
+void EvalBlockAvx2(const SketchBankView& bank, const std::uint64_t* keys,
+                   std::size_t count, std::uint64_t* out);
+#endif
+
+#if defined(CYCLESTREAM_HAVE_AVX512)
+void AccumulateSignedBlockAvx512(const SketchBankView& bank,
+                                 const std::uint64_t* keys, std::size_t count,
+                                 double delta, double* counters);
+void EvalBlockAvx512(const SketchBankView& bank, const std::uint64_t* keys,
+                     std::size_t count, std::uint64_t* out);
+#endif
+
+}  // namespace internal
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_HASH_KWISE_KERNELS_H_

@@ -1,0 +1,306 @@
+// AVX2 power-basis block kernels (4×64-bit lanes). Compiled with -mavx2 and
+// dispatched behind __builtin_cpu_supports("avx2") — see kwise_kernels.h.
+//
+// Layout and bounds (shared with the AVX-512 TU, which widens the same
+// arithmetic): a canonical value v < p = 2^61 − 1 splits as
+// v = v0 + v1·2^31 with v0 < 2^31, v1 < 2^30. For a coefficient split
+// (a0, a1) and a power split (y0, y1) the product decomposes as
+//   a·y = a0·y0 + (a0·y1 + a1·y0)·2^31 + a1·y1·2^62,
+// and 2^62 ≡ 2 (mod p) folds the top limb into a1·(y1·2) directly. Per
+// 32×32 product: a0·y0 < 2^62, a0·y1 + a1·y0 < 2^62, a1·(2·y1) < 2^61.
+// Summing over the ≤ 3 polynomial terms *before* folding keeps every
+// partial sum < 3·2^62 < 2^64. The recombination
+//   t = fold(Σp00) + ((Σmid & m30) << 31) + (Σmid >> 30) + Σp11s + c0
+// is bounded by 2^62 + 2^61 + 2^34 + 3·2^61 + 2^61 < 2^64, two folds bring
+// it to s ≤ p, and a subtract-iff-equal finishes the canonicalization —
+// exactly the residue the scalar chain computes.
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "hash/kwise_kernels.h"
+#include "hash/mersenne.h"
+
+namespace cyclestream::internal {
+namespace {
+
+constexpr std::uint64_t kP = kMersennePrime61;
+constexpr std::uint64_t kMask31 = (1ULL << 31) - 1;
+constexpr std::size_t kLanes = 4;
+
+inline __m256i Load(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline __m256i Fold(__m256i t, __m256i m61) {
+  return _mm256_add_epi64(_mm256_and_si256(t, m61), _mm256_srli_epi64(t, 61));
+}
+
+// Per-key broadcast splits of the powers x^1..x^TERMS (all canonical).
+template <int TERMS>
+struct KeyPowers {
+  __m256i y0[TERMS], y1[TERMS], y1s[TERMS];
+};
+
+template <int TERMS>
+inline KeyPowers<TERMS> MakeKeyPowers(std::uint64_t x1) {
+  KeyPowers<TERMS> kp;
+  std::uint64_t xp = x1;
+  for (int t = 0; t < TERMS; ++t) {
+    if (t > 0) xp = MulMod61(xp, x1);
+    kp.y0[t] = _mm256_set1_epi64x(static_cast<long long>(xp & kMask31));
+    const std::uint64_t h = xp >> 31;
+    kp.y1[t] = _mm256_set1_epi64x(static_cast<long long>(h));
+    kp.y1s[t] = _mm256_set1_epi64x(static_cast<long long>(h << 1));
+  }
+  return kp;
+}
+
+// h_{i..i+3}(key) as canonical residues, hash-major (one key, four hashes).
+template <int TERMS>
+inline __m256i EvalGroup(const SketchBankView& bank,
+                         const KeyPowers<TERMS>& kp, std::size_t i,
+                         __m256i m61, __m256i m30) {
+  const std::size_t n = bank.n;
+  __m256i p00 = _mm256_setzero_si256();
+  __m256i mid = _mm256_setzero_si256();
+  __m256i p11s = _mm256_setzero_si256();
+  for (int t = 0; t < TERMS; ++t) {
+    const __m256i a0 = Load(bank.lo31 + (t + 1) * n + i);
+    const __m256i a1 = Load(bank.hi31 + (t + 1) * n + i);
+    p00 = _mm256_add_epi64(p00, _mm256_mul_epu32(a0, kp.y0[t]));
+    mid = _mm256_add_epi64(
+        mid, _mm256_add_epi64(_mm256_mul_epu32(a0, kp.y1[t]),
+                              _mm256_mul_epu32(a1, kp.y0[t])));
+    p11s = _mm256_add_epi64(p11s, _mm256_mul_epu32(a1, kp.y1s[t]));
+  }
+  __m256i t = Fold(p00, m61);
+  t = _mm256_add_epi64(t, _mm256_slli_epi64(_mm256_and_si256(mid, m30), 31));
+  t = _mm256_add_epi64(t, _mm256_srli_epi64(mid, 30));
+  t = _mm256_add_epi64(t, p11s);
+  t = _mm256_add_epi64(t, Load(bank.coeffs + i));
+  __m256i s = Fold(Fold(t, m61), m61);  // s <= p.
+  return _mm256_sub_epi64(s,
+                          _mm256_and_si256(_mm256_cmpeq_epi64(s, m61), m61));
+}
+
+// Scalar per-hash tail shared by the vector loops: the plain lazy Horner
+// chain, canonical on exit (same value as any other tier).
+inline std::uint64_t EvalOneHash(const SketchBankView& bank, std::size_t i,
+                                 std::uint64_t xm) {
+  const std::size_t n = bank.n;
+  std::uint64_t acc =
+      bank.coeffs[static_cast<std::size_t>(bank.k - 1) * n + i];
+  for (int j = bank.k - 2; j >= 0; --j) {
+    acc = HornerStepLazy61(acc, xm, bank.coeffs[j * n + i]);
+  }
+  return CanonicalizeMod61(acc);
+}
+
+template <int TERMS>
+void AccumulateSignedHashMajor(const SketchBankView& bank,
+                               const std::uint64_t* keys, std::size_t count,
+                               double delta, double* counters) {
+  std::uint64_t delta_bits;
+  std::memcpy(&delta_bits, &delta, sizeof(delta));
+  const __m256i m61 = _mm256_set1_epi64x(static_cast<long long>(kP));
+  const __m256i m30 = _mm256_set1_epi64x((1LL << 30) - 1);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i dsel = _mm256_set1_epi64x(static_cast<long long>(delta_bits));
+  const std::size_t n = bank.n;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::uint64_t x1 = ReduceMod61(keys[b]);
+    const KeyPowers<TERMS> kp = MakeKeyPowers<TERMS>(x1);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      const __m256i s = EvalGroup<TERMS>(bank, kp, i, m61, m30);
+      const __m256i oddv = _mm256_and_si256(s, one);
+      const __m256i flip =
+          _mm256_slli_epi64(_mm256_xor_si256(oddv, one), 63);
+      const __m256i dv = _mm256_xor_si256(dsel, flip);
+      _mm256_storeu_pd(counters + i,
+                       _mm256_add_pd(_mm256_loadu_pd(counters + i),
+                                     _mm256_castsi256_pd(dv)));
+    }
+    for (; i < n; ++i) {
+      const std::uint64_t odd = EvalOneHash(bank, i, x1) & 1ULL;
+      const std::uint64_t bits = delta_bits ^ ((odd ^ 1ULL) << 63);
+      double signed_delta;
+      std::memcpy(&signed_delta, &bits, sizeof(signed_delta));
+      counters[i] += signed_delta;
+    }
+  }
+}
+
+template <int TERMS>
+void EvalHashMajor(const SketchBankView& bank, const std::uint64_t* keys,
+                   std::size_t count, std::uint64_t* out) {
+  const __m256i m61 = _mm256_set1_epi64x(static_cast<long long>(kP));
+  const __m256i m30 = _mm256_set1_epi64x((1LL << 30) - 1);
+  const std::size_t n = bank.n;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::uint64_t x1 = ReduceMod61(keys[b]);
+    const KeyPowers<TERMS> kp = MakeKeyPowers<TERMS>(x1);
+    std::uint64_t* o = out + b * n;
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(o + i),
+                          EvalGroup<TERMS>(bank, kp, i, m61, m30));
+    }
+    for (; i < n; ++i) o[i] = EvalOneHash(bank, i, x1);
+  }
+}
+
+// --- Key-lanes (transposed) evaluation for small banks --------------------
+// When n < 2·kLanes (e.g. CountSketch row hashes, n = depth), hash-major
+// vectorization starves; instead vectorize across keys: the lanes hold
+// kLanes different keys, coefficients are broadcast per hash.
+
+// Canonical residues of four arbitrary 64-bit keys. After one fold
+// t ≤ p + 7, so the subtract needs >= (not just ==): t < 2^62 makes the
+// signed compare safe.
+inline __m256i VecReduce61(__m256i x, __m256i m61, __m256i pm1) {
+  const __m256i t = Fold(x, m61);
+  const __m256i ge = _mm256_cmpgt_epi64(t, pm1);
+  return _mm256_sub_epi64(t, _mm256_and_si256(ge, m61));
+}
+
+// a·b mod p for canonical lane values (result canonical). Same
+// decomposition and bounds as EvalGroup with a single term.
+inline __m256i VecMulMod61(__m256i a, __m256i b, __m256i m61, __m256i m31,
+                           __m256i m30) {
+  const __m256i a0 = _mm256_and_si256(a, m31);
+  const __m256i a1 = _mm256_srli_epi64(a, 31);
+  const __m256i b0 = _mm256_and_si256(b, m31);
+  const __m256i b1 = _mm256_srli_epi64(b, 31);
+  const __m256i p00 = _mm256_mul_epu32(a0, b0);
+  const __m256i mid = _mm256_add_epi64(_mm256_mul_epu32(a0, b1),
+                                       _mm256_mul_epu32(a1, b0));
+  const __m256i p11s = _mm256_mul_epu32(a1, _mm256_slli_epi64(b1, 1));
+  __m256i t = Fold(p00, m61);
+  t = _mm256_add_epi64(t, _mm256_slli_epi64(_mm256_and_si256(mid, m30), 31));
+  t = _mm256_add_epi64(t, _mm256_srli_epi64(mid, 30));
+  t = _mm256_add_epi64(t, p11s);
+  __m256i s = Fold(Fold(t, m61), m61);  // s <= p.
+  return _mm256_sub_epi64(s,
+                          _mm256_and_si256(_mm256_cmpeq_epi64(s, m61), m61));
+}
+
+template <int TERMS>
+void EvalKeyLanes(const SketchBankView& bank, const std::uint64_t* keys,
+                  std::size_t count, std::uint64_t* out) {
+  const __m256i m61 = _mm256_set1_epi64x(static_cast<long long>(kP));
+  const __m256i m31 = _mm256_set1_epi64x(static_cast<long long>(kMask31));
+  const __m256i m30 = _mm256_set1_epi64x((1LL << 30) - 1);
+  const __m256i pm1 = _mm256_set1_epi64x(static_cast<long long>(kP - 1));
+  const std::size_t n = bank.n;
+  std::uint64_t local[2 * kLanes * kLanes];  // n < 2·kLanes rows of kLanes.
+  std::size_t b = 0;
+  for (; b + kLanes <= count; b += kLanes) {
+    // Lane-wise powers of the four keys.
+    __m256i y0[TERMS], y1[TERMS], y1s[TERMS];
+    __m256i xp = VecReduce61(Load(keys + b), m61, pm1);
+    const __m256i x1 = xp;
+    for (int t = 0; t < TERMS; ++t) {
+      if (t > 0) xp = VecMulMod61(xp, x1, m61, m31, m30);
+      y0[t] = _mm256_and_si256(xp, m31);
+      y1[t] = _mm256_srli_epi64(xp, 31);
+      y1s[t] = _mm256_slli_epi64(y1[t], 1);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      __m256i p00 = _mm256_setzero_si256();
+      __m256i mid = _mm256_setzero_si256();
+      __m256i p11s = _mm256_setzero_si256();
+      for (int t = 0; t < TERMS; ++t) {
+        const __m256i a0 = _mm256_set1_epi64x(
+            static_cast<long long>(bank.lo31[(t + 1) * n + i]));
+        const __m256i a1 = _mm256_set1_epi64x(
+            static_cast<long long>(bank.hi31[(t + 1) * n + i]));
+        p00 = _mm256_add_epi64(p00, _mm256_mul_epu32(a0, y0[t]));
+        mid = _mm256_add_epi64(
+            mid, _mm256_add_epi64(_mm256_mul_epu32(a0, y1[t]),
+                                  _mm256_mul_epu32(a1, y0[t])));
+        p11s = _mm256_add_epi64(p11s, _mm256_mul_epu32(a1, y1s[t]));
+      }
+      __m256i t = Fold(p00, m61);
+      t = _mm256_add_epi64(t,
+                           _mm256_slli_epi64(_mm256_and_si256(mid, m30), 31));
+      t = _mm256_add_epi64(t, _mm256_srli_epi64(mid, 30));
+      t = _mm256_add_epi64(t, p11s);
+      t = _mm256_add_epi64(
+          t, _mm256_set1_epi64x(static_cast<long long>(bank.coeffs[i])));
+      __m256i s = Fold(Fold(t, m61), m61);
+      s = _mm256_sub_epi64(s,
+                           _mm256_and_si256(_mm256_cmpeq_epi64(s, m61), m61));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(local + i * kLanes), s);
+    }
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      std::uint64_t* o = out + (b + l) * n;
+      for (std::size_t i = 0; i < n; ++i) o[i] = local[i * kLanes + l];
+    }
+  }
+  for (; b < count; ++b) {
+    const std::uint64_t xm = ReduceMod61(keys[b]);
+    std::uint64_t* o = out + b * n;
+    for (std::size_t i = 0; i < n; ++i) o[i] = EvalOneHash(bank, i, xm);
+  }
+}
+
+}  // namespace
+
+void AccumulateSignedBlockAvx2(const SketchBankView& bank,
+                               const std::uint64_t* keys, std::size_t count,
+                               double delta, double* counters) {
+  const int terms = bank.k - 1;
+  if (bank.lo31 == nullptr || terms < 1 || terms > 3 || bank.n < kLanes) {
+    AccumulateSignedBlockScalar(bank, keys, count, delta, counters);
+    return;
+  }
+  switch (terms) {
+    case 1:
+      AccumulateSignedHashMajor<1>(bank, keys, count, delta, counters);
+      return;
+    case 2:
+      AccumulateSignedHashMajor<2>(bank, keys, count, delta, counters);
+      return;
+    default:
+      AccumulateSignedHashMajor<3>(bank, keys, count, delta, counters);
+      return;
+  }
+}
+
+void EvalBlockAvx2(const SketchBankView& bank, const std::uint64_t* keys,
+                   std::size_t count, std::uint64_t* out) {
+  const int terms = bank.k - 1;
+  if (bank.lo31 == nullptr || terms < 1 || terms > 3) {
+    EvalBlockScalar(bank, keys, count, out);
+    return;
+  }
+  if (bank.n < 2 * kLanes) {
+    switch (terms) {
+      case 1:
+        EvalKeyLanes<1>(bank, keys, count, out);
+        return;
+      case 2:
+        EvalKeyLanes<2>(bank, keys, count, out);
+        return;
+      default:
+        EvalKeyLanes<3>(bank, keys, count, out);
+        return;
+    }
+  }
+  switch (terms) {
+    case 1:
+      EvalHashMajor<1>(bank, keys, count, out);
+      return;
+    case 2:
+      EvalHashMajor<2>(bank, keys, count, out);
+      return;
+    default:
+      EvalHashMajor<3>(bank, keys, count, out);
+      return;
+  }
+}
+
+}  // namespace cyclestream::internal

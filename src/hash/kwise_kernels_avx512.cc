@@ -1,0 +1,299 @@
+// AVX-512F power-basis block kernels (8×64-bit lanes, hash-major loop
+// 2x-unrolled). Same arithmetic and bounds as kwise_kernels_avx2.cc — this
+// TU only widens the vectors, uses mask registers for the conditional
+// subtract / sign select, and unrolls the hash-major sweep so the two
+// independent 16-hash half-groups fill the multiply ports. Compiled with
+// -mavx512f only (no DQ/BW intrinsics) and dispatched behind
+// __builtin_cpu_supports("avx512f").
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "hash/kwise_kernels.h"
+#include "hash/mersenne.h"
+
+// gcc 12's masked-multiply intrinsics expand with an _mm512_undefined_epi32()
+// pass-through operand, and the uninitialized-ness gets misattributed to the
+// real multiplicands once the power-basis loops inline (gcc bug 105593).
+// Pure false positive — scoped to this kernel TU.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace cyclestream::internal {
+namespace {
+
+constexpr std::uint64_t kP = kMersennePrime61;
+constexpr std::uint64_t kMask31 = (1ULL << 31) - 1;
+constexpr std::size_t kLanes = 8;
+
+inline __m512i Load(const std::uint64_t* p) { return _mm512_loadu_si512(p); }
+
+inline __m512i Fold(__m512i t, __m512i m61) {
+  return _mm512_add_epi64(_mm512_and_si512(t, m61), _mm512_srli_epi64(t, 61));
+}
+
+template <int TERMS>
+struct KeyPowers {
+  __m512i y0[TERMS], y1[TERMS], y1s[TERMS];
+};
+
+template <int TERMS>
+inline KeyPowers<TERMS> MakeKeyPowers(std::uint64_t x1) {
+  KeyPowers<TERMS> kp;
+  std::uint64_t xp = x1;
+  for (int t = 0; t < TERMS; ++t) {
+    if (t > 0) xp = MulMod61(xp, x1);
+    kp.y0[t] = _mm512_set1_epi64(static_cast<long long>(xp & kMask31));
+    const std::uint64_t h = xp >> 31;
+    kp.y1[t] = _mm512_set1_epi64(static_cast<long long>(h));
+    kp.y1s[t] = _mm512_set1_epi64(static_cast<long long>(h << 1));
+  }
+  return kp;
+}
+
+template <int TERMS>
+inline __m512i EvalGroup(const SketchBankView& bank,
+                         const KeyPowers<TERMS>& kp, std::size_t i,
+                         __m512i m61, __m512i m30) {
+  const std::size_t n = bank.n;
+  __m512i p00 = _mm512_setzero_si512();
+  __m512i mid = _mm512_setzero_si512();
+  __m512i p11s = _mm512_setzero_si512();
+  for (int t = 0; t < TERMS; ++t) {
+    const __m512i a0 = Load(bank.lo31 + (t + 1) * n + i);
+    const __m512i a1 = Load(bank.hi31 + (t + 1) * n + i);
+    p00 = _mm512_add_epi64(p00, _mm512_mul_epu32(a0, kp.y0[t]));
+    mid = _mm512_add_epi64(
+        mid, _mm512_add_epi64(_mm512_mul_epu32(a0, kp.y1[t]),
+                              _mm512_mul_epu32(a1, kp.y0[t])));
+    p11s = _mm512_add_epi64(p11s, _mm512_mul_epu32(a1, kp.y1s[t]));
+  }
+  __m512i t = Fold(p00, m61);
+  t = _mm512_add_epi64(t, _mm512_slli_epi64(_mm512_and_si512(mid, m30), 31));
+  t = _mm512_add_epi64(t, _mm512_srli_epi64(mid, 30));
+  t = _mm512_add_epi64(t, p11s);
+  t = _mm512_add_epi64(t, Load(bank.coeffs + i));
+  __m512i s = Fold(Fold(t, m61), m61);  // s <= p.
+  const __mmask8 eq = _mm512_cmpeq_epi64_mask(s, m61);
+  return _mm512_mask_sub_epi64(s, eq, s, m61);
+}
+
+inline std::uint64_t EvalOneHash(const SketchBankView& bank, std::size_t i,
+                                 std::uint64_t xm) {
+  const std::size_t n = bank.n;
+  std::uint64_t acc =
+      bank.coeffs[static_cast<std::size_t>(bank.k - 1) * n + i];
+  for (int j = bank.k - 2; j >= 0; --j) {
+    acc = HornerStepLazy61(acc, xm, bank.coeffs[j * n + i]);
+  }
+  return CanonicalizeMod61(acc);
+}
+
+// counters[i..i+7] ±= delta from the low bit of s (odd → +delta).
+inline void ApplySign(__m512i s, __m512i one, __m512i sbit, __m512i dsel,
+                      double* counters) {
+  const __mmask8 evenk = _mm512_testn_epi64_mask(s, one);
+  const __m512i dv = _mm512_mask_xor_epi64(dsel, evenk, dsel, sbit);
+  _mm512_storeu_pd(
+      counters, _mm512_add_pd(_mm512_loadu_pd(counters),
+                              _mm512_castsi512_pd(dv)));
+}
+
+template <int TERMS>
+void AccumulateSignedHashMajor(const SketchBankView& bank,
+                               const std::uint64_t* keys, std::size_t count,
+                               double delta, double* counters) {
+  std::uint64_t delta_bits;
+  std::memcpy(&delta_bits, &delta, sizeof(delta));
+  const __m512i m61 = _mm512_set1_epi64(static_cast<long long>(kP));
+  const __m512i m30 = _mm512_set1_epi64((1LL << 30) - 1);
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i sbit = _mm512_set1_epi64(static_cast<long long>(1ULL << 63));
+  const __m512i dsel = _mm512_set1_epi64(static_cast<long long>(delta_bits));
+  const std::size_t n = bank.n;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::uint64_t x1 = ReduceMod61(keys[b]);
+    const KeyPowers<TERMS> kp = MakeKeyPowers<TERMS>(x1);
+    std::size_t i = 0;
+    for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+      const __m512i s0 = EvalGroup<TERMS>(bank, kp, i, m61, m30);
+      const __m512i s1 = EvalGroup<TERMS>(bank, kp, i + kLanes, m61, m30);
+      ApplySign(s0, one, sbit, dsel, counters + i);
+      ApplySign(s1, one, sbit, dsel, counters + i + kLanes);
+    }
+    for (; i + kLanes <= n; i += kLanes) {
+      ApplySign(EvalGroup<TERMS>(bank, kp, i, m61, m30), one, sbit, dsel,
+                counters + i);
+    }
+    for (; i < n; ++i) {
+      const std::uint64_t odd = EvalOneHash(bank, i, x1) & 1ULL;
+      const std::uint64_t bits = delta_bits ^ ((odd ^ 1ULL) << 63);
+      double signed_delta;
+      std::memcpy(&signed_delta, &bits, sizeof(signed_delta));
+      counters[i] += signed_delta;
+    }
+  }
+}
+
+template <int TERMS>
+void EvalHashMajor(const SketchBankView& bank, const std::uint64_t* keys,
+                   std::size_t count, std::uint64_t* out) {
+  const __m512i m61 = _mm512_set1_epi64(static_cast<long long>(kP));
+  const __m512i m30 = _mm512_set1_epi64((1LL << 30) - 1);
+  const std::size_t n = bank.n;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::uint64_t x1 = ReduceMod61(keys[b]);
+    const KeyPowers<TERMS> kp = MakeKeyPowers<TERMS>(x1);
+    std::uint64_t* o = out + b * n;
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      _mm512_storeu_si512(o + i, EvalGroup<TERMS>(bank, kp, i, m61, m30));
+    }
+    for (; i < n; ++i) o[i] = EvalOneHash(bank, i, x1);
+  }
+}
+
+// --- Key-lanes (transposed) evaluation for small banks --------------------
+
+inline __m512i VecReduce61(__m512i x, __m512i m61) {
+  const __m512i t = Fold(x, m61);  // <= p + 7.
+  const __mmask8 ge = _mm512_cmple_epi64_mask(m61, t);  // p <= t (signed ok).
+  return _mm512_mask_sub_epi64(t, ge, t, m61);
+}
+
+inline __m512i VecMulMod61(__m512i a, __m512i b, __m512i m61, __m512i m31,
+                           __m512i m30) {
+  const __m512i a0 = _mm512_and_si512(a, m31);
+  const __m512i a1 = _mm512_srli_epi64(a, 31);
+  const __m512i b0 = _mm512_and_si512(b, m31);
+  const __m512i b1 = _mm512_srli_epi64(b, 31);
+  const __m512i p00 = _mm512_mul_epu32(a0, b0);
+  const __m512i mid = _mm512_add_epi64(_mm512_mul_epu32(a0, b1),
+                                       _mm512_mul_epu32(a1, b0));
+  const __m512i p11s = _mm512_mul_epu32(a1, _mm512_slli_epi64(b1, 1));
+  __m512i t = Fold(p00, m61);
+  t = _mm512_add_epi64(t, _mm512_slli_epi64(_mm512_and_si512(mid, m30), 31));
+  t = _mm512_add_epi64(t, _mm512_srli_epi64(mid, 30));
+  t = _mm512_add_epi64(t, p11s);
+  __m512i s = Fold(Fold(t, m61), m61);  // s <= p.
+  const __mmask8 eq = _mm512_cmpeq_epi64_mask(s, m61);
+  return _mm512_mask_sub_epi64(s, eq, s, m61);
+}
+
+template <int TERMS>
+void EvalKeyLanes(const SketchBankView& bank, const std::uint64_t* keys,
+                  std::size_t count, std::uint64_t* out) {
+  const __m512i m61 = _mm512_set1_epi64(static_cast<long long>(kP));
+  const __m512i m31 = _mm512_set1_epi64(static_cast<long long>(kMask31));
+  const __m512i m30 = _mm512_set1_epi64((1LL << 30) - 1);
+  const std::size_t n = bank.n;
+  std::uint64_t local[2 * kLanes * kLanes];  // n < 2·kLanes rows of kLanes.
+  std::size_t b = 0;
+  for (; b + kLanes <= count; b += kLanes) {
+    __m512i y0[TERMS], y1[TERMS], y1s[TERMS];
+    __m512i xp = VecReduce61(Load(keys + b), m61);
+    const __m512i x1 = xp;
+    for (int t = 0; t < TERMS; ++t) {
+      if (t > 0) xp = VecMulMod61(xp, x1, m61, m31, m30);
+      y0[t] = _mm512_and_si512(xp, m31);
+      y1[t] = _mm512_srli_epi64(xp, 31);
+      y1s[t] = _mm512_slli_epi64(y1[t], 1);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      __m512i p00 = _mm512_setzero_si512();
+      __m512i mid = _mm512_setzero_si512();
+      __m512i p11s = _mm512_setzero_si512();
+      for (int t = 0; t < TERMS; ++t) {
+        const __m512i a0 = _mm512_set1_epi64(
+            static_cast<long long>(bank.lo31[(t + 1) * n + i]));
+        const __m512i a1 = _mm512_set1_epi64(
+            static_cast<long long>(bank.hi31[(t + 1) * n + i]));
+        p00 = _mm512_add_epi64(p00, _mm512_mul_epu32(a0, y0[t]));
+        mid = _mm512_add_epi64(
+            mid, _mm512_add_epi64(_mm512_mul_epu32(a0, y1[t]),
+                                  _mm512_mul_epu32(a1, y0[t])));
+        p11s = _mm512_add_epi64(p11s, _mm512_mul_epu32(a1, y1s[t]));
+      }
+      __m512i t = Fold(p00, m61);
+      t = _mm512_add_epi64(t,
+                           _mm512_slli_epi64(_mm512_and_si512(mid, m30), 31));
+      t = _mm512_add_epi64(t, _mm512_srli_epi64(mid, 30));
+      t = _mm512_add_epi64(t, p11s);
+      t = _mm512_add_epi64(
+          t, _mm512_set1_epi64(static_cast<long long>(bank.coeffs[i])));
+      __m512i s = Fold(Fold(t, m61), m61);
+      const __mmask8 eq = _mm512_cmpeq_epi64_mask(s, m61);
+      s = _mm512_mask_sub_epi64(s, eq, s, m61);
+      _mm512_storeu_si512(local + i * kLanes, s);
+    }
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      std::uint64_t* o = out + (b + l) * n;
+      for (std::size_t i = 0; i < n; ++i) o[i] = local[i * kLanes + l];
+    }
+  }
+  for (; b < count; ++b) {
+    const std::uint64_t xm = ReduceMod61(keys[b]);
+    std::uint64_t* o = out + b * n;
+    for (std::size_t i = 0; i < n; ++i) o[i] = EvalOneHash(bank, i, xm);
+  }
+}
+
+}  // namespace
+
+void AccumulateSignedBlockAvx512(const SketchBankView& bank,
+                                 const std::uint64_t* keys, std::size_t count,
+                                 double delta, double* counters) {
+  const int terms = bank.k - 1;
+  if (bank.lo31 == nullptr || terms < 1 || terms > 3 || bank.n < kLanes) {
+    AccumulateSignedBlockScalar(bank, keys, count, delta, counters);
+    return;
+  }
+  switch (terms) {
+    case 1:
+      AccumulateSignedHashMajor<1>(bank, keys, count, delta, counters);
+      return;
+    case 2:
+      AccumulateSignedHashMajor<2>(bank, keys, count, delta, counters);
+      return;
+    default:
+      AccumulateSignedHashMajor<3>(bank, keys, count, delta, counters);
+      return;
+  }
+}
+
+void EvalBlockAvx512(const SketchBankView& bank, const std::uint64_t* keys,
+                     std::size_t count, std::uint64_t* out) {
+  const int terms = bank.k - 1;
+  if (bank.lo31 == nullptr || terms < 1 || terms > 3) {
+    EvalBlockScalar(bank, keys, count, out);
+    return;
+  }
+  if (bank.n < 2 * kLanes) {
+    switch (terms) {
+      case 1:
+        EvalKeyLanes<1>(bank, keys, count, out);
+        return;
+      case 2:
+        EvalKeyLanes<2>(bank, keys, count, out);
+        return;
+      default:
+        EvalKeyLanes<3>(bank, keys, count, out);
+        return;
+    }
+  }
+  switch (terms) {
+    case 1:
+      EvalHashMajor<1>(bank, keys, count, out);
+      return;
+    case 2:
+      EvalHashMajor<2>(bank, keys, count, out);
+      return;
+    default:
+      EvalHashMajor<3>(bank, keys, count, out);
+      return;
+  }
+}
+
+}  // namespace cyclestream::internal

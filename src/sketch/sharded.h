@@ -1,0 +1,111 @@
+#ifndef CYCLESTREAM_SKETCH_SHARDED_H_
+#define CYCLESTREAM_SKETCH_SHARDED_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+#include "util/parallel.h"
+
+namespace cyclestream {
+
+class StateWriter;
+class StateReader;
+
+/// Contiguous slice [begin, end) of a `count`-key block owned by shard `s`
+/// of `shards`. Slices partition the block and preserve key order within
+/// each shard.
+struct ShardSlice {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+inline ShardSlice MakeShardSlice(std::size_t count, std::size_t shards,
+                                 std::size_t s) {
+  return ShardSlice{s * count / shards, (s + 1) * count / shards};
+}
+
+/// Splits one logical sketch into per-thread shards that absorb disjoint
+/// slices of each update block in parallel and merge by addition.
+///
+/// Determinism contract (DESIGN.md §13): the wrapped sketch must be
+/// *linear* — its state is a vector of double counters, each update adds
+/// ±delta (or delta·scale fixed per key) into some counters, and
+/// Sketch::MergeFrom adds states element-wise. When every delta is
+/// integer-valued (all current engine queries use ±1 edge deltas) the
+/// counter sums are integers below 2⁵³, IEEE addition on them is exact and
+/// therefore associative, and the merged state is bit-identical to a
+/// single-threaded run regardless of shard count or SIMD tier. The merge
+/// itself always walks shards in fixed index order 0..W−1 anyway, so even
+/// non-integer deltas give runs that are reproducible for a fixed shard
+/// count.
+///
+/// All shards are built from the same factory, hence share seeds: shard s
+/// is the same estimator fed a sub-stream, and addition recombines the
+/// sub-streams. Serialization is canonical merge-then-save: SaveState
+/// writes the *merged* state only, so a checkpoint taken at any shard count
+/// restores into any other shard count (the restored state lands in shard 0
+/// and the rest reset to factory-fresh zero states).
+template <typename Sketch>
+class ShardedSketch {
+ public:
+  ShardedSketch(std::function<Sketch()> factory, int shards)
+      : factory_(std::move(factory)) {
+    CHECK_GE(shards, 1);
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) shards_.push_back(factory_());
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// x[keys[b]] += delta across the shards: shard s takes slice s of the
+  /// block. With one shard this is a plain UpdateBlock (no pool dispatch).
+  void UpdateBlock(std::span<const std::uint64_t> keys, double delta) {
+    if (keys.empty()) return;
+    const std::size_t W = shards_.size();
+    if (W == 1) {
+      shards_[0].UpdateBlock(keys, delta);
+      return;
+    }
+    ParallelFor(W, [&](std::size_t s) {
+      const ShardSlice slice = MakeShardSlice(keys.size(), W, s);
+      if (slice.begin < slice.end) {
+        shards_[s].UpdateBlock(keys.subspan(slice.begin, slice.end - slice.begin),
+                               delta);
+      }
+    });
+  }
+
+  /// The merged logical sketch: shard 0's state plus every other shard's,
+  /// added in fixed index order. Cold path — copies shard 0.
+  Sketch Merged() const {
+    Sketch merged = shards_[0];
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      merged.MergeFrom(shards_[s]);
+    }
+    return merged;
+  }
+
+  /// Canonical serialization: merge-then-save (see class comment).
+  void SaveState(StateWriter& w) const { Merged().SaveState(w); }
+
+  /// Restores a canonical (merged) snapshot: shard 0 adopts it, the other
+  /// shards reset to factory-fresh (zero) states.
+  bool RestoreState(StateReader& r) {
+    Sketch restored = factory_();
+    if (!restored.RestoreState(r)) return false;
+    shards_[0] = std::move(restored);
+    for (std::size_t s = 1; s < shards_.size(); ++s) shards_[s] = factory_();
+    return true;
+  }
+
+ private:
+  std::function<Sketch()> factory_;
+  std::vector<Sketch> shards_;
+};
+
+}  // namespace cyclestream
+
+#endif  // CYCLESTREAM_SKETCH_SHARDED_H_

@@ -103,6 +103,10 @@ struct EdgeKind {
   static void Process(Alg& alg, int pass, const Stream& s, std::size_t i) {
     alg.ProcessEdge(pass, s[i], i);
   }
+  static void ProcessBlock(Alg& alg, int pass, const Stream& s, std::size_t i,
+                           std::size_t n) {
+    alg.ProcessEdgeBlock(pass, std::span<const Edge>(s.data() + i, n), i);
+  }
   static void AddProcessed(std::uint64_t n) {
     Stats().edges_processed.fetch_add(n, kRelaxed);
   }
@@ -117,6 +121,11 @@ struct AdjacencyKind {
   }
   static void Process(Alg& alg, int pass, const Stream& s, std::size_t i) {
     alg.ProcessList(pass, s[i], i);
+  }
+  static void ProcessBlock(Alg& alg, int pass, const Stream& s, std::size_t i,
+                           std::size_t n) {
+    // Adjacency algorithms have no batched entry point; deliver per list.
+    for (std::size_t j = 0; j < n; ++j) alg.ProcessList(pass, s[i + j], i + j);
   }
   static void AddProcessed(std::uint64_t n) {
     Stats().lists_processed.fetch_add(n, kRelaxed);
@@ -320,8 +329,13 @@ void RunPlain(typename Kind::Alg& alg, const typename Kind::Stream& stream) {
   for (int pass = 0; pass < num_passes; ++pass) {
     const auto start = std::chrono::steady_clock::now();
     alg.StartPass(pass, stream.size());
-    for (std::size_t i = 0; i < stream.size(); ++i) {
-      Kind::Process(alg, pass, stream, i);
+    // Block delivery (same width as the engine broker): algorithms that
+    // override ProcessEdgeBlock get batches; the default forwards per
+    // element, keeping this loop equivalent to the historical one.
+    constexpr std::size_t kBlock = 4096;
+    for (std::size_t i = 0; i < stream.size(); i += kBlock) {
+      const std::size_t n = std::min(kBlock, stream.size() - i);
+      Kind::ProcessBlock(alg, pass, stream, i, n);
     }
     alg.EndPass(pass);
     AddPassTime(pass, start);

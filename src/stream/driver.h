@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -32,6 +33,21 @@ class EdgeStreamAlgorithm {
   virtual void StartPass(int pass, std::size_t stream_length) = 0;
   virtual void ProcessEdge(int pass, const Edge& e, std::size_t position) = 0;
   virtual void EndPass(int pass) = 0;
+
+  /// Batched delivery: edges[i] is the stream element at position
+  /// base_position + i. The default forwards to ProcessEdge one element at
+  /// a time, so overriding is purely an optimization hook — any override
+  /// must leave the algorithm in exactly the state the per-edge loop would
+  /// (the block/scalar bit-identity contract; see DESIGN.md §13). The
+  /// driver's tight loop and the engine broker deliver through this entry
+  /// point; the checkpointing driver path stays strictly per-edge so
+  /// snapshot positions remain element-granular.
+  virtual void ProcessEdgeBlock(int pass, std::span<const Edge> edges,
+                                std::size_t base_position) {
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      ProcessEdge(pass, edges[i], base_position + i);
+    }
+  }
 
   /// Space-audit hook: recomputes the algorithm's current footprint in
   /// words by walking its *actual stored state* (containers, not

@@ -157,7 +157,8 @@ void RunManifest::WriteImpl(std::ostream& os, bool deterministic_only) const {
         (name == "threads" || name == "checkpoint_dir" ||
          name == "checkpoint_every" || name == "resume" ||
          name == "kill_after" || name == "json_out" ||
-         name == "json_det_out")) {
+         name == "json_det_out" || name == "sketch_backend" ||
+         name == "intra_threads")) {
       continue;
     }
     w.Key(name);

@@ -23,6 +23,7 @@
 // matrix (round-robin over --algorithms, seeds S, S+1, ...), serve reads
 // explicit QuerySpecs from a file of `key=value` lines.
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <functional>
@@ -81,13 +82,18 @@ int Usage() {
       "           [--order shuffled|file] [--epsilon E] [--t-guess T]\n"
       "           [--seed S] [--budget-words W] [--per-query-budget W]\n"
       "           [--aggregate-budget W] [--block-edges B] [--no-exact]\n"
+      "           [--sketch_backend scalar|block] [--intra_threads N]\n"
+      "           block backend batches sketch updates through the SIMD\n"
+      "           kernels; N>1 splits each block across per-thread shards\n"
+      "           (bit-identical estimates either way)\n"
       "           one shared stream read serves all N queries per pass;\n"
       "           kinds: random-order triest cormode-jowhari arb-f2\n"
       "                  arb-three-pass bera-chakrabarti (edge family)\n"
       "                  adj-diamond adj-f2 adj-l2 (adjacency family)\n"
       "  serve    --graph FILE --spec FILE   QuerySpecs from key=value lines\n"
       "           (name= kind= [seed=] [budget=] [epsilon=] [c=] [t_guess=]\n"
-      "            [level_rate=] [prefix_rate=] [reservoir=])\n"
+      "            [level_rate=] [prefix_rate=] [reservoir=]\n"
+      "            [sketch_backend=] [intra_shards=])\n"
       "  common:  --threads N   worker threads (0 = all cores, 1 = serial)\n"
       "           --json_out FILE   write a structured run manifest\n"
       "           --json_det_out FILE   write the deterministic manifest\n"
@@ -95,6 +101,22 @@ int Usage() {
       "           [--kill_after N]   snapshot/resume (see DESIGN.md §10)\n"
       "           .bin graphs (tools/edge2bin) mmap in zero-copy\n";
   return 2;
+}
+
+// Reads the shared sketch-update knobs into `spec`. Returns false (after
+// printing an error) on a bad --sketch_backend value.
+bool ApplySketchBackendFlags(FlagParser& flags, engine::QuerySpec* spec) {
+  const std::string backend = flags.GetString("sketch_backend", "scalar");
+  const auto parsed = ParseSketchBackend(backend);
+  if (!parsed.has_value()) {
+    std::cerr << "error: --sketch_backend must be scalar or block, got '"
+              << backend << "'\n";
+    return false;
+  }
+  spec->sketch_backend = *parsed;
+  spec->intra_shards =
+      std::max(1, static_cast<int>(flags.GetInt("intra_threads", 1)));
+  return true;
 }
 
 bool IsBinaryGraphPath(const std::string& path) {
@@ -625,6 +647,7 @@ int RunSweep(FlagParser& flags, RunManifest& manifest) {
   base.prefix_rate = flags.GetDouble("prefix-rate", -1.0);
   base.space_budget_words =
       static_cast<std::size_t>(flags.GetInt("budget-words", 0));
+  if (!ApplySketchBackendFlags(flags, &base)) return Usage();
   const std::uint64_t seed = flags.GetInt("seed", 1);
 
   std::vector<engine::QuerySpec> specs;
@@ -695,6 +718,15 @@ bool ParseSpecFile(const std::string& path, const engine::QuerySpec& defaults,
           spec.prefix_rate = std::stod(value);
         } else if (key == "reservoir") {
           spec.reservoir_capacity = std::stoull(value);
+        } else if (key == "sketch_backend") {
+          const auto backend = ParseSketchBackend(value);
+          if (!backend.has_value()) {
+            bad = true;
+            break;
+          }
+          spec.sketch_backend = *backend;
+        } else if (key == "intra_shards") {
+          spec.intra_shards = std::max(1, std::stoi(value));
         } else {
           bad = true;
           break;
@@ -726,6 +758,7 @@ int RunServe(FlagParser& flags, RunManifest& manifest) {
   defaults.base.c = flags.GetDouble("c", 2.0);
   defaults.base.t_guess = flags.GetDouble("t-guess", 0.0);
   defaults.base.seed = flags.GetInt("seed", 1);
+  if (!ApplySketchBackendFlags(flags, &defaults)) return Usage();
   std::vector<engine::QuerySpec> specs;
   if (!ParseSpecFile(spec_path, defaults, &specs)) return 1;
   return RunEngineBatch(flags, manifest, std::move(specs));
