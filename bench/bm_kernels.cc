@@ -7,14 +7,20 @@
 // diffs their JSON output against the committed BENCH_baseline.json.
 
 #include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
 #include "engine/broker.h"
+#include "engine/coordinator.h"
 #include "engine/query.h"
+#include "engine/shard.h"
 #include "gen/generators.h"
 #include "graph/exact.h"
 #include "graph/flat_map.h"
@@ -29,7 +35,9 @@
 #include "sketch/count_sketch.h"
 #include "sketch/sketch_backend.h"
 #include "stream/order.h"
+#include "util/logging.h"
 #include "util/parallel.h"
+#include "util/serialize.h"
 
 namespace cyclestream {
 namespace {
@@ -222,6 +230,105 @@ BENCHMARK(BM_BrokerIntraQueryScaling)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+// --- Sharded coordinator (src/engine/shard, coordinator) ------------------
+
+std::vector<engine::QuerySpec> ShardBenchSpecs(std::size_t count,
+                                               std::uint32_t num_vertices) {
+  std::vector<engine::QuerySpec> specs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    engine::QuerySpec& spec = specs[i];
+    spec.name = "arb-f2-" + std::to_string(i);
+    spec.kind = engine::QueryKind::kArbF2;
+    spec.base.epsilon = 0.4;
+    spec.base.t_guess = 1000.0;
+    spec.base.seed = 500 + i;
+    spec.num_vertices = num_vertices;
+    spec.sketch_backend = SketchBackend::kBlock;
+  }
+  return specs;
+}
+
+// Serialize/merge cost alone: W pre-built shard states folded into one
+// query via RestoreState + MergeFrom, exactly the coordinator's fold loop.
+// Arg = number of shard states.
+void BM_ShardMerge(benchmark::State& state) {
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  Rng gen(43);
+  const EdgeList graph = ErdosRenyiGnm(3000, 60000, gen);
+  Rng order(44);
+  const EdgeStream stream = MakeRandomOrderStream(graph, order);
+  const std::vector<engine::QuerySpec> specs =
+      ShardBenchSpecs(1, graph.num_vertices());
+  const std::vector<engine::ShardRange> ranges =
+      engine::PartitionStream(stream.size(), workers);
+
+  // Pre-serialize one state blob per shard, outside the timed loop.
+  std::vector<std::string> blobs(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    engine::EdgeQuery query = engine::MakeEdgeQuery(specs[0]);
+    query.algorithm->StartPass(0, stream.size());
+    for (std::uint64_t i = ranges[w].begin; i < ranges[w].end; ++i) {
+      const auto pos = static_cast<std::size_t>(i);
+      query.algorithm->ProcessEdge(0, stream[pos], pos);
+    }
+    StateWriter writer;
+    query.algorithm->SaveState(writer);
+    blobs[w] = writer.Take();
+  }
+
+  for (auto _ : state) {
+    engine::EdgeQuery merged = engine::MakeEdgeQuery(specs[0]);
+    {
+      StateReader reader(blobs[0]);
+      CHECK(merged.algorithm->RestoreState(reader));
+    }
+    for (std::size_t w = 1; w < workers; ++w) {
+      engine::EdgeQuery scratch = engine::MakeEdgeQuery(specs[0]);
+      StateReader reader(blobs[w]);
+      CHECK(scratch.algorithm->RestoreState(reader));
+      merged.algorithm->MergeFrom(*scratch.algorithm);
+    }
+    benchmark::DoNotOptimize(merged.result());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(workers));
+}
+BENCHMARK(BM_ShardMerge)->Arg(2)->Arg(4)->Arg(8);
+
+// End-to-end sharded ingest: W in-process workers over the same stream and
+// query set, coordinator-merged. In-process launch runs the workers
+// serially (it is the deterministic oracle mode — subprocess launch is the
+// parallel one), so Arg>1 measures the coordinator's overhead per added
+// shard (partition + per-shard state serialize/restore/merge) against the
+// Arg(1) baseline, not wall-clock speedup.
+void BM_ShardedIngestScaling(benchmark::State& state) {
+  SetDefaultThreads(0);
+  const int workers = static_cast<int>(state.range(0));
+  Rng gen(45);
+  const EdgeList graph = ErdosRenyiGnm(3000, 60000, gen);
+  Rng order(46);
+  const EdgeStream stream = MakeRandomOrderStream(graph, order);
+  const std::vector<engine::QuerySpec> specs =
+      ShardBenchSpecs(4, graph.num_vertices());
+
+  const std::string dir = "/tmp/cyclestream_bm_shard";
+  std::filesystem::create_directories(dir);
+  engine::ShardPlanOptions options;
+  options.num_workers = workers;
+  options.shard_dir = dir;
+  options.launch = engine::ShardLaunch::kInProcess;
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine::RunShardedBatch(specs, std::span<const Edge>(stream), options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()) *
+                          static_cast<std::int64_t>(specs.size()));
+  SetDefaultThreads(0);
+}
+BENCHMARK(BM_ShardedIngestScaling)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 // --- Flat wedge map vs std::unordered_map --------------------------------
 

@@ -263,6 +263,38 @@ bool ArbF2FourCycleCounter::RestoreState(StateReader& r) {
   return true;
 }
 
+bool ArbF2FourCycleCounter::MergeFrom(const EdgeStreamAlgorithm& other) {
+  // Identify by CheckpointId (stable tag, no RTTI dependence), then verify
+  // the same config fields RestoreState fingerprints — a merge across
+  // mismatched seeds or dimensions would be silent garbage.
+  if (other.CheckpointId() != CheckpointId()) return false;
+  const auto& rhs = static_cast<const ArbF2FourCycleCounter&>(other);
+  if (rhs.params_.num_vertices != params_.num_vertices ||
+      rhs.num_copies_ != num_copies_ ||
+      rhs.params_.groups != params_.groups ||
+      rhs.params_.base.epsilon != params_.base.epsilon ||
+      rhs.params_.base.seed != params_.base.seed ||
+      rhs.params_.f1_correction != params_.f1_correction) {
+    return false;
+  }
+  // Fold both sides' live intra-process shard scratch first so the merge
+  // operates on canonical accumulators (same canonicalization SaveState
+  // performs; rhs is const, so its fold goes through MergedAccums copies).
+  FoldShardExtras();
+  if (rhs.shard_extras_.empty()) {
+    for (std::size_t i = 0; i < acc_a_.size(); ++i) acc_a_[i] += rhs.acc_a_[i];
+    for (std::size_t i = 0; i < acc_b_.size(); ++i) acc_b_[i] += rhs.acc_b_[i];
+    for (std::size_t i = 0; i < acc_c_.size(); ++i) acc_c_[i] += rhs.acc_c_[i];
+  } else {
+    std::vector<double> a, b, c;
+    rhs.MergedAccums(&a, &b, &c);
+    for (std::size_t i = 0; i < acc_a_.size(); ++i) acc_a_[i] += a[i];
+    for (std::size_t i = 0; i < acc_b_.size(); ++i) acc_b_[i] += b[i];
+    for (std::size_t i = 0; i < acc_c_.size(); ++i) acc_c_[i] += c[i];
+  }
+  return true;
+}
+
 Estimate CountFourCyclesArbF2(const EdgeStream& stream,
                               const ArbF2FourCycleCounter::Params& params) {
   ArbF2FourCycleCounter counter(params);

@@ -70,6 +70,14 @@ class ArbF2FourCycleCounter : public EdgeStreamAlgorithm {
   std::string_view CheckpointId() const override { return "arbf2/1"; }
   bool SaveState(StateWriter& w) const override;
   bool RestoreState(StateReader& r) override;
+  /// Shard-merge: adds `other`'s accumulators into this counter's. The
+  /// state is linear in the stream (every edge contributes fixed ±1 /
+  /// ±1·±1 deltas), so merging shard-local counters over a partitioned
+  /// stream reproduces the whole-stream counters exactly — every slot is
+  /// an exact integer far below 2^53, making the addition exact and
+  /// associative. False (no mutation) unless `other` is an
+  /// ArbF2FourCycleCounter with identical result-affecting configuration.
+  bool MergeFrom(const EdgeStreamAlgorithm& other) override;
 
   /// Computes the estimate from the current counters (may be called at any
   /// time in the dynamic setting).

@@ -43,11 +43,19 @@ AdmissionOutcome AdmissionController::Offer(std::size_t declared_words) {
     }
   }
   tracker_.Charge(kReservedComponent, declared_words);
+  ledger_.insert(declared_words);
   return AdmissionOutcome::kAdmitted;
 }
 
 void AdmissionController::Release(std::size_t declared_words) {
   if (declared_words == 0) return;  // Unbudgeted queries hold no reservation.
+  const auto it = ledger_.find(declared_words);
+  CHECK(it != ledger_.end())
+      << "AdmissionController::Release(" << declared_words
+      << "): no outstanding reservation of that size ("
+      << ledger_.size() << " live reservation(s), " << tracker_.Current()
+      << " words reserved) — double release or size mismatch";
+  ledger_.erase(it);
   tracker_.Release(kReservedComponent, declared_words);
 }
 

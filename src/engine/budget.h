@@ -2,6 +2,7 @@
 #define CYCLESTREAM_ENGINE_BUDGET_H_
 
 #include <cstddef>
+#include <set>
 #include <string_view>
 
 #include "stream/space.h"
@@ -53,15 +54,23 @@ class AdmissionController {
   AdmissionOutcome Offer(std::size_t declared_words);
 
   /// Returns an admitted query's reservation (call once per kAdmitted).
+  /// The controller keeps a ledger of outstanding reservation sizes:
+  /// releasing a size that was never admitted — or already released —
+  /// aborts instead of silently corrupting the aggregate headroom all
+  /// later waves admit against.
   void Release(std::size_t declared_words);
 
   const BudgetPolicy& policy() const { return policy_; }
   std::size_t reserved_words() const { return tracker_.Current(); }
   std::size_t peak_reserved_words() const { return tracker_.Peak(); }
+  std::size_t outstanding_reservations() const { return ledger_.size(); }
 
  private:
   BudgetPolicy policy_;
   SpaceTracker tracker_;
+  /// Sizes of the live reservations, one entry per admitted-and-unreleased
+  /// query. A multiset because distinct queries may declare equal budgets.
+  std::multiset<std::size_t> ledger_;
 };
 
 }  // namespace cyclestream::engine

@@ -87,6 +87,10 @@ bool IsEdgeKind(QueryKind kind) {
   return false;
 }
 
+bool IsShardMergeableKind(QueryKind kind) {
+  return kind == QueryKind::kArbF2;
+}
+
 std::string_view QueryKindTarget(QueryKind kind) {
   switch (kind) {
     case QueryKind::kRandomOrderTriangles:

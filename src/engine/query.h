@@ -43,6 +43,16 @@ std::optional<QueryKind> ParseQueryKind(std::string_view name);
 /// True for kinds consuming edge streams (vs adjacency-list streams).
 bool IsEdgeKind(QueryKind kind);
 
+/// True for kinds whose state is a linear sketch of the edge stream — state
+/// over a partitioned stream merges by addition (MergeFrom) into exactly
+/// the whole-stream state, so the kind can run under the multi-process
+/// shard coordinator. Currently only arb-f2 (Thm 5.7): its per-vertex
+/// accumulators are sums of ±1 / ±1·±1 terms. The others are excluded for
+/// cause: random-order/cormode-jowhari condition on stream *positions*
+/// (prefix membership), triest's reservoir is an order-dependent sample,
+/// and the multi-pass kinds need whole-stream passes.
+bool IsShardMergeableKind(QueryKind kind);
+
 /// "triangles" or "c4" — what the estimate approximates.
 std::string_view QueryKindTarget(QueryKind kind);
 

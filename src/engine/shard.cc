@@ -1,0 +1,521 @@
+#include "engine/shard.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace cyclestream::engine {
+namespace {
+
+constexpr char kFrameMagic[4] = {'C', 'Y', 'S', 'F'};
+constexpr std::size_t kFrameHeaderSize = 4 + 4 + 8 + 4;
+
+void PutLE(std::string* out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t GetLE(const char* p, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+bool KnownFrameType(std::uint32_t raw) {
+  return raw == static_cast<std::uint32_t>(FrameType::kHeader) ||
+         raw == static_cast<std::uint32_t>(FrameType::kQueryState) ||
+         raw == static_cast<std::uint32_t>(FrameType::kFooter);
+}
+
+}  // namespace
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  out->append(kFrameMagic, sizeof(kFrameMagic));
+  PutLE(out, static_cast<std::uint32_t>(type), 4);
+  PutLE(out, static_cast<std::uint64_t>(payload.size()), 8);
+  PutLE(out, Crc32(payload), 4);
+  out->append(payload.data(), payload.size());
+}
+
+bool ReadFrame(std::string_view data, std::size_t* pos, FrameType* type,
+               std::string_view* payload, std::string* error) {
+  auto reject = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (data.size() - *pos < kFrameHeaderSize) {
+    return reject("frame truncated: " + std::to_string(data.size() - *pos) +
+                  " bytes left, header needs " +
+                  std::to_string(kFrameHeaderSize));
+  }
+  const char* p = data.data() + *pos;
+  if (std::memcmp(p, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return reject("bad frame magic");
+  }
+  const auto raw_type = static_cast<std::uint32_t>(GetLE(p + 4, 4));
+  if (!KnownFrameType(raw_type)) {
+    return reject("unknown frame type " + std::to_string(raw_type));
+  }
+  const std::uint64_t size = GetLE(p + 8, 8);
+  const auto crc = static_cast<std::uint32_t>(GetLE(p + 16, 4));
+  if (size > data.size() - *pos - kFrameHeaderSize) {
+    return reject("frame payload overruns the file: declares " +
+                  std::to_string(size) + " bytes, " +
+                  std::to_string(data.size() - *pos - kFrameHeaderSize) +
+                  " available");
+  }
+  const std::string_view body =
+      data.substr(*pos + kFrameHeaderSize, static_cast<std::size_t>(size));
+  if (Crc32(body) != crc) {
+    return reject("frame CRC mismatch (corrupt payload)");
+  }
+  *type = static_cast<FrameType>(raw_type);
+  *payload = body;
+  *pos += kFrameHeaderSize + static_cast<std::size_t>(size);
+  return true;
+}
+
+std::vector<ShardRange> PartitionStream(std::uint64_t stream_length,
+                                        int num_workers) {
+  CHECK_GT(num_workers, 0);
+  const auto w = static_cast<std::uint64_t>(num_workers);
+  const std::uint64_t base = stream_length / w;
+  const std::uint64_t extra = stream_length % w;
+  std::vector<ShardRange> ranges(static_cast<std::size_t>(w));
+  std::uint64_t begin = 0;
+  for (std::uint64_t i = 0; i < w; ++i) {
+    const std::uint64_t len = base + (i < extra ? 1 : 0);
+    ranges[static_cast<std::size_t>(i)] = {begin, begin + len};
+    begin += len;
+  }
+  CHECK_EQ(begin, stream_length);
+  return ranges;
+}
+
+std::uint64_t TotalRangeEdges(const std::vector<ShardRange>& ranges) {
+  std::uint64_t total = 0;
+  for (const ShardRange& r : ranges) {
+    CHECK_LE(r.begin, r.end);
+    total += r.size();
+  }
+  return total;
+}
+
+std::vector<ShardRange> AdvanceRanges(const std::vector<ShardRange>& ranges,
+                                      std::uint64_t edges_done) {
+  std::vector<ShardRange> left;
+  std::uint64_t skip = edges_done;
+  for (const ShardRange& r : ranges) {
+    if (skip >= r.size()) {
+      skip -= r.size();
+      continue;
+    }
+    left.push_back({r.begin + skip, r.end});
+    skip = 0;
+  }
+  CHECK_EQ(skip, 0u) << "edges_done exceeds the ranges' total";
+  return left;
+}
+
+std::string EncodeShardState(const ShardState& state) {
+  std::string out;
+  StateWriter h;
+  h.U32(state.header.worker_id);
+  h.U32(state.header.num_workers);
+  h.U64(state.header.stream_fingerprint);
+  h.U64(state.header.stream_length);
+  h.U64(state.header.spec_fingerprint);
+  h.U64(state.header.edges_done);
+  h.U64(state.header.epoch);
+  h.Size(state.header.ranges.size());
+  for (const ShardRange& r : state.header.ranges) {
+    h.U64(r.begin);
+    h.U64(r.end);
+  }
+  h.Size(state.query_states.size());
+  AppendFrame(&out, FrameType::kHeader, h.str());
+  for (const auto& [name, blob] : state.query_states) {
+    StateWriter q;
+    q.Str(name);
+    q.Str(blob);
+    AppendFrame(&out, FrameType::kQueryState, q.str());
+  }
+  StateWriter f;
+  f.Size(state.query_states.size());
+  AppendFrame(&out, FrameType::kFooter, f.str());
+  return out;
+}
+
+bool DecodeShardState(std::string_view encoded, ShardState* state,
+                      std::string* error) {
+  auto reject = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::size_t pos = 0;
+  FrameType type;
+  std::string_view payload;
+  if (!ReadFrame(encoded, &pos, &type, &payload, error)) return false;
+  if (type != FrameType::kHeader) {
+    return reject("shard state must start with a header frame");
+  }
+  ShardState out;
+  {
+    StateReader r(payload);
+    out.header.worker_id = r.U32();
+    out.header.num_workers = r.U32();
+    out.header.stream_fingerprint = r.U64();
+    out.header.stream_length = r.U64();
+    out.header.spec_fingerprint = r.U64();
+    out.header.edges_done = r.U64();
+    out.header.epoch = r.U64();
+    const std::size_t num_ranges = r.Size();
+    if (!r.ok() || num_ranges > r.Remaining() / 16 + 1) {
+      return reject("shard state header malformed (range count)");
+    }
+    out.header.ranges.reserve(num_ranges);
+    for (std::size_t i = 0; i < num_ranges; ++i) {
+      ShardRange range;
+      range.begin = r.U64();
+      range.end = r.U64();
+      if (range.begin > range.end) {
+        return reject("shard state header malformed (inverted range)");
+      }
+      out.header.ranges.push_back(range);
+    }
+    const std::size_t num_queries = r.Size();
+    if (!r.AtEnd()) {
+      return reject("shard state header malformed (trailing bytes)");
+    }
+    out.query_states.reserve(num_queries);
+    for (std::size_t i = 0; i < num_queries; ++i) {
+      if (!ReadFrame(encoded, &pos, &type, &payload, error)) return false;
+      if (type != FrameType::kQueryState) {
+        return reject("expected a query-state frame");
+      }
+      StateReader q(payload);
+      std::string name = q.Str();
+      std::string blob = q.Str();
+      if (!q.AtEnd()) {
+        return reject("query-state frame malformed (trailing bytes)");
+      }
+      out.query_states.emplace_back(std::move(name), std::move(blob));
+    }
+  }
+  if (!ReadFrame(encoded, &pos, &type, &payload, error)) return false;
+  if (type != FrameType::kFooter) {
+    return reject("expected a footer frame");
+  }
+  {
+    StateReader f(payload);
+    const std::size_t count = f.Size();
+    if (!f.AtEnd() || count != out.query_states.size()) {
+      return reject("footer count disagrees with the query-state frames "
+                    "(truncated or spliced file)");
+    }
+  }
+  if (pos != encoded.size()) {
+    return reject("trailing bytes after the footer frame");
+  }
+  *state = std::move(out);
+  return true;
+}
+
+bool SaveShardState(const std::string& path, const ShardState& state,
+                    std::string* error) {
+  const std::string encoded = EncodeShardState(state);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+    out.flush();
+    if (!out) {
+      if (error != nullptr) *error = "write failed for " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "rename " + tmp + " -> " + path + " failed";
+    }
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadShardState(const std::string& path, ShardState* state,
+                    std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open shard state " + path;
+    return false;
+  }
+  std::string encoded((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    if (error != nullptr) *error = "I/O error reading shard state " + path;
+    return false;
+  }
+  return DecodeShardState(encoded, state, error);
+}
+
+namespace {
+
+// Serializes the live query states into (name, blob) pairs, spec order.
+std::vector<std::pair<std::string, std::string>> CollectQueryStates(
+    const std::vector<QuerySpec>& specs, std::vector<EdgeQuery>& queries) {
+  std::vector<std::pair<std::string, std::string>> states;
+  states.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    StateWriter w;
+    CHECK(queries[i].algorithm->SaveState(w))
+        << "mergeable query '" << specs[i].name
+        << "' must support SaveState";
+    states.emplace_back(specs[i].name, w.Take());
+  }
+  return states;
+}
+
+// Validates that a checkpoint belongs to exactly this worker configuration
+// and restores every query's state. Returns false (queries untouched — the
+// caller rebuilds them) on any mismatch.
+bool TryRestoreCheckpoint(const ShardWorkerConfig& config,
+                          const ShardState& ckpt,
+                          std::vector<EdgeQuery>& queries,
+                          std::uint64_t total_edges, std::string* why) {
+  const ShardHeader& h = ckpt.header;
+  if (h.worker_id != config.worker_id ||
+      h.num_workers != config.num_workers ||
+      h.stream_fingerprint != config.stream_fingerprint ||
+      h.stream_length != config.edges.size() ||
+      h.spec_fingerprint != config.spec_fingerprint ||
+      h.ranges != config.ranges || h.edges_done > total_edges ||
+      ckpt.query_states.size() != config.specs.size()) {
+    *why = "checkpoint header does not match this worker configuration";
+    return false;
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (ckpt.query_states[i].first != config.specs[i].name) {
+      *why = "checkpoint query order does not match the spec order";
+      return false;
+    }
+  }
+  // Restore into scratch instances first so a blob that fails validation
+  // midway never leaves the worker half-restored.
+  std::vector<EdgeQuery> restored;
+  restored.reserve(queries.size());
+  for (std::size_t i = 0; i < config.specs.size(); ++i) {
+    EdgeQuery q = MakeEdgeQuery(config.specs[i]);
+    StateReader r(ckpt.query_states[i].second);
+    if (!q.algorithm->RestoreState(r) || !r.AtEnd()) {
+      *why = "checkpoint state blob rejected for query '" +
+             config.specs[i].name + "'";
+      return false;
+    }
+    restored.push_back(std::move(q));
+  }
+  queries = std::move(restored);
+  return true;
+}
+
+}  // namespace
+
+ShardWorkerOutcome RunShardWorker(const ShardWorkerConfig& config,
+                                  const std::string& state_out_path,
+                                  std::string* error) {
+  ShardWorkerOutcome out;
+  const std::uint64_t total = TotalRangeEdges(config.ranges);
+  const std::size_t stream_length = config.edges.size();
+  for (const ShardRange& r : config.ranges) {
+    CHECK_LE(r.end, stream_length) << "shard range exceeds the stream";
+  }
+
+  std::vector<EdgeQuery> queries;
+  queries.reserve(config.specs.size());
+  for (const QuerySpec& spec : config.specs) {
+    CHECK(IsEdgeKind(spec.kind) && IsShardMergeableKind(spec.kind))
+        << "shard worker given non-mergeable kind "
+        << QueryKindName(spec.kind) << " (query '" << spec.name << "')";
+    EdgeQuery q = MakeEdgeQuery(spec);
+    // The worker runs exactly one pass over its slice; a multi-pass
+    // algorithm could not be merged from partial streams.
+    CHECK_EQ(q.algorithm->NumPasses(), 1);
+    queries.push_back(std::move(q));
+  }
+
+  std::uint64_t done = 0;
+  if (config.resume && !config.checkpoint_path.empty()) {
+    ShardState ckpt;
+    std::string why;
+    if (!LoadShardState(config.checkpoint_path, &ckpt, &why)) {
+      LOG(WARNING) << "worker " << config.worker_id
+                   << ": no usable checkpoint (" << why
+                   << "); starting from scratch";
+    } else if (!TryRestoreCheckpoint(config, ckpt, queries, total, &why)) {
+      LOG(WARNING) << "worker " << config.worker_id
+                   << ": checkpoint rejected (" << why
+                   << "); starting from scratch";
+    } else {
+      done = ckpt.header.edges_done;
+      out.resumed = true;
+    }
+  }
+  if (!out.resumed) {
+    // A resumed worker skips StartPass — it already ran before the
+    // checkpoint (no-op for the mergeable kinds, but the contract is the
+    // driver's).
+    for (EdgeQuery& q : queries) q.algorithm->StartPass(0, stream_length);
+  }
+
+  const std::uint64_t epoch = config.epoch_edges;
+  const bool checkpoints = epoch > 0 && !config.checkpoint_path.empty();
+  std::uint64_t next_ckpt =
+      checkpoints ? (done / epoch + 1) * epoch : kNoDeath;
+  const std::uint64_t die_at = config.die_after_edges;
+
+  auto write_checkpoint = [&]() -> bool {
+    ShardState state;
+    state.header.worker_id = config.worker_id;
+    state.header.num_workers = config.num_workers;
+    state.header.stream_fingerprint = config.stream_fingerprint;
+    state.header.stream_length = stream_length;
+    state.header.spec_fingerprint = config.spec_fingerprint;
+    state.header.edges_done = done;
+    state.header.epoch = epoch > 0 ? done / epoch : 0;
+    state.header.ranges = config.ranges;
+    state.query_states = CollectQueryStates(config.specs, queries);
+    std::string why;
+    if (!SaveShardState(config.checkpoint_path, state, &why)) {
+      LOG(WARNING) << "worker " << config.worker_id
+                   << ": checkpoint write failed (" << why << ")";
+      return false;
+    }
+    ++out.checkpoints_written;
+    return true;
+  };
+
+  std::uint64_t local_base = 0;  // Worker-local index of the range's start.
+  for (const ShardRange& range : config.ranges) {
+    const std::uint64_t r_size = range.size();
+    // Resume support: skip the part of this range already processed.
+    std::uint64_t offset = 0;
+    if (done > local_base) offset = std::min(done - local_base, r_size);
+    while (offset < r_size) {
+      if (die_at != kNoDeath && done == die_at) {
+        out.edges_done = done;
+        return out;  // completed stays false: the injected kill fired.
+      }
+      std::uint64_t n =
+          std::min<std::uint64_t>(config.block_edges, r_size - offset);
+      n = std::min(n, next_ckpt - done);
+      if (die_at != kNoDeath && die_at > done) n = std::min(n, die_at - done);
+      const std::size_t global = static_cast<std::size_t>(range.begin + offset);
+      const std::span<const Edge> block =
+          config.edges.subspan(global, static_cast<std::size_t>(n));
+      // Same fan-out order as the broker's serial path: slot order per
+      // block.
+      for (EdgeQuery& q : queries) {
+        q.algorithm->ProcessEdgeBlock(0, block, global);
+      }
+      offset += n;
+      done += n;
+      if (done == next_ckpt) {
+        write_checkpoint();
+        next_ckpt += epoch;
+      }
+    }
+    local_base += r_size;
+  }
+  if (die_at != kNoDeath && done == die_at && die_at == total) {
+    // Killed after the final edge but before finalize/save.
+    out.edges_done = done;
+    return out;
+  }
+  CHECK_EQ(done, total);
+
+  for (EdgeQuery& q : queries) q.algorithm->EndPass(0);
+
+  ShardState final_state;
+  final_state.header.worker_id = config.worker_id;
+  final_state.header.num_workers = config.num_workers;
+  final_state.header.stream_fingerprint = config.stream_fingerprint;
+  final_state.header.stream_length = stream_length;
+  final_state.header.spec_fingerprint = config.spec_fingerprint;
+  final_state.header.edges_done = total;
+  final_state.header.epoch = epoch > 0 ? total / epoch : 0;
+  final_state.header.ranges = config.ranges;
+  final_state.query_states = CollectQueryStates(config.specs, queries);
+  if (!SaveShardState(state_out_path, final_state, error)) {
+    out.edges_done = done;
+    return out;
+  }
+  out.completed = true;
+  out.edges_done = done;
+  return out;
+}
+
+std::string FormatShardRanges(const std::vector<ShardRange>& ranges) {
+  std::string out;
+  for (const ShardRange& r : ranges) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(r.begin) + ":" + std::to_string(r.end);
+  }
+  return out;
+}
+
+bool ParseShardRanges(std::string_view text, std::vector<ShardRange>* ranges) {
+  std::vector<ShardRange> parsed;
+  std::size_t pos = 0;
+  auto parse_u64 = [&](char terminator, std::uint64_t* value) {
+    const char* begin = text.data() + pos;
+    if (pos >= text.size() || *begin < '0' || *begin > '9') return false;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(begin, &end, 10);
+    if (errno == ERANGE || end == begin) return false;
+    pos = static_cast<std::size_t>(end - text.data());
+    if (terminator == '\0') {
+      if (pos != text.size() && text[pos] != ',') return false;
+    } else {
+      if (pos >= text.size() || text[pos] != terminator) return false;
+      ++pos;
+    }
+    *value = static_cast<std::uint64_t>(v);
+    return true;
+  };
+  while (pos < text.size()) {
+    ShardRange r;
+    if (!parse_u64(':', &r.begin) || !parse_u64('\0', &r.end) ||
+        r.begin > r.end) {
+      return false;
+    }
+    parsed.push_back(r);
+    if (pos < text.size()) {
+      ++pos;  // Skip the comma.
+      if (pos == text.size()) return false;  // Trailing comma.
+    }
+  }
+  if (parsed.empty()) return false;
+  *ranges = std::move(parsed);
+  return true;
+}
+
+}  // namespace cyclestream::engine

@@ -168,9 +168,13 @@ std::optional<Snapshot> LoadSnapshot(const std::string& path,
 }
 
 std::uint64_t FingerprintEdgeStream(const EdgeStream& stream) {
-  std::uint64_t h = Mix64(0x45444745u ^ stream.size());
-  for (std::size_t i = 0; i < stream.size(); ++i) {
-    h = Mix64(h ^ stream[i].Key());
+  return FingerprintEdgeStream(std::span<const Edge>(stream));
+}
+
+std::uint64_t FingerprintEdgeStream(std::span<const Edge> edges) {
+  std::uint64_t h = Mix64(0x45444745u ^ edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    h = Mix64(h ^ edges[i].Key());
     h = Mix64(h ^ i);
   }
   return h;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -83,6 +84,12 @@ std::optional<Snapshot> LoadSnapshot(const std::string& path,
 /// Order-sensitive fingerprints binding a snapshot to one exact stream.
 std::uint64_t FingerprintEdgeStream(const EdgeStream& stream);
 std::uint64_t FingerprintAdjacencyStream(const AdjacencyStream& stream);
+
+/// Span overload producing the identical fingerprint to the EdgeStream one,
+/// so mmap'd binary streams (BinaryEdgeReader::edges()) fingerprint without
+/// a copy into a vector. The shard coordinator binds worker state files and
+/// epoch checkpoints to the stream through this.
+std::uint64_t FingerprintEdgeStream(std::span<const Edge> edges);
 
 }  // namespace cyclestream
 

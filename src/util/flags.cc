@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <ostream>
@@ -62,6 +63,27 @@ std::int64_t FlagParser::GetInt(const std::string& name, std::int64_t def) {
       << "flag --" << name << " expects an integer, got '" << it->second
       << "'";
   return v;
+}
+
+std::uint64_t FlagParser::GetCount(const std::string& name,
+                                   std::uint64_t def) {
+  used_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& raw = it->second;
+  // Reject the sign explicitly rather than going through strtoull, which
+  // would wrap "-1" to 2^64-1 without complaint.
+  CHECK(!raw.empty() && raw[0] != '-' && raw[0] != '+')
+      << "flag --" << name << " expects a non-negative integer, got '" << raw
+      << "'";
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+  CHECK(errno != ERANGE && end != nullptr && end != raw.c_str() &&
+        *end == '\0')
+      << "flag --" << name << " expects a non-negative integer, got '" << raw
+      << "'";
+  return static_cast<std::uint64_t>(v);
 }
 
 double FlagParser::GetDouble(const std::string& name, double def) {

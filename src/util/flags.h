@@ -41,6 +41,13 @@ class FlagParser {
   double GetDouble(const std::string& name, double def);
   bool GetBool(const std::string& name, bool def);
 
+  /// GetInt restricted to non-negative values, for flags that feed size_t
+  /// sinks (budgets, capacities, counts). `--reservoir -5` through GetInt
+  /// plus a bare `static_cast<size_t>` wraps to an enormous capacity and
+  /// silently blows the admission budget; GetCount aborts with a clear
+  /// message instead.
+  std::uint64_t GetCount(const std::string& name, std::uint64_t def);
+
   /// Flags present on the command line that were never queried. Sorted by
   /// name, so warning output is deterministic.
   std::vector<std::string> Unused() const;

@@ -158,7 +158,14 @@ void RunManifest::WriteImpl(std::ostream& os, bool deterministic_only) const {
          name == "checkpoint_every" || name == "resume" ||
          name == "kill_after" || name == "json_out" ||
          name == "json_det_out" || name == "sketch_backend" ||
-         name == "intra_threads")) {
+         name == "intra_threads" ||
+         // Shard execution policy (DESIGN.md §14): the worker count, the
+         // launch mechanics, and fault injection are required to be
+         // result-invariant — a W-shard manifest must compare equal to the
+         // single-process one.
+         name == "shards" || name == "epoch-edges" || name == "shard-dir" ||
+         name == "launch" || name == "kill-shard" || name == "kill-edges" ||
+         name == "worker-binary")) {
       continue;
     }
     w.Key(name);

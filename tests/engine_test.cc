@@ -377,5 +377,52 @@ TEST(EngineTest, ManifestExportIsThreadCountInvariant) {
   EXPECT_NE(jsons[0].find("\"engine.source_items_read\""), std::string::npos);
 }
 
+TEST(AdmissionLedgerTest, TracksOutstandingReservations) {
+  BudgetPolicy policy;
+  policy.aggregate_words = 1000;
+  AdmissionController controller(policy);
+  EXPECT_EQ(controller.outstanding_reservations(), 0u);
+  ASSERT_EQ(controller.Offer(400), AdmissionOutcome::kAdmitted);
+  ASSERT_EQ(controller.Offer(400), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(controller.outstanding_reservations(), 2u);
+  EXPECT_EQ(controller.reserved_words(), 800u);
+  controller.Release(400);
+  EXPECT_EQ(controller.outstanding_reservations(), 1u);
+  controller.Release(400);
+  EXPECT_EQ(controller.outstanding_reservations(), 0u);
+  EXPECT_EQ(controller.reserved_words(), 0u);
+  // Unbudgeted queries reserve nothing, so releasing 0 is always a no-op.
+  controller.Release(0);
+  EXPECT_EQ(controller.outstanding_reservations(), 0u);
+}
+
+// Regression: Release used to subtract blindly from the tracker, so a
+// double release (or releasing a size that was never admitted) silently
+// inflated the aggregate headroom every later wave admitted against. The
+// ledger turns both into an immediate abort.
+TEST(AdmissionLedgerDeathTest, DoubleReleaseAborts) {
+  BudgetPolicy policy;
+  policy.aggregate_words = 1000;
+  AdmissionController controller(policy);
+  ASSERT_EQ(controller.Offer(400), AdmissionOutcome::kAdmitted);
+  controller.Release(400);
+  EXPECT_DEATH(controller.Release(400), "no outstanding reservation");
+}
+
+TEST(AdmissionLedgerDeathTest, WrongSizeReleaseAborts) {
+  BudgetPolicy policy;
+  policy.aggregate_words = 1000;
+  AdmissionController controller(policy);
+  ASSERT_EQ(controller.Offer(400), AdmissionOutcome::kAdmitted);
+  EXPECT_DEATH(controller.Release(300), "no outstanding reservation");
+  // Queued and rejected offers reserve nothing, so they are not releasable.
+  AdmissionController capped(policy);
+  ASSERT_EQ(capped.Offer(900), AdmissionOutcome::kAdmitted);
+  ASSERT_EQ(capped.Offer(900), AdmissionOutcome::kQueued);
+  ASSERT_EQ(capped.Offer(2000), AdmissionOutcome::kRejected);
+  capped.Release(900);
+  EXPECT_DEATH(capped.Release(900), "no outstanding reservation");
+}
+
 }  // namespace
 }  // namespace cyclestream::engine

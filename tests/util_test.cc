@@ -125,5 +125,30 @@ TEST(FlagParserDeathTest, EmptyNumericValueAborts) {
   EXPECT_DEATH(flags.GetDouble("t_guess", 100.0), "expects a number");
 }
 
+TEST(FlagParserTest, GetCountParsesNonNegativeValues) {
+  const char* argv[] = {"prog", "--reservoir", "42", "--budget-words", "0"};
+  FlagParser flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetCount("reservoir", 7), 42u);
+  EXPECT_EQ(flags.GetCount("budget-words", 7), 0u);
+  EXPECT_EQ(flags.GetCount("absent", 7), 7u);
+  // The full uint64 range is representable (GetInt would overflow).
+  const char* argv2[] = {"prog", "--seed", "18446744073709551615"};
+  FlagParser flags2(3, const_cast<char**>(argv2));
+  EXPECT_EQ(flags2.GetCount("seed", 0), ~std::uint64_t{0});
+}
+
+// Regression: CLI size flags were read through GetInt and cast straight to
+// size_t, so "--reservoir -5" wrapped to an enormous capacity and
+// "--budget-words -1" became a budget no admission cap could ever bind.
+// GetCount aborts on any sign or garbage instead.
+TEST(FlagParserDeathTest, GetCountRejectsSignsAndGarbage) {
+  const char* argv[] = {"prog", "--reservoir", "-5", "--budget-words", "+3",
+                        "--queries", "2x"};
+  FlagParser flags(7, const_cast<char**>(argv));
+  EXPECT_DEATH(flags.GetCount("reservoir", 0), "non-negative integer");
+  EXPECT_DEATH(flags.GetCount("budget-words", 0), "non-negative integer");
+  EXPECT_DEATH(flags.GetCount("queries", 0), "non-negative integer");
+}
+
 }  // namespace
 }  // namespace cyclestream

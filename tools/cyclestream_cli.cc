@@ -25,9 +25,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -39,7 +42,10 @@
 #include "baselines/wedge_sampler.h"
 #include "engine/broker.h"
 #include "engine/budget.h"
+#include "engine/coordinator.h"
 #include "engine/query.h"
+#include "engine/shard.h"
+#include "engine/spec.h"
 #include "core/adj_f2_counter.h"
 #include "core/adj_l2_counter.h"
 #include "core/amplify.h"
@@ -54,6 +60,7 @@
 #include "graph/exact.h"
 #include "graph/graph.h"
 #include "graph/io.h"
+#include "stream/checkpoint.h"
 #include "stream/driver.h"
 #include "stream/order.h"
 #include "util/flags.h"
@@ -67,8 +74,8 @@ namespace {
 
 int Usage() {
   std::cerr <<
-      "usage: cyclestream_cli <stats|count|exact|generate|sweep|serve> "
-      "[flags]\n"
+      "usage: cyclestream_cli "
+      "<stats|count|exact|generate|sweep|serve|shard> [flags]\n"
       "  stats    --graph FILE | --karate\n"
       "  exact    --graph FILE [--target triangles|c4|both]\n"
       "           [--exact_backend naive|dodg] [--hub-range H]\n"
@@ -93,7 +100,18 @@ int Usage() {
       "  serve    --graph FILE --spec FILE   QuerySpecs from key=value lines\n"
       "           (name= kind= [seed=] [budget=] [epsilon=] [c=] [t_guess=]\n"
       "            [level_rate=] [prefix_rate=] [reservoir=]\n"
-      "            [sketch_backend=] [intra_shards=])\n"
+      "            [num_vertices=] [sketch_backend=] [intra_shards=])\n"
+      "  shard    --graph FILE --shard-dir DIR [--shards W]\n"
+      "           [--spec FILE | --algorithms arb-f2 --queries N]\n"
+      "           [--launch inprocess|subprocess] [--worker-binary BIN]\n"
+      "           [--epoch-edges K] [--kill-shard I --kill-edges E]\n"
+      "           [--order shuffled|file] [--per-query-budget W]\n"
+      "           [--aggregate-budget W] [--block-edges B] [--no-exact]\n"
+      "           multi-process engine: W workers each sketch one\n"
+      "           contiguous stream slice; the coordinator merges the\n"
+      "           shard states (bit-identical to --shards 1 at any W);\n"
+      "           subprocess launch needs a .bin graph and --order file;\n"
+      "           kinds must be shard-mergeable (arb-f2)\n"
       "  common:  --threads N   worker threads (0 = all cores, 1 = serial)\n"
       "           --json_out FILE   write a structured run manifest\n"
       "           --json_det_out FILE   write the deterministic manifest\n"
@@ -286,7 +304,7 @@ int RunCount(FlagParser& flags, RunManifest& manifest) {
   const std::string target = flags.GetString("target", "triangles");
   const std::string algo = flags.GetString("algorithm", "exact");
   const double epsilon = flags.GetDouble("epsilon", 0.2);
-  const std::uint64_t seed = flags.GetInt("seed", 1);
+  const std::uint64_t seed = flags.GetCount("seed", 1);
   const bool show_exact = !flags.GetBool("no-exact", false);
   // --delta > 0 amplifies: median over ~2·ln(1/δ) copies, run in parallel
   // on the --threads budget; each copy replays the same materialized
@@ -337,7 +355,7 @@ int RunCount(FlagParser& flags, RunManifest& manifest) {
       };
     } else if (algo == "triest") {
       const std::size_t reservoir = static_cast<std::size_t>(
-          flags.GetInt("reservoir", static_cast<std::int64_t>(g.num_edges() / 4)));
+          flags.GetCount("reservoir", g.num_edges() / 4));
       runner = [&stream, reservoir](std::uint64_t s) {
         Triest::Params params;
         params.reservoir_capacity = reservoir;
@@ -470,6 +488,102 @@ int RunCount(FlagParser& flags, RunManifest& manifest) {
   return 0;
 }
 
+// Loads the batch graph for the engine front ends (text, .bin, or karate).
+// On success `*graph` holds the edges, and when the source was a .bin file
+// `*binary` is true and `*reader` keeps the mmap open so file-order
+// streaming stays zero-copy.
+bool LoadBatchGraph(FlagParser& flags, BinaryEdgeReader* reader,
+                    EdgeList* graph, bool* binary) {
+  const std::string path = flags.GetString("graph", "");
+  const bool karate = flags.GetBool("karate", false);
+  *binary = !karate && IsBinaryGraphPath(path);
+  if (karate) {
+    *graph = KarateClub();
+  } else if (path.empty()) {
+    std::cerr << "error: --graph FILE (or --karate) is required\n";
+    return false;
+  } else if (*binary) {
+    std::string error;
+    if (!reader->Open(path, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return false;
+    }
+    *graph = reader->ToEdgeList();
+  } else {
+    auto loaded = LoadEdgeListText(path);
+    if (!loaded) {
+      std::cerr << "error: cannot load " << path << "\n";
+      return false;
+    }
+    *graph = std::move(*loaded);
+  }
+  return true;
+}
+
+// Exact counts computed lazily per target: the default t_guess, and the
+// reference for the printed relative errors.
+class ExactCache {
+ public:
+  explicit ExactCache(const Graph& g) : g_(g) {}
+
+  double For(engine::QueryKind kind) {
+    if (engine::QueryKindTarget(kind) == "triangles") {
+      if (triangles_ < 0) triangles_ = static_cast<double>(CountTriangles(g_));
+      return triangles_;
+    }
+    if (c4_ < 0) c4_ = static_cast<double>(CountFourCycles(g_));
+    return c4_;
+  }
+
+  double triangles() const { return triangles_; }
+  double c4() const { return c4_; }
+
+ private:
+  const Graph& g_;
+  double triangles_ = -1.0;
+  double c4_ = -1.0;
+};
+
+// The shared tail of every engine front end (`sweep`, `serve`, `shard`):
+// the per-query outcome table plus the manifest export. Identical printing
+// and export keep the sharded engine's manifests comparable with the
+// broker's.
+void PrintEngineOutcomes(const std::vector<engine::QueryOutcome>& outcomes,
+                         const engine::EngineStats& stats, bool show_exact,
+                         ExactCache& exact, RunManifest& manifest) {
+  Table t({"query", "kind", "admission", "wave", "estimate", "rel.err",
+           "space(w)"});
+  for (const engine::QueryOutcome& out : outcomes) {
+    const bool ran = out.admission == engine::AdmissionOutcome::kAdmitted;
+    std::string rel = "-";
+    if (ran && show_exact) {
+      const double truth = exact.For(out.spec.kind);
+      rel = Table::Pct(truth > 0
+                           ? std::abs(out.estimate.value - truth) / truth
+                           : out.estimate.value);
+    }
+    t.AddRow({out.spec.name, std::string(engine::QueryKindName(out.spec.kind)),
+              std::string(engine::AdmissionOutcomeName(out.admission)),
+              Table::Int(out.wave),
+              ran ? Table::Num(out.estimate.value, 1) : "-", rel,
+              ran ? Table::Int(static_cast<std::int64_t>(
+                        out.estimate.space_words))
+                  : "-"});
+  }
+  t.set_title("engine batch: " + std::to_string(outcomes.size()) +
+              " queries, " + std::to_string(stats.physical_passes) +
+              " physical stream reads");
+  t.Print(std::cout);
+  manifest.AddTable("engine", t);
+  engine::ExportToManifest(outcomes, stats, manifest);
+  if (show_exact && exact.triangles() >= 0) {
+    manifest.metrics().Set("exact.triangles", exact.triangles());
+  }
+  if (show_exact && exact.c4() >= 0) {
+    manifest.metrics().Set("exact.c4", exact.c4());
+  }
+}
+
 // Shared engine-batch driver behind `sweep` and `serve`: loads the graph
 // (text, .bin, or karate), fills spec defaults (n, t_guess from the exact
 // count of each query's target), builds the stream of the batch's family,
@@ -491,68 +605,33 @@ int RunEngineBatch(FlagParser& flags, RunManifest& manifest,
     }
   }
 
-  const std::string path = flags.GetString("graph", "");
-  const bool karate = flags.GetBool("karate", false);
-  const bool binary = !karate && IsBinaryGraphPath(path);
   BinaryEdgeReader reader;
   EdgeList graph;
-  if (karate) {
-    graph = KarateClub();
-  } else if (path.empty()) {
-    std::cerr << "error: --graph FILE (or --karate) is required\n";
-    return 1;
-  } else if (binary) {
-    std::string error;
-    if (!reader.Open(path, &error)) {
-      std::cerr << "error: " << error << "\n";
-      return 1;
-    }
-    graph = reader.ToEdgeList();
-  } else {
-    auto loaded = LoadEdgeListText(path);
-    if (!loaded) {
-      std::cerr << "error: cannot load " << path << "\n";
-      return 1;
-    }
-    graph = std::move(*loaded);
-  }
+  bool binary = false;
+  if (!LoadBatchGraph(flags, &reader, &graph, &binary)) return 1;
   const Graph g(graph);
 
-  const std::uint64_t seed = flags.GetInt("seed", 1);
+  const std::uint64_t seed = flags.GetCount("seed", 1);
   const std::string order = flags.GetString("order", "shuffled");
   if (order != "shuffled" && order != "file") {
     std::cerr << "error: --order must be shuffled or file\n";
     return 1;
   }
   const bool show_exact = !flags.GetBool("no-exact", false);
-
-  // Exact counts, computed lazily per target: the default t_guess, and the
-  // reference for the printed relative errors.
-  double exact_triangles = -1.0;
-  double exact_c4 = -1.0;
-  auto exact_for = [&](engine::QueryKind kind) {
-    if (engine::QueryKindTarget(kind) == "triangles") {
-      if (exact_triangles < 0) {
-        exact_triangles = static_cast<double>(CountTriangles(g));
-      }
-      return exact_triangles;
-    }
-    if (exact_c4 < 0) exact_c4 = static_cast<double>(CountFourCycles(g));
-    return exact_c4;
-  };
+  ExactCache exact(g);
 
   engine::BrokerOptions options;
   options.block_size =
-      static_cast<std::size_t>(flags.GetInt("block-edges", 4096));
+      static_cast<std::size_t>(flags.GetCount("block-edges", 4096));
   options.budget.per_query_words =
-      static_cast<std::size_t>(flags.GetInt("per-query-budget", 0));
+      static_cast<std::size_t>(flags.GetCount("per-query-budget", 0));
   options.budget.aggregate_words =
-      static_cast<std::size_t>(flags.GetInt("aggregate-budget", 0));
+      static_cast<std::size_t>(flags.GetCount("aggregate-budget", 0));
   engine::StreamBroker broker(options);
   for (engine::QuerySpec& spec : specs) {
     if (spec.num_vertices == 0) spec.num_vertices = g.num_vertices();
     if (spec.base.t_guess <= 1.0) {
-      spec.base.t_guess = std::max(1.0, exact_for(spec.kind));
+      spec.base.t_guess = std::max(1.0, exact.For(spec.kind));
     }
     broker.AddQuery(spec);
   }
@@ -577,37 +656,7 @@ int RunEngineBatch(FlagParser& flags, RunManifest& manifest,
     outcomes = broker.RunAdjacencyQueries(stream);
   }
 
-  Table t({"query", "kind", "admission", "wave", "estimate", "rel.err",
-           "space(w)"});
-  for (const engine::QueryOutcome& out : outcomes) {
-    const bool ran = out.admission == engine::AdmissionOutcome::kAdmitted;
-    std::string rel = "-";
-    if (ran && show_exact) {
-      const double exact = exact_for(out.spec.kind);
-      rel = Table::Pct(exact > 0
-                           ? std::abs(out.estimate.value - exact) / exact
-                           : out.estimate.value);
-    }
-    t.AddRow({out.spec.name, std::string(engine::QueryKindName(out.spec.kind)),
-              std::string(engine::AdmissionOutcomeName(out.admission)),
-              Table::Int(out.wave),
-              ran ? Table::Num(out.estimate.value, 1) : "-", rel,
-              ran ? Table::Int(static_cast<std::int64_t>(
-                        out.estimate.space_words))
-                  : "-"});
-  }
-  t.set_title("engine batch: " + std::to_string(outcomes.size()) +
-              " queries, " + std::to_string(broker.stats().physical_passes) +
-              " physical stream reads");
-  t.Print(std::cout);
-  manifest.AddTable("engine", t);
-  engine::ExportToManifest(outcomes, broker.stats(), manifest);
-  if (show_exact && exact_triangles >= 0) {
-    manifest.metrics().Set("exact.triangles", exact_triangles);
-  }
-  if (show_exact && exact_c4 >= 0) {
-    manifest.metrics().Set("exact.c4", exact_c4);
-  }
+  PrintEngineOutcomes(outcomes, broker.stats(), show_exact, exact, manifest);
   return 0;
 }
 
@@ -636,19 +685,19 @@ int RunSweep(FlagParser& flags, RunManifest& manifest) {
   }
 
   const int num_queries =
-      static_cast<int>(flags.GetInt("queries", 16));
+      static_cast<int>(flags.GetCount("queries", 16));
   engine::QuerySpec base;
   base.base.epsilon = flags.GetDouble("epsilon", 0.2);
   base.base.c = flags.GetDouble("c", 2.0);
   base.base.t_guess = flags.GetDouble("t-guess", 0.0);
   base.reservoir_capacity =
-      static_cast<std::size_t>(flags.GetInt("reservoir", 1000));
+      static_cast<std::size_t>(flags.GetCount("reservoir", 1000));
   base.level_rate = flags.GetDouble("level-rate", -1.0);
   base.prefix_rate = flags.GetDouble("prefix-rate", -1.0);
   base.space_budget_words =
-      static_cast<std::size_t>(flags.GetInt("budget-words", 0));
+      static_cast<std::size_t>(flags.GetCount("budget-words", 0));
   if (!ApplySketchBackendFlags(flags, &base)) return Usage();
-  const std::uint64_t seed = flags.GetInt("seed", 1);
+  const std::uint64_t seed = flags.GetCount("seed", 1);
 
   std::vector<engine::QuerySpec> specs;
   for (int i = 0; i < num_queries; ++i) {
@@ -662,87 +711,21 @@ int RunSweep(FlagParser& flags, RunManifest& manifest) {
   return RunEngineBatch(flags, manifest, std::move(specs));
 }
 
-// Parses a `serve` spec file: one query per line, `key=value` tokens, '#'
-// comments. Returns false (with a message) on any malformed line.
-bool ParseSpecFile(const std::string& path, const engine::QuerySpec& defaults,
-                   std::vector<engine::QuerySpec>* specs) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "error: cannot open spec file " << path << "\n";
+// Spec-file front end shared by `serve` and `shard` (the engine's strict
+// parser: trailing garbage and wrapped negatives are hard errors with a
+// `file:line:` message, not silently mangled values).
+bool LoadSpecFile(FlagParser& flags, const std::string& spec_path,
+                  std::vector<engine::QuerySpec>* specs) {
+  engine::QuerySpec defaults;
+  defaults.base.epsilon = flags.GetDouble("epsilon", 0.2);
+  defaults.base.c = flags.GetDouble("c", 2.0);
+  defaults.base.t_guess = flags.GetDouble("t-guess", 0.0);
+  defaults.base.seed = flags.GetCount("seed", 1);
+  if (!ApplySketchBackendFlags(flags, &defaults)) return false;
+  std::string error;
+  if (!engine::ParseSpecFile(spec_path, defaults, specs, &error)) {
+    std::cerr << "error: " << error << "\n";
     return false;
-  }
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    std::string token;
-    engine::QuerySpec spec = defaults;
-    bool any = false, have_kind = false;
-    bool bad = false;
-    while (ls >> token) {
-      const std::size_t eq = token.find('=');
-      if (eq == std::string::npos) {
-        bad = true;
-        break;
-      }
-      const std::string key = token.substr(0, eq);
-      const std::string value = token.substr(eq + 1);
-      any = true;
-      try {
-        if (key == "name") {
-          spec.name = value;
-        } else if (key == "kind") {
-          const auto kind = engine::ParseQueryKind(value);
-          if (!kind.has_value()) {
-            bad = true;
-            break;
-          }
-          spec.kind = *kind;
-          have_kind = true;
-        } else if (key == "seed") {
-          spec.base.seed = std::stoull(value);
-        } else if (key == "budget") {
-          spec.space_budget_words = std::stoull(value);
-        } else if (key == "epsilon") {
-          spec.base.epsilon = std::stod(value);
-        } else if (key == "c") {
-          spec.base.c = std::stod(value);
-        } else if (key == "t_guess") {
-          spec.base.t_guess = std::stod(value);
-        } else if (key == "level_rate") {
-          spec.level_rate = std::stod(value);
-        } else if (key == "prefix_rate") {
-          spec.prefix_rate = std::stod(value);
-        } else if (key == "reservoir") {
-          spec.reservoir_capacity = std::stoull(value);
-        } else if (key == "sketch_backend") {
-          const auto backend = ParseSketchBackend(value);
-          if (!backend.has_value()) {
-            bad = true;
-            break;
-          }
-          spec.sketch_backend = *backend;
-        } else if (key == "intra_shards") {
-          spec.intra_shards = std::max(1, std::stoi(value));
-        } else {
-          bad = true;
-          break;
-        }
-      } catch (const std::exception&) {
-        bad = true;
-        break;
-      }
-    }
-    if (!any) continue;  // Blank or comment-only line.
-    if (bad || spec.name.empty() || !have_kind) {
-      std::cerr << "error: " << path << ":" << lineno
-                << ": malformed query spec (need name=... kind=...)\n";
-      return false;
-    }
-    specs->push_back(std::move(spec));
   }
   return true;
 }
@@ -753,15 +736,229 @@ int RunServe(FlagParser& flags, RunManifest& manifest) {
     std::cerr << "error: --spec FILE is required\n";
     return Usage();
   }
-  engine::QuerySpec defaults;
-  defaults.base.epsilon = flags.GetDouble("epsilon", 0.2);
-  defaults.base.c = flags.GetDouble("c", 2.0);
-  defaults.base.t_guess = flags.GetDouble("t-guess", 0.0);
-  defaults.base.seed = flags.GetInt("seed", 1);
-  if (!ApplySketchBackendFlags(flags, &defaults)) return Usage();
   std::vector<engine::QuerySpec> specs;
-  if (!ParseSpecFile(spec_path, defaults, &specs)) return 1;
+  if (!LoadSpecFile(flags, spec_path, &specs)) return 1;
   return RunEngineBatch(flags, manifest, std::move(specs));
+}
+
+// `shard`: the multi-process engine front end. Same spec preparation and
+// output as `sweep`/`serve`, but execution goes through the shard
+// coordinator — results are bit-identical to --shards 1 at any worker
+// count, so the deterministic manifest is too (the shard execution-policy
+// flags are excluded from it like --threads).
+int RunShard(FlagParser& flags, RunManifest& manifest) {
+  const int num_workers = static_cast<int>(flags.GetCount("shards", 1));
+  if (num_workers < 1) {
+    std::cerr << "error: --shards must be >= 1\n";
+    return 1;
+  }
+  const std::string shard_dir = flags.GetString("shard-dir", "");
+  if (shard_dir.empty()) {
+    std::cerr << "error: --shard-dir DIR is required\n";
+    return Usage();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(shard_dir, ec);
+
+  const std::string launch = flags.GetString("launch", "inprocess");
+  if (launch != "inprocess" && launch != "subprocess") {
+    std::cerr << "error: --launch must be inprocess or subprocess\n";
+    return 1;
+  }
+
+  // Specs: an explicit file, or a sweep-style generated matrix (defaults
+  // to arb-f2, the shard-mergeable kind).
+  std::vector<engine::QuerySpec> specs;
+  const std::string spec_path = flags.GetString("spec", "");
+  if (!spec_path.empty()) {
+    if (!LoadSpecFile(flags, spec_path, &specs)) return 1;
+  } else {
+    const int num_queries = static_cast<int>(flags.GetCount("queries", 4));
+    engine::QuerySpec base;
+    base.base.epsilon = flags.GetDouble("epsilon", 0.2);
+    base.base.c = flags.GetDouble("c", 2.0);
+    base.base.t_guess = flags.GetDouble("t-guess", 0.0);
+    base.space_budget_words =
+        static_cast<std::size_t>(flags.GetCount("budget-words", 0));
+    if (!ApplySketchBackendFlags(flags, &base)) return Usage();
+    const std::uint64_t seed = flags.GetCount("seed", 1);
+    const std::string algos = flags.GetString("algorithms", "arb-f2");
+    std::vector<engine::QueryKind> kinds;
+    std::size_t start = 0;
+    while (start <= algos.size()) {
+      std::size_t comma = algos.find(',', start);
+      if (comma == std::string::npos) comma = algos.size();
+      const std::string name = algos.substr(start, comma - start);
+      if (!name.empty()) {
+        const auto kind = engine::ParseQueryKind(name);
+        if (!kind.has_value()) {
+          std::cerr << "error: unknown algorithm '" << name << "'\n";
+          return Usage();
+        }
+        kinds.push_back(*kind);
+      }
+      start = comma + 1;
+    }
+    if (kinds.empty()) kinds.push_back(engine::QueryKind::kArbF2);
+    for (int i = 0; i < num_queries; ++i) {
+      engine::QuerySpec spec = base;
+      spec.kind = kinds[static_cast<std::size_t>(i) % kinds.size()];
+      spec.name = std::string(engine::QueryKindName(spec.kind)) + "-" +
+                  std::to_string(i);
+      spec.base.seed = seed + static_cast<std::uint64_t>(i);
+      specs.push_back(std::move(spec));
+    }
+  }
+  if (specs.empty()) {
+    std::cerr << "error: no queries to run\n";
+    return 1;
+  }
+  for (const engine::QuerySpec& spec : specs) {
+    if (!engine::IsEdgeKind(spec.kind) ||
+        !engine::IsShardMergeableKind(spec.kind)) {
+      std::cerr << "error: query '" << spec.name << "' ("
+                << engine::QueryKindName(spec.kind)
+                << ") is not shard-mergeable; `shard` supports arb-f2\n";
+      return 1;
+    }
+  }
+
+  BinaryEdgeReader reader;
+  EdgeList graph;
+  bool binary = false;
+  if (!LoadBatchGraph(flags, &reader, &graph, &binary)) return 1;
+  const Graph g(graph);
+  const std::uint64_t seed = flags.GetCount("seed", 1);
+  const std::string order = flags.GetString("order", "shuffled");
+  if (order != "shuffled" && order != "file") {
+    std::cerr << "error: --order must be shuffled or file\n";
+    return 1;
+  }
+  const bool show_exact = !flags.GetBool("no-exact", false);
+  ExactCache exact(g);
+  for (engine::QuerySpec& spec : specs) {
+    if (spec.num_vertices == 0) spec.num_vertices = g.num_vertices();
+    if (spec.base.t_guess <= 1.0) {
+      spec.base.t_guess = std::max(1.0, exact.For(spec.kind));
+    }
+  }
+
+  engine::ShardPlanOptions options;
+  options.num_workers = num_workers;
+  options.block_edges =
+      static_cast<std::size_t>(flags.GetCount("block-edges", 4096));
+  options.budget.per_query_words =
+      static_cast<std::size_t>(flags.GetCount("per-query-budget", 0));
+  options.budget.aggregate_words =
+      static_cast<std::size_t>(flags.GetCount("aggregate-budget", 0));
+  options.epoch_edges = flags.GetCount("epoch-edges", 0);
+  options.shard_dir = shard_dir;
+  options.launch = launch == "subprocess" ? engine::ShardLaunch::kSubprocess
+                                          : engine::ShardLaunch::kInProcess;
+  options.worker_binary = flags.GetString("worker-binary", "");
+  options.kill_worker = static_cast<int>(flags.GetInt("kill-shard", -1));
+  options.kill_after_edges = flags.GetCount("kill-edges", 0);
+
+  // The stream. Subprocess workers mmap the .bin themselves, so the
+  // coordinator must stream the same bytes in the same order: binary
+  // file-order only.
+  EdgeStream materialized;
+  std::span<const Edge> edges;
+  if (options.launch == engine::ShardLaunch::kSubprocess) {
+    if (!binary || order != "file") {
+      std::cerr << "error: --launch subprocess needs a .bin graph and "
+                   "--order file (workers stream the file directly)\n";
+      return 1;
+    }
+    options.stream_path = flags.GetString("graph", "");
+    edges = std::span<const Edge>(reader.edges(), reader.num_edges());
+  } else if (order == "file") {
+    materialized = graph.edges();
+    edges = materialized;
+  } else {
+    Rng order_rng(seed ^ 0x5eedULL);
+    materialized = MakeRandomOrderStream(graph, order_rng);
+    edges = materialized;
+  }
+
+  const engine::ShardBatchResult result =
+      engine::RunShardedBatch(specs, edges, options);
+  std::cerr << "shard: " << num_workers << " worker(s), "
+            << result.workers_launched << " launch(es), "
+            << result.workers_recovered << " recovered\n";
+  manifest.metrics().SetExecution(
+      "shard.workers_launched",
+      static_cast<std::int64_t>(result.workers_launched));
+  manifest.metrics().SetExecution(
+      "shard.workers_recovered",
+      static_cast<std::int64_t>(result.workers_recovered));
+  PrintEngineOutcomes(result.outcomes, result.stats, show_exact, exact,
+                      manifest);
+  return 0;
+}
+
+// `shard-worker`: the subprocess half of `shard --launch subprocess`. Not
+// meant for direct use; it recomputes the stream and spec fingerprints
+// from its input files (an end-to-end codec check — the coordinator
+// rejects the state if either disagrees with its own).
+int RunShardWorkerCommand(FlagParser& flags) {
+  const std::string stream_path = flags.GetString("stream", "");
+  const std::string spec_path = flags.GetString("spec-file", "");
+  const std::string state_out = flags.GetString("state-out", "");
+  if (stream_path.empty() || spec_path.empty() || state_out.empty()) {
+    std::cerr << "error: shard-worker needs --stream, --spec-file, and "
+                 "--state-out\n";
+    return 1;
+  }
+  BinaryEdgeReader reader;
+  std::string error;
+  if (!reader.Open(stream_path, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  const std::span<const Edge> edges(reader.edges(), reader.num_edges());
+
+  engine::ShardWorkerConfig config;
+  // The coordinator's spec file is fully resolved (every key explicit), so
+  // the defaults here never matter.
+  if (!engine::ParseSpecFile(spec_path, engine::QuerySpec(), &config.specs,
+                             &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  if (!engine::ParseShardRanges(flags.GetString("ranges", ""),
+                                &config.ranges)) {
+    std::cerr << "error: --ranges must be begin:end[,begin:end...]\n";
+    return 1;
+  }
+  config.edges = edges;
+  config.worker_id = static_cast<std::uint32_t>(flags.GetCount("worker", 0));
+  config.num_workers =
+      static_cast<std::uint32_t>(flags.GetCount("workers", 1));
+  config.stream_fingerprint = FingerprintEdgeStream(edges);
+  config.spec_fingerprint = engine::FingerprintSpecs(config.specs);
+  config.block_edges =
+      static_cast<std::size_t>(flags.GetCount("block-edges", 4096));
+  config.epoch_edges = flags.GetCount("epoch-edges", 0);
+  config.checkpoint_path = flags.GetString("checkpoint", "");
+  config.resume = flags.GetBool("resume", false);
+  config.die_after_edges =
+      flags.GetCount("die-after-edges", engine::kNoDeath);
+
+  const engine::ShardWorkerOutcome outcome =
+      engine::RunShardWorker(config, state_out, &error);
+  if (!outcome.completed) {
+    if (config.die_after_edges != engine::kNoDeath &&
+        outcome.edges_done == config.die_after_edges) {
+      // Injected death: die the way a real crash would (no state file, no
+      // cleanup) so the coordinator's recovery path sees the real thing.
+      std::_Exit(kKilledExitCode);
+    }
+    std::cerr << "error: " << (error.empty() ? "worker failed" : error)
+              << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 int RunGenerate(FlagParser& flags, RunManifest& manifest) {
@@ -813,6 +1010,11 @@ int RunGenerate(FlagParser& flags, RunManifest& manifest) {
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
+  // Workers skip the manifest/teardown machinery: their only output is the
+  // state file, and they may _Exit mid-stream under fault injection.
+  if (flags.positional()[0] == "shard-worker") {
+    return RunShardWorkerCommand(flags);
+  }
   int threads = ApplyThreadsFlag(flags);
   const bool checkpointing = ApplyCheckpointFlags(flags, &threads);
   ApplyExactBackendFlag(flags);
@@ -835,6 +1037,8 @@ int Main(int argc, char** argv) {
     rc = RunSweep(flags, manifest);
   } else if (command == "serve") {
     rc = RunServe(flags, manifest);
+  } else if (command == "shard") {
+    rc = RunShard(flags, manifest);
   } else {
     return Usage();
   }
