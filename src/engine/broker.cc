@@ -325,7 +325,12 @@ void ExportToManifest(const std::vector<QueryOutcome>& outcomes,
     q.SetInt("seed", static_cast<std::int64_t>(out.spec.base.seed));
     q.SetInt("budget_words",
              static_cast<std::int64_t>(out.spec.space_budget_words));
-    if (out.admission == AdmissionOutcome::kAdmitted) {
+    if (out.poisoned) {
+      // A poisoned wave has no trustworthy estimate; publish the marker and
+      // nothing else, so a consumer can never mistake the zero-initialized
+      // estimate for a result.
+      q.SetInt("poisoned", 1);
+    } else if (out.admission == AdmissionOutcome::kAdmitted) {
       q.Set("estimate", out.estimate.value);
       q.SetInt("space_words", static_cast<std::int64_t>(out.estimate.space_words));
       q.SetInt("passes", out.passes);

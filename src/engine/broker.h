@@ -99,6 +99,10 @@ struct QueryOutcome {
   /// Peak-space component breakdown (empty if the algorithm lacks a
   /// tracker or was rejected).
   std::map<std::string, std::size_t, std::less<>> space_peak_components;
+  /// Supervised runs only: the query's wave exhausted its retry budget and
+  /// was abandoned without a result (estimate is zero-initialized). The
+  /// broker and coordinator never poison — they abort instead.
+  bool poisoned = false;
 };
 
 /// Aggregate accounting for one broker batch.

@@ -4,9 +4,8 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
-#include <fstream>
-#include <iterator>
 #include <numeric>
 #include <utility>
 
@@ -14,6 +13,7 @@
 #include "stream/checkpoint.h"
 #include "stream/driver.h"
 #include "util/check.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 
@@ -23,13 +23,6 @@ namespace {
 std::string DirName(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
-}
-
-std::string SelfExecutable() {
-  char buf[4096];
-  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
-  CHECK_GT(n, 0) << "cannot resolve /proc/self/exe for the worker binary";
-  return std::string(buf, static_cast<std::size_t>(n));
 }
 
 // The broker's audit cross-check, applied to a merged query (the merged
@@ -45,12 +38,6 @@ bool MaybeAuditMerged(const EdgeStreamAlgorithm& alg) {
   return true;
 }
 
-// One worker's launch parameters for a wave.
-struct WorkerLaunch {
-  ShardWorkerConfig config;
-  std::string state_path;
-};
-
 // Runs one worker in-process; returns completed.
 bool LaunchInProcess(const WorkerLaunch& launch) {
   std::string error;
@@ -63,13 +50,30 @@ bool LaunchInProcess(const WorkerLaunch& launch) {
   return outcome.completed;
 }
 
-// Builds the `shard-worker` argv for a subprocess launch. The worker
-// recomputes the stream and spec fingerprints itself from the files — a
-// cheap end-to-end check that both codecs round-trip.
-std::vector<std::string> WorkerArgv(const std::string& binary,
-                                    const std::string& stream_path,
-                                    const std::string& spec_path,
-                                    const WorkerLaunch& launch) {
+// Restores one query's blob into a fresh instance of `spec`.
+EdgeQuery RestoreQuery(const QuerySpec& spec, const std::string& blob) {
+  EdgeQuery q = MakeEdgeQuery(spec);
+  StateReader r(blob);
+  CHECK(q.algorithm->RestoreState(r) && r.AtEnd())
+      << "validated shard state rejected by RestoreState for query '"
+      << spec.name << "' (codec bug)";
+  return q;
+}
+
+}  // namespace
+
+std::string ResolveWorkerBinary(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  CHECK_GT(n, 0) << "cannot resolve /proc/self/exe for the worker binary";
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::vector<std::string> BuildWorkerArgv(const std::string& binary,
+                                         const std::string& stream_path,
+                                         const std::string& spec_path,
+                                         const WorkerLaunch& launch) {
   const ShardWorkerConfig& c = launch.config;
   std::vector<std::string> argv = {
       binary,
@@ -100,10 +104,24 @@ std::vector<std::string> WorkerArgv(const std::string& binary,
     argv.push_back("--die-after-edges");
     argv.push_back(std::to_string(c.die_after_edges));
   }
+  if (c.hang_after_edges != kNoDeath) {
+    argv.push_back("--hang-after-edges");
+    argv.push_back(std::to_string(c.hang_after_edges));
+  }
+  if (c.heartbeat_edges > 0 && !c.heartbeat_path.empty()) {
+    argv.push_back("--heartbeat-edges");
+    argv.push_back(std::to_string(c.heartbeat_edges));
+    argv.push_back("--heartbeat");
+    argv.push_back(c.heartbeat_path);
+  }
+  if (c.throttle_ms_per_block > 0) {
+    argv.push_back("--throttle-ms");
+    argv.push_back(std::to_string(c.throttle_ms_per_block));
+  }
   return argv;
 }
 
-pid_t SpawnWorker(const std::vector<std::string>& argv) {
+pid_t SpawnShardWorker(const std::vector<std::string>& argv) {
   std::vector<char*> raw;
   raw.reserve(argv.size() + 1);
   for (const std::string& a : argv) raw.push_back(const_cast<char*>(a.c_str()));
@@ -117,17 +135,25 @@ pid_t SpawnWorker(const std::vector<std::string>& argv) {
   return pid;
 }
 
-bool WaitWorker(pid_t pid) {
+namespace {
+
+bool WaitWorker(pid_t pid, std::uint32_t worker_id) {
   int status = 0;
-  const pid_t got = waitpid(pid, &status, 0);
+  pid_t got;
+  do {
+    got = waitpid(pid, &status, 0);
+  } while (got < 0 && errno == EINTR);
   CHECK_EQ(got, pid) << "waitpid failed for shard worker";
-  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  const bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  if (!ok) {
+    LOG(WARNING) << "worker " << worker_id << ": "
+                 << DescribeWaitStatus(status);
+  }
+  return ok;
 }
 
-// Loads + validates one worker's final state. False (with a warning) on
-// any damage or mismatch — the caller treats the worker as dead and
-// relaunches it, so a stale or torn file can delay a run but never corrupt
-// a merge.
+}  // namespace
+
 bool CollectWorkerState(const WorkerLaunch& launch,
                         const std::vector<QuerySpec>& wave_specs,
                         ShardState* state) {
@@ -159,22 +185,9 @@ bool CollectWorkerState(const WorkerLaunch& launch,
   return true;
 }
 
-// Restores one query's blob into a fresh instance of `spec`.
-EdgeQuery RestoreQuery(const QuerySpec& spec, const std::string& blob) {
-  EdgeQuery q = MakeEdgeQuery(spec);
-  StateReader r(blob);
-  CHECK(q.algorithm->RestoreState(r) && r.AtEnd())
-      << "validated shard state rejected by RestoreState for query '"
-      << spec.name << "' (codec bug)";
-  return q;
-}
-
-// Folds `states` (fixed order) into one merged query per spec. `base`
-// queries, when provided, seed the fold (the W-change restore path's
-// checkpoint base); otherwise shard 0's state is the seed.
-std::vector<EdgeQuery> MergeStates(const std::vector<QuerySpec>& wave_specs,
-                                   const std::vector<ShardState>& states,
-                                   std::vector<EdgeQuery> base) {
+std::vector<EdgeQuery> MergeShardStates(
+    const std::vector<QuerySpec>& wave_specs,
+    const std::vector<ShardState>& states, std::vector<EdgeQuery> base) {
   std::vector<EdgeQuery> merged = std::move(base);
   const bool seeded = !merged.empty();
   CHECK(seeded || !states.empty());
@@ -198,6 +211,8 @@ std::vector<EdgeQuery> MergeStates(const std::vector<QuerySpec>& wave_specs,
   }
   return merged;
 }
+
+namespace {
 
 // Runs a set of worker launches to completion: first attempt (possibly
 // with an injected kill), then one recovery relaunch — resuming from the
@@ -229,15 +244,14 @@ void RunWorkersToCompletion(std::vector<WorkerLaunch>& launches,
       if (options.launch == ShardLaunch::kInProcess) {
         LaunchInProcess(launches[i]);
       } else {
-        pids[i] = SpawnWorker(WorkerArgv(
-            options.worker_binary.empty() ? SelfExecutable()
-                                          : options.worker_binary,
-            options.stream_path, spec_path, launches[i]));
+        pids[i] = SpawnShardWorker(
+            BuildWorkerArgv(ResolveWorkerBinary(options.worker_binary),
+                            options.stream_path, spec_path, launches[i]));
       }
     }
     for (std::size_t i = 0; i < w; ++i) {
       if (!attempted[i]) continue;
-      if (pids[i] >= 0) WaitWorker(pids[i]);
+      if (pids[i] >= 0) WaitWorker(pids[i], launches[i].config.worker_id);
       // Exit status aside, the state file is the ground truth: a worker
       // only counts as finished if it left a fully valid state.
       if (CollectWorkerState(launches[i], wave_specs, &(*states)[i])) {
@@ -256,11 +270,13 @@ void RunWorkersToCompletion(std::vector<WorkerLaunch>& launches,
   }
 }
 
-// Fills the broker-shaped outcome/stats fields for one completed wave.
-// `merged` holds one query per admitted slot, in slot order.
-void FinalizeWave(const std::vector<std::size_t>& admitted, int wave,
-                  std::size_t stream_length, std::vector<EdgeQuery>& merged,
-                  std::vector<QueryOutcome>& outcomes, EngineStats& stats) {
+}  // namespace
+
+void FinalizeShardWave(const std::vector<std::size_t>& admitted, int wave,
+                       std::size_t stream_length,
+                       std::vector<EdgeQuery>& merged,
+                       std::vector<QueryOutcome>& outcomes,
+                       EngineStats& stats) {
   // One logical pass (mergeable kinds are single-pass, CHECKed in the
   // worker), read once across the workers collectively — the same counters
   // the broker's wave loop would produce.
@@ -288,7 +304,7 @@ void FinalizeWave(const std::vector<std::size_t>& admitted, int wave,
   AddExternalRunStats(credit);
 }
 
-void CheckSpecs(const std::vector<QuerySpec>& specs) {
+void CheckShardableSpecs(const std::vector<QuerySpec>& specs) {
   CHECK(!specs.empty()) << "sharded batch needs at least one query";
   for (std::size_t i = 0; i < specs.size(); ++i) {
     CHECK(IsEdgeKind(specs[i].kind) && IsShardMergeableKind(specs[i].kind))
@@ -301,6 +317,8 @@ void CheckSpecs(const std::vector<QuerySpec>& specs) {
     }
   }
 }
+
+namespace {
 
 // Splits a flat list of leftover ranges into `num_workers` contiguous
 // assignments balanced by edge count (the same split PartitionStream uses).
@@ -338,7 +356,8 @@ std::vector<std::vector<ShardRange>> SplitRangesAcross(
 ShardBatchResult RunShardedBatch(const std::vector<QuerySpec>& specs,
                                  std::span<const Edge> edges,
                                  const ShardPlanOptions& options) {
-  CheckSpecs(specs);
+  CheckShardableSpecs(specs);
+  IgnoreSigpipe();
   CHECK_GT(options.num_workers, 0);
   CHECK(!options.shard_dir.empty())
       << "ShardPlanOptions::shard_dir is required (state files + "
@@ -458,9 +477,9 @@ ShardBatchResult RunShardedBatch(const std::vector<QuerySpec>& specs,
                            &result.workers_launched,
                            &result.workers_recovered);
 
-    std::vector<EdgeQuery> merged = MergeStates(wave_specs, states, {});
-    FinalizeWave(admitted, wave, edges.size(), merged, result.outcomes,
-                 stats);
+    std::vector<EdgeQuery> merged = MergeShardStates(wave_specs, states, {});
+    FinalizeShardWave(admitted, wave, edges.size(), merged, result.outcomes,
+                      stats);
 
     for (std::size_t slot : admitted) {
       controller.Release(specs[slot].space_budget_words);
@@ -504,28 +523,10 @@ std::string EncodeEpochManifest(const EpochManifest& manifest) {
 
 bool SaveEpochManifest(const std::string& path, const EpochManifest& manifest,
                        std::string* error) {
-  const std::string encoded = EncodeEpochManifest(manifest);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      if (error != nullptr) *error = "cannot open " + tmp + " for writing";
-      return false;
-    }
-    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
-    out.flush();
-    if (!out) {
-      if (error != nullptr) *error = "write failed for " + tmp;
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    if (error != nullptr) *error = "rename " + tmp + " -> " + path + " failed";
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  // Durable atomic write (tmp + fsync + rename + parent-dir fsync): the
+  // manifest is the recovery root — a crash must never leave it torn or
+  // silently un-persisted.
+  return io::WriteFileAtomic(path, EncodeEpochManifest(manifest), error);
 }
 
 bool LoadEpochManifest(const std::string& path, EpochManifest* manifest,
@@ -534,11 +535,8 @@ bool LoadEpochManifest(const std::string& path, EpochManifest* manifest,
     if (error != nullptr) *error = why;
     return false;
   };
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return reject("cannot open epoch manifest " + path);
-  std::string encoded((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  if (in.bad()) return reject("I/O error reading epoch manifest " + path);
+  std::string encoded;
+  if (!io::ReadFileToString(path, &encoded, error)) return false;
 
   std::size_t pos = 0;
   FrameType type;
@@ -607,7 +605,8 @@ bool ResumeShardedBatch(const std::string& manifest_path,
     if (error != nullptr) *error = why;
     return false;
   };
-  CheckSpecs(specs);
+  CheckShardableSpecs(specs);
+  IgnoreSigpipe();
   CHECK_GT(options.num_workers, 0);
   CHECK(!options.shard_dir.empty());
 
@@ -731,9 +730,9 @@ bool ResumeShardedBatch(const std::string& manifest_path,
                          &out.workers_launched, &out.workers_recovered);
 
   std::vector<EdgeQuery> merged =
-      MergeStates(wave_specs, states, std::move(base));
-  FinalizeWave(admitted, /*wave=*/0, edges.size(), merged, out.outcomes,
-               out.stats);
+      MergeShardStates(wave_specs, states, std::move(base));
+  FinalizeShardWave(admitted, /*wave=*/0, edges.size(), merged, out.outcomes,
+                    out.stats);
   for (std::size_t slot : admitted) {
     controller.Release(specs[slot].space_budget_words);
     ++out.stats.queries_admitted;

@@ -1,6 +1,8 @@
 #ifndef CYCLESTREAM_ENGINE_COORDINATOR_H_
 #define CYCLESTREAM_ENGINE_COORDINATOR_H_
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <span>
 #include <string>
@@ -136,6 +138,64 @@ bool ResumeShardedBatch(const std::string& manifest_path,
                         std::span<const Edge> edges,
                         const ShardPlanOptions& options,
                         ShardBatchResult* result, std::string* error);
+
+// ---------------------------------------------------------------------------
+// Worker-execution toolkit
+// ---------------------------------------------------------------------------
+// The launch/collect/merge/finalize primitives the coordinator's own wave
+// loop is built from, exported so the supervision layer
+// (engine/supervisor.h) can drive the *same* workers under a richer policy
+// (retry budgets, backoff, deadlines, drain) without duplicating the
+// determinism-critical state handling.
+
+/// One worker's launch parameters for a wave.
+struct WorkerLaunch {
+  ShardWorkerConfig config;
+  std::string state_path;
+};
+
+/// Resolves the worker executable: `configured` when non-empty, else
+/// /proc/self/exe (aborts if that cannot be resolved).
+std::string ResolveWorkerBinary(const std::string& configured);
+
+/// Builds the `shard-worker` argv for a subprocess launch. The worker
+/// recomputes the stream and spec fingerprints itself from the files — a
+/// cheap end-to-end check that both codecs round-trip.
+std::vector<std::string> BuildWorkerArgv(const std::string& binary,
+                                         const std::string& stream_path,
+                                         const std::string& spec_path,
+                                         const WorkerLaunch& launch);
+
+/// fork/execs one worker, returning its pid. A failed exec surfaces as the
+/// child exiting 127 — the caller's wait loop treats it as a dead worker.
+pid_t SpawnShardWorker(const std::vector<std::string>& argv);
+
+/// Loads + validates one worker's final state. False (with a warning) on
+/// any damage or mismatch — the caller treats the worker as dead and
+/// relaunches it, so a stale or torn file can delay a run but never
+/// corrupt a merge.
+bool CollectWorkerState(const WorkerLaunch& launch,
+                        const std::vector<QuerySpec>& wave_specs,
+                        ShardState* state);
+
+/// Folds `states` (fixed order) into one merged query per spec. `base`
+/// queries, when provided, seed the fold (the checkpoint-restore paths);
+/// otherwise shard 0's state is the seed.
+std::vector<EdgeQuery> MergeShardStates(
+    const std::vector<QuerySpec>& wave_specs,
+    const std::vector<ShardState>& states, std::vector<EdgeQuery> base);
+
+/// Fills the broker-shaped outcome/stats fields for one completed wave.
+/// `merged` holds one query per admitted slot, in slot order.
+void FinalizeShardWave(const std::vector<std::size_t>& admitted, int wave,
+                       std::size_t stream_length,
+                       std::vector<EdgeQuery>& merged,
+                       std::vector<QueryOutcome>& outcomes,
+                       EngineStats& stats);
+
+/// CHECKs that `specs` is non-empty, unique-named, and every kind is a
+/// shard-mergeable edge kind.
+void CheckShardableSpecs(const std::vector<QuerySpec>& specs);
 
 }  // namespace cyclestream::engine
 

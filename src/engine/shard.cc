@@ -1,14 +1,21 @@
 #include "engine/shard.h"
 
+#include <signal.h>
+#include <sys/wait.h>
+
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <thread>
 
+#include "stream/driver.h"
 #include "util/check.h"
 #include "util/crc32.h"
+#include "util/io.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 
@@ -36,10 +43,54 @@ std::uint64_t GetLE(const char* p, int bytes) {
 bool KnownFrameType(std::uint32_t raw) {
   return raw == static_cast<std::uint32_t>(FrameType::kHeader) ||
          raw == static_cast<std::uint32_t>(FrameType::kQueryState) ||
-         raw == static_cast<std::uint32_t>(FrameType::kFooter);
+         raw == static_cast<std::uint32_t>(FrameType::kFooter) ||
+         raw == static_cast<std::uint32_t>(FrameType::kHeartbeat);
+}
+
+// Process-wide drain flag. sig_atomic_t + volatile: written from signal
+// handlers (RequestWorkerDrain is async-signal-safe), read in the worker
+// loop at block/epoch granularity.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void SleepMs(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 }  // namespace
+
+void RequestWorkerDrain() { g_drain_requested = 1; }
+bool WorkerDrainRequested() { return g_drain_requested != 0; }
+void ClearWorkerDrainRequest() { g_drain_requested = 0; }
+
+void IgnoreSigpipe() {
+  // A worker writing its state file while the coordinator is gone — or the
+  // coordinator logging to a closed pipe — must surface as an error code,
+  // not a silent SIGPIPE death that the supervisor then misclassifies.
+  static const bool installed = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
+}
+
+std::string DescribeWaitStatus(int status) {
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    std::string out = "exited " + std::to_string(code);
+    if (code == kKilledExitCode) out += " (fault-injection kill sentinel)";
+    if (code == kDrainExitCode) out += " (drain acknowledged)";
+    if (code == 127) out += " (exec failed)";
+    return out;
+  }
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    const char* name = strsignal(sig);
+    std::string out = "killed by signal " + std::to_string(sig);
+    if (name != nullptr) out += std::string(" (") + name + ")";
+    return out;
+  }
+  return "unrecognized wait status " + std::to_string(status);
+}
 
 void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
   out->append(kFrameMagic, sizeof(kFrameMagic));
@@ -235,46 +286,57 @@ bool DecodeShardState(std::string_view encoded, ShardState* state,
 
 bool SaveShardState(const std::string& path, const ShardState& state,
                     std::string* error) {
-  const std::string encoded = EncodeShardState(state);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      if (error != nullptr) *error = "cannot open " + tmp + " for writing";
-      return false;
-    }
-    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
-    out.flush();
-    if (!out) {
-      if (error != nullptr) *error = "write failed for " + tmp;
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    if (error != nullptr) {
-      *error = "rename " + tmp + " -> " + path + " failed";
-    }
-    std::remove(tmp.c_str());
+  // Durable atomic write (util/io.h): EINTR-safe, file fsynced before the
+  // rename, parent directory fsynced after — a crash right after the
+  // rename cannot lose a checkpoint the supervisor is counting on.
+  return io::WriteFileAtomic(path, EncodeShardState(state), error);
+}
+
+bool LoadShardState(const std::string& path, ShardState* state,
+                    std::string* error) {
+  std::string encoded;
+  if (!io::ReadFileToString(path, &encoded, error)) return false;
+  return DecodeShardState(encoded, state, error);
+}
+
+bool AppendHeartbeat(const std::string& path, const HeartbeatRecord& record) {
+  StateWriter w;
+  w.U32(record.worker_id);
+  w.U64(record.edges_done);
+  w.U64(record.seq);
+  std::string frame;
+  AppendFrame(&frame, FrameType::kHeartbeat, w.str());
+  std::string error;
+  if (!io::AppendToFile(path, frame, &error)) {
+    LOG(WARNING) << "heartbeat append failed: " << error;
     return false;
   }
   return true;
 }
 
-bool LoadShardState(const std::string& path, ShardState* state,
-                    std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error != nullptr) *error = "cannot open shard state " + path;
-    return false;
+bool ReadLastHeartbeat(const std::string& path, HeartbeatRecord* record) {
+  std::string data;
+  if (!io::ReadFileToString(path, &data, nullptr)) return false;
+  bool found = false;
+  HeartbeatRecord last;
+  std::size_t pos = 0;
+  FrameType type;
+  std::string_view payload;
+  // Walk frames until the end or the first damage; a torn tail (killed
+  // mid-append) invalidates only the beacons after the damage.
+  while (pos < data.size() && ReadFrame(data, &pos, &type, &payload, nullptr)) {
+    if (type != FrameType::kHeartbeat) continue;
+    StateReader r(payload);
+    HeartbeatRecord hb;
+    hb.worker_id = r.U32();
+    hb.edges_done = r.U64();
+    hb.seq = r.U64();
+    if (!r.AtEnd()) continue;
+    last = hb;
+    found = true;
   }
-  std::string encoded((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    if (error != nullptr) *error = "I/O error reading shard state " + path;
-    return false;
-  }
-  return DecodeShardState(encoded, state, error);
+  if (found && record != nullptr) *record = last;
+  return found;
 }
 
 namespace {
@@ -390,6 +452,22 @@ ShardWorkerOutcome RunShardWorker(const ShardWorkerConfig& config,
   std::uint64_t next_ckpt =
       checkpoints ? (done / epoch + 1) * epoch : kNoDeath;
   const std::uint64_t die_at = config.die_after_edges;
+  const std::uint64_t hang_at = config.hang_after_edges;
+
+  const bool heartbeats =
+      config.heartbeat_edges > 0 && !config.heartbeat_path.empty();
+  std::uint64_t hb_seq = 0;
+  std::uint64_t next_hb = 0;
+  auto beat = [&]() {
+    if (!heartbeats) return;
+    if (AppendHeartbeat(config.heartbeat_path,
+                        {config.worker_id, done, hb_seq})) {
+      ++out.heartbeats_written;
+    }
+    ++hb_seq;
+    next_hb = done + config.heartbeat_edges;
+  };
+  beat();  // Launch beacon: the watchdog sees liveness before edge 1.
 
   auto write_checkpoint = [&]() -> bool {
     ShardState state;
@@ -423,10 +501,18 @@ ShardWorkerOutcome RunShardWorker(const ShardWorkerConfig& config,
         out.edges_done = done;
         return out;  // completed stays false: the injected kill fired.
       }
+      if (hang_at != kNoDeath && done == hang_at) {
+        // Injected hang: stop progressing AND stop heartbeating — the
+        // shape of a wedged subprocess the watchdog must kill.
+        for (;;) SleepMs(1000);
+      }
       std::uint64_t n =
           std::min<std::uint64_t>(config.block_edges, r_size - offset);
       n = std::min(n, next_ckpt - done);
       if (die_at != kNoDeath && die_at > done) n = std::min(n, die_at - done);
+      if (hang_at != kNoDeath && hang_at > done) {
+        n = std::min(n, hang_at - done);
+      }
       const std::size_t global = static_cast<std::size_t>(range.begin + offset);
       const std::span<const Edge> block =
           config.edges.subspan(global, static_cast<std::size_t>(n));
@@ -437,9 +523,26 @@ ShardWorkerOutcome RunShardWorker(const ShardWorkerConfig& config,
       }
       offset += n;
       done += n;
+      if (config.throttle_ms_per_block > 0) {
+        SleepMs(config.throttle_ms_per_block);
+      }
+      if (heartbeats && done >= next_hb) beat();
       if (done == next_ckpt) {
         write_checkpoint();
         next_ckpt += epoch;
+        if (WorkerDrainRequested()) {
+          // Drain lands exactly at an epoch boundary: the checkpoint just
+          // written is the resume point; no final state is produced.
+          out.drained = true;
+          out.edges_done = done;
+          return out;
+        }
+      } else if (!checkpoints && WorkerDrainRequested()) {
+        // No checkpoint cadence to align with: stop at the block boundary.
+        // Progress is lost, but the resumed wave re-runs deterministically.
+        out.drained = true;
+        out.edges_done = done;
+        return out;
       }
     }
     local_base += r_size;

@@ -39,6 +39,11 @@ enum class FrameType : std::uint32_t {
   kHeader = 1,
   kQueryState = 2,
   kFooter = 3,
+  /// Liveness beacon appended by a running worker (heartbeat file, not a
+  /// state file): worker_id + edges_done + sequence number. The
+  /// supervisor's watchdog reads the last valid one to decide whether a
+  /// subprocess is making progress or has hung past its deadline.
+  kHeartbeat = 4,
 };
 
 /// Appends one framed payload to `out`.
@@ -134,11 +139,61 @@ bool LoadShardState(const std::string& path, ShardState* state,
                     std::string* error);
 
 // ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+/// One liveness beacon. `seq` increments per beacon within one launch;
+/// progress is any change in (edges_done, seq) — a relaunched worker
+/// restarts seq, which still reads as progress.
+struct HeartbeatRecord {
+  std::uint32_t worker_id = 0;
+  std::uint64_t edges_done = 0;
+  std::uint64_t seq = 0;
+
+  friend bool operator==(const HeartbeatRecord&,
+                         const HeartbeatRecord&) = default;
+};
+
+/// Appends one CRC-framed kHeartbeat record to `path` (O_APPEND,
+/// EINTR-safe, best-effort — a failed beacon is logged, never fatal).
+/// Returns false on I/O failure.
+bool AppendHeartbeat(const std::string& path, const HeartbeatRecord& record);
+
+/// Reads the last fully valid heartbeat frame in `path`. A torn tail (the
+/// worker was killed mid-append) is tolerated: frames before the damage
+/// still count. False if the file is missing or holds no valid heartbeat.
+bool ReadLastHeartbeat(const std::string& path, HeartbeatRecord* record);
+
+// ---------------------------------------------------------------------------
 // Worker loop
 // ---------------------------------------------------------------------------
 
 /// No fault injected.
 inline constexpr std::uint64_t kNoDeath = ~std::uint64_t{0};
+
+/// Exit code of a worker that stopped at an epoch boundary because drain
+/// was requested (checkpoint written, no final state). Distinct from the
+/// fault-injection sentinel kKilledExitCode (86, stream/driver.h).
+inline constexpr int kDrainExitCode = 85;
+
+/// Process-wide drain request consumed by RunShardWorker: when set, the
+/// worker checkpoints at the next epoch boundary (immediately at the next
+/// block boundary if checkpoints are off) and returns with drained=true.
+/// RequestWorkerDrain is async-signal-safe — the CLI's SIGTERM/SIGINT
+/// handler calls it directly.
+void RequestWorkerDrain();
+bool WorkerDrainRequested();
+void ClearWorkerDrainRequest();  // Tests and post-drain resume paths.
+
+/// Installs SIG_IGN for SIGPIPE once per process. Called by every
+/// coordinator/supervisor/worker entry point: a worker whose parent died
+/// must fail through its exit status, not die silently mid-write.
+void IgnoreSigpipe();
+
+/// Human-readable waitpid() status: distinguishes a normal exit, a nonzero
+/// exit, the exit-86 fault-injection sentinel, the exit-85 drain
+/// acknowledgement, and death by signal (with the signal name).
+std::string DescribeWaitStatus(int status);
 
 /// One worker's marching orders. Shared by the in-process launch (tests)
 /// and the `shard-worker` CLI subcommand (subprocess launch) so both run
@@ -174,13 +229,29 @@ struct ShardWorkerConfig {
   /// still written, so a multiple of epoch_edges kills at a boundary and
   /// anything else kills mid-epoch. kNoDeath disables.
   std::uint64_t die_after_edges = kNoDeath;
+  /// Fault injection: hang forever (stop processing, stop heartbeating,
+  /// never exit) after this many worker-local edges — the supervisor's
+  /// deadline/watchdog prey. Only meaningful for subprocess workers; an
+  /// in-process hang would wedge the caller. kNoDeath disables.
+  std::uint64_t hang_after_edges = kNoDeath;
+  /// Heartbeat cadence in worker-local edges; 0 disables. Beacons are
+  /// appended to `heartbeat_path` (one at launch, then every cadence).
+  std::uint64_t heartbeat_edges = 0;
+  std::string heartbeat_path;
+  /// Test/demo throttle: sleep this long after each processed block.
+  /// Slows the worker without changing any result (drain/deadline smoke
+  /// tests need a worker that is reliably mid-wave when the signal lands).
+  std::uint64_t throttle_ms_per_block = 0;
 };
 
 struct ShardWorkerOutcome {
-  bool completed = false;     // False iff die_after_edges stopped the run.
+  bool completed = false;     // False iff a fault or drain stopped the run.
   bool resumed = false;       // A checkpoint was restored.
+  bool drained = false;       // Stopped at an epoch boundary on drain
+                              // request (checkpoint written if enabled).
   std::uint64_t edges_done = 0;
   std::uint64_t checkpoints_written = 0;
+  std::uint64_t heartbeats_written = 0;
 };
 
 /// Runs the worker loop: construct (or restore) the queries, stream the

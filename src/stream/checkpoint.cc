@@ -2,11 +2,11 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 
 #include "graph/types.h"
 #include "stream/space.h"
 #include "util/crc32.h"
+#include "util/io.h"
 #include "util/logging.h"
 
 namespace cyclestream {
@@ -127,43 +127,16 @@ bool SaveSnapshot(const std::string& path, const Snapshot& snap,
     encoded.resize(static_cast<std::size_t>(fault->truncate_to));
   }
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      if (error != nullptr) *error = "cannot open " + tmp + " for writing";
-      return false;
-    }
-    out.write(encoded.data(),
-              static_cast<std::streamsize>(encoded.size()));
-    out.flush();
-    if (!out) {
-      if (error != nullptr) *error = "write failed for " + tmp;
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    if (error != nullptr) *error = "rename " + tmp + " -> " + path + " failed";
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  // EINTR-safe durable write: fsyncs the file before the rename and the
+  // parent directory after it, so a crash right after the rename cannot
+  // lose the snapshot (util/io.h).
+  return io::WriteFileAtomic(path, encoded, error);
 }
 
 std::optional<Snapshot> LoadSnapshot(const std::string& path,
                                      std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error != nullptr) *error = "cannot open snapshot " + path;
-    return std::nullopt;
-  }
-  std::string encoded((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    if (error != nullptr) *error = "I/O error reading snapshot " + path;
-    return std::nullopt;
-  }
+  std::string encoded;
+  if (!io::ReadFileToString(path, &encoded, error)) return std::nullopt;
   return DecodeSnapshot(encoded, error);
 }
 

@@ -165,7 +165,16 @@ void RunManifest::WriteImpl(std::ostream& os, bool deterministic_only) const {
          // single-process one.
          name == "shards" || name == "epoch-edges" || name == "shard-dir" ||
          name == "launch" || name == "kill-shard" || name == "kill-edges" ||
-         name == "worker-binary")) {
+         name == "worker-binary" ||
+         // Supervision policy (DESIGN.md §15): retries, backoff, deadlines,
+         // heartbeats, throttling, and drain/resume are recovery mechanics —
+         // a supervised, killed, retried, drained-and-resumed run must
+         // produce the same deterministic payload as a clean one.
+         name == "daemon" || name == "max-retries" || name == "backoff-ms" ||
+         name == "backoff-cap-ms" || name == "shard-deadline-ms" ||
+         name == "wave-deadline-ms" || name == "heartbeat-edges" ||
+         name == "hang-shard" || name == "hang-edges" ||
+         name == "throttle-ms")) {
       continue;
     }
     w.Key(name);

@@ -396,6 +396,36 @@ TEST(AdmissionLedgerTest, TracksOutstandingReservations) {
   EXPECT_EQ(controller.outstanding_reservations(), 0u);
 }
 
+// The supervisor's wave-retirement path (DESIGN.md §15): when a wave is
+// poisoned mid-flight (retry exhaustion) or retired during a drain, every
+// admitted slot's reservation is released exactly once — and the queued
+// tail must then admit against the *restored* headroom, not a leaked or
+// double-counted one.
+TEST(AdmissionLedgerTest, MidWaveRetirementRestoresHeadroomExactly) {
+  BudgetPolicy policy;
+  policy.aggregate_words = 1000;
+  AdmissionController controller(policy);
+  // Wave 0 admits two queries and queues a third.
+  ASSERT_EQ(controller.Offer(400), AdmissionOutcome::kAdmitted);
+  ASSERT_EQ(controller.Offer(400), AdmissionOutcome::kAdmitted);
+  ASSERT_EQ(controller.Offer(600), AdmissionOutcome::kQueued);
+  EXPECT_EQ(controller.outstanding_reservations(), 2u);
+
+  // The wave is poisoned: the supervisor retires every admitted slot.
+  controller.Release(400);
+  controller.Release(400);
+  EXPECT_EQ(controller.outstanding_reservations(), 0u);
+  EXPECT_EQ(controller.reserved_words(), 0u);
+
+  // The queued query now admits into the full restored headroom, and the
+  // peak still remembers the retired wave's high-water mark.
+  EXPECT_EQ(controller.Offer(600), AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(controller.reserved_words(), 600u);
+  EXPECT_EQ(controller.peak_reserved_words(), 800u);
+  controller.Release(600);
+  EXPECT_EQ(controller.outstanding_reservations(), 0u);
+}
+
 // Regression: Release used to subtract blindly from the tracker, so a
 // double release (or releasing a size that was never admitted) silently
 // inflated the aggregate headroom every later wave admitted against. The

@@ -30,6 +30,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <span>
 #include <sstream>
 #include <string>
@@ -46,6 +47,7 @@
 #include "engine/query.h"
 #include "engine/shard.h"
 #include "engine/spec.h"
+#include "engine/supervisor.h"
 #include "core/adj_f2_counter.h"
 #include "core/adj_l2_counter.h"
 #include "core/amplify.h"
@@ -101,6 +103,15 @@ int Usage() {
       "           (name= kind= [seed=] [budget=] [epsilon=] [c=] [t_guess=]\n"
       "            [level_rate=] [prefix_rate=] [reservoir=]\n"
       "            [num_vertices=] [sketch_backend=] [intra_shards=])\n"
+      "           --daemon   supervised always-on mode over the sharded\n"
+      "           engine (takes the `shard` flags, plus):\n"
+      "           [--max-retries N] [--backoff-ms B] [--backoff-cap-ms C]\n"
+      "           [--shard-deadline-ms D] [--wave-deadline-ms D]\n"
+      "           [--heartbeat-edges K] [--throttle-ms T] [--resume]\n"
+      "           [--hang-shard I --hang-edges E]   fault injection\n"
+      "           SIGTERM/SIGINT drain at the next epoch boundary (exit 3);\n"
+      "           --resume finishes a drained or crashed batch with a\n"
+      "           byte-identical deterministic manifest\n"
       "  shard    --graph FILE --shard-dir DIR [--shards W]\n"
       "           [--spec FILE | --algorithms arb-f2 --queries N]\n"
       "           [--launch inprocess|subprocess] [--worker-binary BIN]\n"
@@ -554,7 +565,8 @@ void PrintEngineOutcomes(const std::vector<engine::QueryOutcome>& outcomes,
   Table t({"query", "kind", "admission", "wave", "estimate", "rel.err",
            "space(w)"});
   for (const engine::QueryOutcome& out : outcomes) {
-    const bool ran = out.admission == engine::AdmissionOutcome::kAdmitted;
+    const bool ran =
+        out.admission == engine::AdmissionOutcome::kAdmitted && !out.poisoned;
     std::string rel = "-";
     if (ran && show_exact) {
       const double truth = exact.For(out.spec.kind);
@@ -563,7 +575,9 @@ void PrintEngineOutcomes(const std::vector<engine::QueryOutcome>& outcomes,
                            : out.estimate.value);
     }
     t.AddRow({out.spec.name, std::string(engine::QueryKindName(out.spec.kind)),
-              std::string(engine::AdmissionOutcomeName(out.admission)),
+              out.poisoned
+                  ? std::string("poisoned")
+                  : std::string(engine::AdmissionOutcomeName(out.admission)),
               Table::Int(out.wave),
               ran ? Table::Num(out.estimate.value, 1) : "-", rel,
               ran ? Table::Int(static_cast<std::int64_t>(
@@ -730,7 +744,12 @@ bool LoadSpecFile(FlagParser& flags, const std::string& spec_path,
   return true;
 }
 
+int RunDaemon(FlagParser& flags, RunManifest& manifest);
+
 int RunServe(FlagParser& flags, RunManifest& manifest) {
+  // --daemon: supervised always-on mode over the sharded engine (retries,
+  // deadlines, drain/resume) — the shard front end handles --spec itself.
+  if (flags.GetBool("daemon", false)) return RunDaemon(flags, manifest);
   const std::string spec_path = flags.GetString("spec", "");
   if (spec_path.empty()) {
     std::cerr << "error: --spec FILE is required\n";
@@ -741,12 +760,25 @@ int RunServe(FlagParser& flags, RunManifest& manifest) {
   return RunEngineBatch(flags, manifest, std::move(specs));
 }
 
-// `shard`: the multi-process engine front end. Same spec preparation and
-// output as `sweep`/`serve`, but execution goes through the shard
-// coordinator — results are bit-identical to --shards 1 at any worker
-// count, so the deterministic manifest is too (the shard execution-policy
-// flags are excluded from it like --threads).
-int RunShard(FlagParser& flags, RunManifest& manifest) {
+// Everything the sharded front ends (`shard`, `serve --daemon`) need
+// prepared before execution: resolved specs, the stream (mmap'd .bin or
+// materialized), the execution plan, and the exact-count cache for
+// printing. Owns the graph/reader so `edges` stays valid.
+struct ShardSetup {
+  std::vector<engine::QuerySpec> specs;
+  BinaryEdgeReader reader;
+  EdgeList graph;
+  std::optional<Graph> g;
+  std::optional<ExactCache> exact;
+  EdgeStream materialized;
+  std::span<const Edge> edges;
+  engine::ShardPlanOptions plan;
+  bool show_exact = true;
+};
+
+// Shared `shard`/`serve --daemon` front end: parses the spec/graph/stream
+// flags into `setup`. Returns -1 on success, else the exit code to return.
+int PrepareShardRun(FlagParser& flags, ShardSetup* setup) {
   const int num_workers = static_cast<int>(flags.GetCount("shards", 1));
   if (num_workers < 1) {
     std::cerr << "error: --shards must be >= 1\n";
@@ -768,7 +800,7 @@ int RunShard(FlagParser& flags, RunManifest& manifest) {
 
   // Specs: an explicit file, or a sweep-style generated matrix (defaults
   // to arb-f2, the shard-mergeable kind).
-  std::vector<engine::QuerySpec> specs;
+  std::vector<engine::QuerySpec>& specs = setup->specs;
   const std::string spec_path = flags.GetString("spec", "");
   if (!spec_path.empty()) {
     if (!LoadSpecFile(flags, spec_path, &specs)) return 1;
@@ -823,19 +855,21 @@ int RunShard(FlagParser& flags, RunManifest& manifest) {
     }
   }
 
-  BinaryEdgeReader reader;
-  EdgeList graph;
+  BinaryEdgeReader& reader = setup->reader;
+  EdgeList& graph = setup->graph;
   bool binary = false;
   if (!LoadBatchGraph(flags, &reader, &graph, &binary)) return 1;
-  const Graph g(graph);
+  setup->g.emplace(graph);
+  const Graph& g = *setup->g;
   const std::uint64_t seed = flags.GetCount("seed", 1);
   const std::string order = flags.GetString("order", "shuffled");
   if (order != "shuffled" && order != "file") {
     std::cerr << "error: --order must be shuffled or file\n";
     return 1;
   }
-  const bool show_exact = !flags.GetBool("no-exact", false);
-  ExactCache exact(g);
+  setup->show_exact = !flags.GetBool("no-exact", false);
+  setup->exact.emplace(g);
+  ExactCache& exact = *setup->exact;
   for (engine::QuerySpec& spec : specs) {
     if (spec.num_vertices == 0) spec.num_vertices = g.num_vertices();
     if (spec.base.t_guess <= 1.0) {
@@ -843,7 +877,7 @@ int RunShard(FlagParser& flags, RunManifest& manifest) {
     }
   }
 
-  engine::ShardPlanOptions options;
+  engine::ShardPlanOptions& options = setup->plan;
   options.num_workers = num_workers;
   options.block_edges =
       static_cast<std::size_t>(flags.GetCount("block-edges", 4096));
@@ -862,8 +896,6 @@ int RunShard(FlagParser& flags, RunManifest& manifest) {
   // The stream. Subprocess workers mmap the .bin themselves, so the
   // coordinator must stream the same bytes in the same order: binary
   // file-order only.
-  EdgeStream materialized;
-  std::span<const Edge> edges;
   if (options.launch == engine::ShardLaunch::kSubprocess) {
     if (!binary || order != "file") {
       std::cerr << "error: --launch subprocess needs a .bin graph and "
@@ -871,19 +903,31 @@ int RunShard(FlagParser& flags, RunManifest& manifest) {
       return 1;
     }
     options.stream_path = flags.GetString("graph", "");
-    edges = std::span<const Edge>(reader.edges(), reader.num_edges());
+    setup->edges = std::span<const Edge>(reader.edges(), reader.num_edges());
   } else if (order == "file") {
-    materialized = graph.edges();
-    edges = materialized;
+    setup->materialized = graph.edges();
+    setup->edges = setup->materialized;
   } else {
     Rng order_rng(seed ^ 0x5eedULL);
-    materialized = MakeRandomOrderStream(graph, order_rng);
-    edges = materialized;
+    setup->materialized = MakeRandomOrderStream(graph, order_rng);
+    setup->edges = setup->materialized;
   }
+  return -1;
+}
+
+// `shard`: the multi-process engine front end. Same spec preparation and
+// output as `sweep`/`serve`, but execution goes through the shard
+// coordinator — results are bit-identical to --shards 1 at any worker
+// count, so the deterministic manifest is too (the shard execution-policy
+// flags are excluded from it like --threads).
+int RunShard(FlagParser& flags, RunManifest& manifest) {
+  ShardSetup setup;
+  const int rc = PrepareShardRun(flags, &setup);
+  if (rc >= 0) return rc;
 
   const engine::ShardBatchResult result =
-      engine::RunShardedBatch(specs, edges, options);
-  std::cerr << "shard: " << num_workers << " worker(s), "
+      engine::RunShardedBatch(setup.specs, setup.edges, setup.plan);
+  std::cerr << "shard: " << setup.plan.num_workers << " worker(s), "
             << result.workers_launched << " launch(es), "
             << result.workers_recovered << " recovered\n";
   manifest.metrics().SetExecution(
@@ -892,8 +936,62 @@ int RunShard(FlagParser& flags, RunManifest& manifest) {
   manifest.metrics().SetExecution(
       "shard.workers_recovered",
       static_cast<std::int64_t>(result.workers_recovered));
-  PrintEngineOutcomes(result.outcomes, result.stats, show_exact, exact,
-                      manifest);
+  PrintEngineOutcomes(result.outcomes, result.stats, setup.show_exact,
+                      *setup.exact, manifest);
+  return 0;
+}
+
+// `serve --daemon`: the supervised always-on serving mode (DESIGN.md §15).
+// Same front end as `shard`, executed under engine/supervisor: per-worker
+// retry with deterministic backoff, watchdog deadlines for hung
+// subprocesses, graceful SIGTERM/SIGINT drain, and `--resume` to finish a
+// drained or crashed batch with a byte-identical deterministic manifest.
+int RunDaemon(FlagParser& flags, RunManifest& manifest) {
+  ShardSetup setup;
+  const int rc = PrepareShardRun(flags, &setup);
+  if (rc >= 0) return rc;
+
+  engine::SupervisorOptions opt;
+  opt.plan = setup.plan;
+  opt.retry.max_attempts =
+      std::max(1, static_cast<int>(flags.GetCount("max-retries", 3)));
+  opt.retry.base_backoff_ms = flags.GetCount("backoff-ms", 50);
+  opt.retry.backoff_cap_ms = flags.GetCount("backoff-cap-ms", 2000);
+  opt.deadline.shard_deadline_ms = flags.GetCount("shard-deadline-ms", 0);
+  opt.deadline.wave_deadline_ms = flags.GetCount("wave-deadline-ms", 0);
+  opt.heartbeat_edges = flags.GetCount("heartbeat-edges", 0);
+  opt.resume = flags.GetBool("resume", false);
+  opt.hang_worker = static_cast<int>(flags.GetInt("hang-shard", -1));
+  opt.hang_after_edges = flags.GetCount("hang-edges", 0);
+  opt.throttle_ms_per_block = flags.GetCount("throttle-ms", 0);
+
+  engine::InstallDrainHandlers();
+  engine::SupervisedBatchResult result;
+  std::string error;
+  if (!engine::RunSupervisedBatch(setup.specs, setup.edges, opt, &result,
+                                  &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  ExportSupervisorCounters(result.counters, manifest);
+  std::cerr << "daemon: " << result.counters.waves_completed
+            << " wave(s) completed, " << result.counters.retries
+            << " retr(ies), " << result.counters.deadline_kills
+            << " deadline kill(s)\n";
+  if (result.drained) {
+    // No manifest on a drained run: partial results must never be mistaken
+    // for the batch's. Exit 3 so Main skips --json_out/--json_det_out.
+    std::cerr << "daemon: drained mid-batch; rerun with --resume to finish "
+                 "(state in "
+              << setup.plan.shard_dir << ")\n";
+    return 3;
+  }
+  for (int wave : result.poisoned_waves) {
+    std::cerr << "daemon: wave " << wave
+              << " poisoned (retry budget exhausted)\n";
+  }
+  PrintEngineOutcomes(result.outcomes, result.stats, setup.show_exact,
+                      *setup.exact, manifest);
   return 0;
 }
 
@@ -944,9 +1042,21 @@ int RunShardWorkerCommand(FlagParser& flags) {
   config.resume = flags.GetBool("resume", false);
   config.die_after_edges =
       flags.GetCount("die-after-edges", engine::kNoDeath);
+  config.hang_after_edges =
+      flags.GetCount("hang-after-edges", engine::kNoDeath);
+  config.heartbeat_edges = flags.GetCount("heartbeat-edges", 0);
+  config.heartbeat_path = flags.GetString("heartbeat", "");
+  config.throttle_ms_per_block = flags.GetCount("throttle-ms", 0);
+
+  // A supervisor's SIGTERM must drain, not kill: the handler latches the
+  // worker drain flag, the loop checkpoints at the next epoch boundary,
+  // and the exit code acknowledges the drain.
+  engine::IgnoreSigpipe();
+  engine::InstallDrainHandlers();
 
   const engine::ShardWorkerOutcome outcome =
       engine::RunShardWorker(config, state_out, &error);
+  if (outcome.drained) return engine::kDrainExitCode;
   if (!outcome.completed) {
     if (config.die_after_edges != engine::kNoDeath &&
         outcome.edges_done == config.die_after_edges) {
