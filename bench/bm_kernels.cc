@@ -17,6 +17,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "core/turnstile_f2.h"
 #include "engine/broker.h"
 #include "engine/coordinator.h"
 #include "engine/query.h"
@@ -34,7 +35,9 @@
 #include "sketch/ams_f2.h"
 #include "sketch/count_sketch.h"
 #include "sketch/sketch_backend.h"
+#include "stream/dynamic/turnstile.h"
 #include "stream/order.h"
+#include "stream/window/window.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/serialize.h"
@@ -230,6 +233,71 @@ BENCHMARK(BM_BrokerIntraQueryScaling)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+// --- Turnstile & windowing (src/stream/dynamic, src/stream/window) --------
+
+// A mixed insert/delete stream: every third edge of a G(n,m) graph is
+// deleted again, so the signed update path (TurnstileSign multiplied into
+// the block kernels) is exercised on both signs.
+TurnstileStream BenchTurnstileStream(VertexId* num_vertices) {
+  Rng gen(47);
+  const EdgeList graph = ErdosRenyiGnm(3000, 60000, gen);
+  *num_vertices = graph.num_vertices();
+  TurnstileStream stream = TurnstileFromEdges(graph.edges());
+  for (std::size_t i = 0; i < graph.edges().size(); i += 3) {
+    stream.emplace_back(graph.edges()[i], TurnstileOp::kDelete);
+  }
+  return stream;
+}
+
+// Signed update throughput of the turnstile triangle sketch. Arg(0) = 0
+// runs the scalar per-update path, 1 the batched block path (edge span +
+// ±1 sign span through the sharded kernels) — the turnstile twin of
+// BM_AmsF2UpdatePerEdge/UpdateBlock.
+void BM_TurnstileUpdate(benchmark::State& state) {
+  TurnstileF2TriangleCounter::Params p;
+  p.base.epsilon = 0.3;
+  p.base.t_guess = 1000.0;
+  p.base.seed = 77;
+  TurnstileStream stream = BenchTurnstileStream(&p.num_vertices);
+  p.sketch_backend =
+      state.range(0) == 0 ? SketchBackend::kScalar : SketchBackend::kBlock;
+  for (auto _ : state) {
+    TurnstileF2TriangleCounter alg(p);
+    alg.StartPass(0, stream.size());
+    alg.ProcessUpdateBlock(0, std::span<const TurnstileUpdate>(stream), 0);
+    alg.EndPass(0);
+    benchmark::DoNotOptimize(alg.Result());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_TurnstileUpdate)->Arg(0)->Arg(1);
+
+// Cost of a sliding-window Result(): a fresh factory instance plus
+// MergeFrom folds of the live buckets (oldest -> newest). Arg = bucket
+// count; the stream fill happens outside the timed loop.
+void BM_WindowBucketMerge(benchmark::State& state) {
+  const auto buckets = static_cast<std::uint64_t>(state.range(0));
+  TurnstileF2TriangleCounter::Params p;
+  p.base.epsilon = 0.3;
+  p.base.t_guess = 1000.0;
+  p.base.seed = 78;
+  TurnstileStream stream = BenchTurnstileStream(&p.num_vertices);
+  const std::uint64_t window = stream.size() - stream.size() % buckets;
+  const TurnstileAlgorithmFactory factory = [&p] {
+    return std::make_unique<TurnstileF2TriangleCounter>(p);
+  };
+  SlidingWindowAlgorithm alg(factory, factory()->CheckpointId(), window,
+                             buckets);
+  RunTurnstileStream(alg, stream);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alg.Result());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buckets));
+}
+BENCHMARK(BM_WindowBucketMerge)->Arg(2)->Arg(8)->Arg(32);
 
 // --- Sharded coordinator (src/engine/shard, coordinator) ------------------
 

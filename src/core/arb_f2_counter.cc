@@ -141,6 +141,45 @@ void ArbF2FourCycleCounter::ProcessEdgeBlock(int pass,
   });
 }
 
+void ArbF2FourCycleCounter::ProcessSignedEdgeBlock(
+    std::span<const Edge> edges, std::span<const double> signs) {
+  CHECK_EQ(edges.size(), signs.size());
+  const std::size_t W = static_cast<std::size_t>(
+      std::max(params_.intra_shards, 1));
+  if (params_.sketch_backend != SketchBackend::kBlock || W <= 1 ||
+      edges.size() < 2 * W) {
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      Apply(edges[i], signs[i]);
+    }
+    return;
+  }
+  if (shard_extras_.empty()) {
+    const std::size_t words = acc_a_.size();
+    shard_extras_.resize(W - 1);
+    for (ShardAccums& extra : shard_extras_) {
+      extra.a.assign(words, 0.0);
+      extra.b.assign(words, 0.0);
+      extra.c.assign(words, 0.0);
+    }
+  }
+  ParallelFor(W, [&](std::size_t s) {
+    const ShardSlice slice = MakeShardSlice(edges.size(), W, s);
+    double* a = s == 0 ? acc_a_.data() : shard_extras_[s - 1].a.data();
+    double* b = s == 0 ? acc_b_.data() : shard_extras_[s - 1].b.data();
+    double* c = s == 0 ? acc_c_.data() : shard_extras_[s - 1].c.data();
+    for (std::size_t i = slice.begin; i < slice.end; ++i) {
+      ApplyTo(edges[i], signs[i], a, b, c);
+    }
+  });
+}
+
+void ArbF2FourCycleCounter::Rescale(double factor) {
+  FoldShardExtras();
+  for (double& x : acc_a_) x *= factor;
+  for (double& x : acc_b_) x *= factor;
+  for (double& x : acc_c_) x *= factor;
+}
+
 void ArbF2FourCycleCounter::FoldShardExtras() {
   // Fixed shard order 1..W−1 per slot. Every accumulator slot is an exact
   // integer in every shard (sums of ±1 and ±1·±1 terms), so the fold is

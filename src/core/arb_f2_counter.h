@@ -66,6 +66,17 @@ class ArbF2FourCycleCounter : public EdgeStreamAlgorithm {
   /// shard count (the ShardedSketch determinism contract).
   void ProcessEdgeBlock(int pass, std::span<const Edge> edges,
                         std::size_t base_position) override;
+  /// Signed batched delivery (the turnstile path): edges[i] enters with
+  /// weight signs[i] ∈ {+1, −1}. Same kBlock/intra_shards gating and shard
+  /// slicing as ProcessEdgeBlock, and the same contract: bit-identical to
+  /// applying Insert/Delete per update at any shard count.
+  void ProcessSignedEdgeBlock(std::span<const Edge> edges,
+                              std::span<const double> signs);
+  /// Multiplies every accumulator by `factor` — the exponential-decay hook.
+  /// Folds live shard scratch first (fixed order) so the scale covers the
+  /// whole state; with an exact power-of-two factor the multiply is a pure
+  /// exponent shift, lossless on every slot.
+  void Rescale(double factor);
   void EndPass(int pass) override;
   std::string_view CheckpointId() const override { return "arbf2/1"; }
   bool SaveState(StateWriter& w) const override;

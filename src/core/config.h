@@ -4,6 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 
+// Estimate lives at the stream layer now (stream/space.h) so stream-level
+// interfaces can return it; re-exported here because the algorithm layers
+// have always named it via this header.
+#include "stream/space.h"
+
 namespace cyclestream {
 
 /// Shared knobs for the paper's approximation algorithms.
@@ -23,13 +28,6 @@ struct ApproxConfig {
   double c = 1.0;
   double t_guess = 1.0;
   std::uint64_t seed = 0;
-};
-
-/// Result of a streaming estimation: the estimate plus the peak space the
-/// algorithm retained, in words (see SpaceTracker for the accounting rules).
-struct Estimate {
-  double value = 0.0;
-  std::size_t space_words = 0;
 };
 
 }  // namespace cyclestream

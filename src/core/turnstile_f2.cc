@@ -1,0 +1,253 @@
+#include "core/turnstile_f2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hash/kwise_bank.h"
+#include "hash/rng.h"
+#include "sketch/median_of_means.h"
+#include "sketch/sharded.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/serialize.h"
+
+namespace cyclestream {
+
+// --- TurnstileF2FourCycleCounter ------------------------------------------
+
+void TurnstileF2FourCycleCounter::StartPass(int pass,
+                                            std::size_t stream_length) {
+  inner_.StartPass(pass, stream_length);
+}
+
+void TurnstileF2FourCycleCounter::ProcessUpdate(int pass,
+                                                const TurnstileUpdate& u,
+                                                std::size_t position) {
+  (void)pass;
+  (void)position;
+  if (u.op == TurnstileOp::kInsert) {
+    inner_.Insert(u.edge);
+  } else {
+    inner_.Delete(u.edge);
+  }
+}
+
+void TurnstileF2FourCycleCounter::ProcessUpdateBlock(
+    int pass, std::span<const TurnstileUpdate> updates,
+    std::size_t base_position) {
+  (void)pass;
+  (void)base_position;
+  edge_scratch_.resize(updates.size());
+  sign_scratch_.resize(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    edge_scratch_[i] = updates[i].edge;
+    sign_scratch_[i] = TurnstileSign(updates[i].op);
+  }
+  inner_.ProcessSignedEdgeBlock(edge_scratch_, sign_scratch_);
+}
+
+void TurnstileF2FourCycleCounter::EndPass(int pass) { inner_.EndPass(pass); }
+
+bool TurnstileF2FourCycleCounter::Rescale(double factor) {
+  inner_.Rescale(factor);
+  return true;
+}
+
+bool TurnstileF2FourCycleCounter::SaveState(StateWriter& w) const {
+  return inner_.SaveState(w);
+}
+
+bool TurnstileF2FourCycleCounter::RestoreState(StateReader& r) {
+  return inner_.RestoreState(r);
+}
+
+bool TurnstileF2FourCycleCounter::MergeFrom(
+    const TurnstileStreamAlgorithm& other) {
+  if (other.CheckpointId() != CheckpointId()) return false;
+  const auto& rhs = static_cast<const TurnstileF2FourCycleCounter&>(other);
+  return inner_.MergeFrom(rhs.inner_);
+}
+
+// --- TurnstileF2TriangleCounter -------------------------------------------
+
+TurnstileF2TriangleCounter::TurnstileF2TriangleCounter(const Params& params)
+    : params_(params) {
+  CHECK_GE(params.num_vertices, 2u);
+  CHECK_GT(params.base.epsilon, 0.0);
+  const double eps = params.base.epsilon;
+  int per_group = params.copies_per_group;
+  if (per_group <= 0) {
+    per_group =
+        static_cast<int>(std::min(512.0, std::ceil(2.0 / (eps * eps))));
+    per_group = std::max(per_group, 1);
+  }
+  const int groups = std::max(params.groups, 1);
+  params_.copies_per_group = per_group;
+  params_.groups = groups;
+
+  std::uint64_t seed = params.base.seed ^ 0x54524933ULL;  // "TRI3"
+  num_copies_ = static_cast<std::size_t>(groups * per_group);
+  const std::size_t c = num_copies_;
+  const std::size_t n = params.num_vertices;
+
+  std::vector<std::uint64_t> seeds(c);
+  for (std::size_t i = 0; i < c; ++i) seeds[i] = SplitMix64(seed);
+  const KWiseHashBank bank(/*k=*/6, seeds);
+  sigma_.resize(n * c);
+  for (std::size_t v = 0; v < n; ++v) {
+    bank.SignAll(v, sigma_.data() + v * c);
+  }
+  z_.assign(c, 0.0);
+}
+
+void TurnstileF2TriangleCounter::Apply(const Edge& e, double sign,
+                                       double* z) const {
+  const std::size_t c = num_copies_;
+  const signed char* su = sigma_.data() + static_cast<std::size_t>(e.u) * c;
+  const signed char* sv = sigma_.data() + static_cast<std::size_t>(e.v) * c;
+  for (std::size_t i = 0; i < c; ++i) {
+    z[i] += sign * static_cast<double>(su[i]) * static_cast<double>(sv[i]);
+  }
+}
+
+void TurnstileF2TriangleCounter::StartPass(int pass,
+                                           std::size_t stream_length) {
+  CHECK_EQ(pass, 0);
+  (void)stream_length;
+}
+
+void TurnstileF2TriangleCounter::ProcessUpdate(int pass,
+                                               const TurnstileUpdate& u,
+                                               std::size_t position) {
+  (void)pass;
+  (void)position;
+  Apply(u.edge, TurnstileSign(u.op), z_.data());
+}
+
+void TurnstileF2TriangleCounter::ProcessUpdateBlock(
+    int pass, std::span<const TurnstileUpdate> updates,
+    std::size_t base_position) {
+  (void)pass;
+  (void)base_position;
+  const std::size_t W = static_cast<std::size_t>(
+      std::max(params_.intra_shards, 1));
+  if (params_.sketch_backend != SketchBackend::kBlock || W <= 1 ||
+      updates.size() < 2 * W) {
+    for (const TurnstileUpdate& u : updates) {
+      Apply(u.edge, TurnstileSign(u.op), z_.data());
+    }
+    return;
+  }
+  if (shard_extras_.empty()) {
+    shard_extras_.assign(W - 1, std::vector<double>(num_copies_, 0.0));
+  }
+  ParallelFor(W, [&](std::size_t s) {
+    const ShardSlice slice = MakeShardSlice(updates.size(), W, s);
+    double* z = s == 0 ? z_.data() : shard_extras_[s - 1].data();
+    for (std::size_t i = slice.begin; i < slice.end; ++i) {
+      Apply(updates[i].edge, TurnstileSign(updates[i].op), z);
+    }
+  });
+}
+
+void TurnstileF2TriangleCounter::FoldShardExtras() {
+  // Fixed shard order per slot; every Z_c is an exact integer in every
+  // shard, so the fold is exact addition (see the arb-f2 fold).
+  for (std::size_t i = 0; i < z_.size(); ++i) {
+    double z = z_[i];
+    for (const std::vector<double>& extra : shard_extras_) z += extra[i];
+    z_[i] = z;
+  }
+  shard_extras_.clear();
+  shard_extras_.shrink_to_fit();
+}
+
+void TurnstileF2TriangleCounter::EndPass(int pass) {
+  (void)pass;
+  FoldShardExtras();
+}
+
+Estimate TurnstileF2TriangleCounter::Result() const {
+  const std::size_t c = num_copies_;
+  cube_scratch_.resize(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    double z = z_[i];
+    for (const std::vector<double>& extra : shard_extras_) z += extra[i];
+    cube_scratch_[i] = z * z * z / 6.0;
+  }
+  Estimate result;
+  result.value = std::max(
+      0.0, MedianOfMeans(cube_scratch_,
+                         static_cast<std::size_t>(params_.groups)));
+  // One Z word per copy plus the byte-packed ±1 sign cache.
+  const std::size_t n = params_.num_vertices;
+  result.space_words = num_copies_ * (1 + n / 8 + 1);
+  return result;
+}
+
+bool TurnstileF2TriangleCounter::Rescale(double factor) {
+  FoldShardExtras();
+  for (double& z : z_) z *= factor;
+  return true;
+}
+
+bool TurnstileF2TriangleCounter::SaveState(StateWriter& w) const {
+  // Only the Z counters are stream-dependent; the sign cache is
+  // constructor-derived from the fingerprinted seed.
+  w.U32(params_.num_vertices);
+  w.Size(num_copies_);
+  w.I64(params_.groups);
+  w.Double(params_.base.epsilon);
+  w.U64(params_.base.seed);
+  if (shard_extras_.empty()) {
+    w.Vec(z_);
+  } else {
+    std::vector<double> z = z_;
+    for (const std::vector<double>& extra : shard_extras_) {
+      for (std::size_t i = 0; i < z.size(); ++i) z[i] += extra[i];
+    }
+    w.Vec(z);
+  }
+  return true;
+}
+
+bool TurnstileF2TriangleCounter::RestoreState(StateReader& r) {
+  if (r.U32() != params_.num_vertices || r.Size() != num_copies_ ||
+      r.I64() != params_.groups || r.Double() != params_.base.epsilon ||
+      r.U64() != params_.base.seed) {
+    return r.Fail();
+  }
+  std::vector<double> z;
+  if (!r.Vec(&z)) return false;
+  if (z.size() != z_.size()) return r.Fail();
+  z_ = std::move(z);
+  shard_extras_.clear();
+  shard_extras_.shrink_to_fit();
+  return true;
+}
+
+bool TurnstileF2TriangleCounter::MergeFrom(
+    const TurnstileStreamAlgorithm& other) {
+  if (other.CheckpointId() != CheckpointId()) return false;
+  const auto& rhs = static_cast<const TurnstileF2TriangleCounter&>(other);
+  if (rhs.params_.num_vertices != params_.num_vertices ||
+      rhs.num_copies_ != num_copies_ ||
+      rhs.params_.groups != params_.groups ||
+      rhs.params_.base.epsilon != params_.base.epsilon ||
+      rhs.params_.base.seed != params_.base.seed) {
+    return false;
+  }
+  FoldShardExtras();
+  if (rhs.shard_extras_.empty()) {
+    for (std::size_t i = 0; i < z_.size(); ++i) z_[i] += rhs.z_[i];
+  } else {
+    std::vector<double> z = rhs.z_;
+    for (const std::vector<double>& extra : rhs.shard_extras_) {
+      for (std::size_t i = 0; i < z.size(); ++i) z[i] += extra[i];
+    }
+    for (std::size_t i = 0; i < z_.size(); ++i) z_[i] += z[i];
+  }
+  return true;
+}
+
+}  // namespace cyclestream

@@ -15,7 +15,6 @@ namespace {
 // Per-stream-kind plumbing for the shared wave loop (mirrors the Kind
 // structs in stream/driver.cc).
 struct EdgeTraits {
-  static constexpr bool kEdgeKind = true;
   using Query = EdgeQuery;
   static Query Make(const QuerySpec& spec) { return MakeEdgeQuery(spec); }
   static void ProcessBlock(EdgeStreamAlgorithm& alg, int pass,
@@ -24,10 +23,12 @@ struct EdgeTraits {
     alg.ProcessEdgeBlock(pass, std::span<const Edge>(items, n),
                          base_position);
   }
+  static void Credit(ExternalRunStats& credit, std::uint64_t delivered) {
+    credit.edges_processed += delivered;
+  }
 };
 
 struct AdjacencyTraits {
-  static constexpr bool kEdgeKind = false;
   using Query = AdjacencyQuery;
   static Query Make(const QuerySpec& spec) { return MakeAdjacencyQuery(spec); }
   static void ProcessBlock(AdjacencyStreamAlgorithm& alg, int pass,
@@ -36,6 +37,25 @@ struct AdjacencyTraits {
     for (std::size_t i = 0; i < n; ++i) {
       alg.ProcessList(pass, items[i], base_position + i);
     }
+  }
+  static void Credit(ExternalRunStats& credit, std::uint64_t delivered) {
+    credit.lists_processed += delivered;
+  }
+};
+
+struct TurnstileTraits {
+  using Query = TurnstileQuery;
+  static Query Make(const QuerySpec& spec) {
+    return MakeTurnstileQuery(spec);
+  }
+  static void ProcessBlock(TurnstileStreamAlgorithm& alg, int pass,
+                           const TurnstileUpdate* items, std::size_t n,
+                           std::size_t base_position) {
+    alg.ProcessUpdateBlock(pass, std::span<const TurnstileUpdate>(items, n),
+                           base_position);
+  }
+  static void Credit(ExternalRunStats& credit, std::uint64_t delivered) {
+    credit.updates_processed += delivered;
   }
 };
 
@@ -167,11 +187,7 @@ void RunWave(Source& source, const BrokerOptions& options,
     }
     ++credit.runs;
     credit.passes += static_cast<std::uint64_t>(out.passes);
-    if (Traits::kEdgeKind) {
-      credit.edges_processed += delivered[i];
-    } else {
-      credit.lists_processed += delivered[i];
-    }
+    Traits::Credit(credit, delivered[i]);
   }
   AddExternalRunStats(credit);
 }
@@ -194,6 +210,16 @@ const Edge* BinaryEdgeSource::NextBlock(std::size_t max_edges,
   *count = n;
   if (n == 0) return nullptr;
   const Edge* block = reader_.edges() + pos_;
+  pos_ += n;
+  return block;
+}
+
+const TurnstileUpdate* VectorTurnstileSource::NextBlock(
+    std::size_t max_updates, std::size_t* count) {
+  const std::size_t n = std::min(max_updates, stream_.size() - pos_);
+  *count = n;
+  if (n == 0) return nullptr;
+  const TurnstileUpdate* block = stream_.data() + pos_;
   pos_ += n;
   return block;
 }
@@ -296,6 +322,22 @@ std::vector<QueryOutcome> StreamBroker::RunAdjacencyQueries(
   return RunBatch<AdjacencyTraits>(source);
 }
 
+std::vector<QueryOutcome> StreamBroker::RunTurnstileQueries(
+    TurnstileSource& source) {
+  for (const QuerySpec& spec : specs_) {
+    CHECK(IsTurnstileKind(spec.kind))
+        << "RunTurnstileQueries: query '" << spec.name
+        << "' has non-turnstile kind " << QueryKindName(spec.kind);
+  }
+  return RunBatch<TurnstileTraits>(source);
+}
+
+std::vector<QueryOutcome> StreamBroker::RunTurnstileQueries(
+    const TurnstileStream& stream) {
+  VectorTurnstileSource source(stream);
+  return RunTurnstileQueries(source);
+}
+
 void ExportToManifest(const std::vector<QueryOutcome>& outcomes,
                       const EngineStats& stats, RunManifest& manifest) {
   MetricsRegistry& m = manifest.metrics();
@@ -325,6 +367,19 @@ void ExportToManifest(const std::vector<QueryOutcome>& outcomes,
     q.SetInt("seed", static_cast<std::int64_t>(out.spec.base.seed));
     q.SetInt("budget_words",
              static_cast<std::int64_t>(out.spec.space_budget_words));
+    // Window/decay knobs change results, so they belong in the
+    // deterministic section (unlike the sketch_backend/intra_shards
+    // throughput knobs, which are deliberately absent).
+    if (out.spec.window_edges > 0) {
+      q.SetInt("window", static_cast<std::int64_t>(out.spec.window_edges));
+      q.SetInt("window_buckets",
+               static_cast<std::int64_t>(out.spec.window_buckets));
+    }
+    if (out.spec.decay_epoch_edges > 0) {
+      q.SetInt("decay_epoch",
+               static_cast<std::int64_t>(out.spec.decay_epoch_edges));
+      q.SetInt("decay_log2", static_cast<std::int64_t>(out.spec.decay_log2));
+    }
     if (out.poisoned) {
       // A poisoned wave has no trustworthy estimate; publish the marker and
       // nothing else, so a consumer can never mistake the zero-initialized

@@ -72,6 +72,43 @@ class BinaryEdgeSource : public EdgeSource {
   std::size_t pos_ = 0;
 };
 
+/// Abstract block-oriented turnstile-update supplier — the EdgeSource shape
+/// over insert/delete records. Turnstile algorithms are single-pass, but the
+/// source keeps Reset() so it slots into the same wave loop.
+class TurnstileSource {
+ public:
+  virtual ~TurnstileSource() = default;
+
+  /// Total stream length (updates per pass).
+  virtual std::size_t size() const = 0;
+
+  /// Rewinds to the beginning of the stream.
+  virtual void Reset() = 0;
+
+  /// Returns a pointer to the next block of at most `max_updates` updates
+  /// and stores the block's length in `*count`. Returns nullptr (count 0)
+  /// at end of stream.
+  virtual const TurnstileUpdate* NextBlock(std::size_t max_updates,
+                                           std::size_t* count) = 0;
+};
+
+/// TurnstileSource over an in-memory stream (the shape TurnstileBinaryReader
+/// decodes into). Borrows the vector — it must outlive the source.
+class VectorTurnstileSource : public TurnstileSource {
+ public:
+  explicit VectorTurnstileSource(const TurnstileStream& stream)
+      : stream_(stream) {}
+
+  std::size_t size() const override { return stream_.size(); }
+  void Reset() override { pos_ = 0; }
+  const TurnstileUpdate* NextBlock(std::size_t max_updates,
+                                   std::size_t* count) override;
+
+ private:
+  const TurnstileStream& stream_;
+  std::size_t pos_ = 0;
+};
+
 /// Broker tuning.
 struct BrokerOptions {
   /// Edges (or adjacency lists) per fan-out block. Blocks amortize the
@@ -159,6 +196,16 @@ class StreamBroker {
   /// Runs every registered adjacency-kind query over `stream`. Aborts if
   /// any registered spec has an edge kind.
   std::vector<QueryOutcome> RunAdjacencyQueries(const AdjacencyStream& stream);
+
+  /// Runs every registered turnstile-kind query over `source`. Aborts if
+  /// any registered spec has a non-turnstile kind. The same determinism
+  /// contract as the edge path: each query sees the updates in stream order
+  /// at the standalone positions, so windowed/decayed estimates are
+  /// bit-identical at any thread count and block size.
+  std::vector<QueryOutcome> RunTurnstileQueries(TurnstileSource& source);
+
+  /// Convenience overload over an in-memory turnstile stream.
+  std::vector<QueryOutcome> RunTurnstileQueries(const TurnstileStream& stream);
 
   /// Valid after a Run*Queries call.
   const EngineStats& stats() const { return stats_; }

@@ -11,6 +11,8 @@
 #include "core/arb_three_pass.h"
 #include "core/diamond_counter.h"
 #include "core/random_order_triangles.h"
+#include "core/turnstile_f2.h"
+#include "stream/window/window.h"
 #include "util/check.h"
 
 namespace cyclestream::engine {
@@ -53,6 +55,10 @@ std::string_view QueryKindName(QueryKind kind) {
       return "adj-f2";
     case QueryKind::kAdjL2:
       return "adj-l2";
+    case QueryKind::kTurnstileF2Triangle:
+      return "turnstile-f2-triangle";
+    case QueryKind::kTurnstileF2C4:
+      return "turnstile-f2-c4";
   }
   CHECK(false) << "unreachable QueryKind " << static_cast<int>(kind);
   return "";
@@ -63,7 +69,8 @@ std::optional<QueryKind> ParseQueryKind(std::string_view name) {
        {QueryKind::kRandomOrderTriangles, QueryKind::kTriest,
         QueryKind::kCormodeJowhari, QueryKind::kArbF2,
         QueryKind::kArbThreePass, QueryKind::kBeraChakrabarti,
-        QueryKind::kAdjDiamond, QueryKind::kAdjF2, QueryKind::kAdjL2}) {
+        QueryKind::kAdjDiamond, QueryKind::kAdjF2, QueryKind::kAdjL2,
+        QueryKind::kTurnstileF2Triangle, QueryKind::kTurnstileF2C4}) {
     if (name == QueryKindName(kind)) return kind;
   }
   return std::nullopt;
@@ -81,10 +88,17 @@ bool IsEdgeKind(QueryKind kind) {
     case QueryKind::kAdjDiamond:
     case QueryKind::kAdjF2:
     case QueryKind::kAdjL2:
+    case QueryKind::kTurnstileF2Triangle:
+    case QueryKind::kTurnstileF2C4:
       return false;
   }
   CHECK(false) << "unreachable QueryKind " << static_cast<int>(kind);
   return false;
+}
+
+bool IsTurnstileKind(QueryKind kind) {
+  return kind == QueryKind::kTurnstileF2Triangle ||
+         kind == QueryKind::kTurnstileF2C4;
 }
 
 bool IsShardMergeableKind(QueryKind kind) {
@@ -96,10 +110,54 @@ std::string_view QueryKindTarget(QueryKind kind) {
     case QueryKind::kRandomOrderTriangles:
     case QueryKind::kTriest:
     case QueryKind::kCormodeJowhari:
+    case QueryKind::kTurnstileF2Triangle:
       return "triangles";
     default:
       return "c4";
   }
+}
+
+bool ValidateSpecWindowing(const QuerySpec& spec, std::string* error) {
+  auto fail = [&](std::string message) {
+    if (error != nullptr) {
+      *error = "query '" + spec.name + "': " + std::move(message);
+    }
+    return false;
+  };
+  const bool windowed = spec.window_edges > 0;
+  const bool decayed = spec.decay_epoch_edges > 0;
+  if (!windowed && !decayed) {
+    if (spec.decay_log2 != 0) {
+      return fail("decay_log2 has no effect without decay_epoch > 0");
+    }
+    return true;
+  }
+  if (!IsTurnstileKind(spec.kind)) {
+    return fail("window/decay require a turnstile kind, not " +
+                std::string(QueryKindName(spec.kind)));
+  }
+  if (windowed && decayed) {
+    return fail("window and decay are mutually exclusive");
+  }
+  if (windowed) {
+    if (spec.window_buckets == 0) {
+      return fail("window_buckets must be >= 1");
+    }
+    if (spec.window_edges % spec.window_buckets != 0) {
+      return fail("window (" + std::to_string(spec.window_edges) +
+                  ") must be a multiple of window_buckets (" +
+                  std::to_string(spec.window_buckets) + ")");
+    }
+    if (spec.decay_log2 != 0) {
+      return fail("decay_log2 has no effect without decay_epoch > 0");
+    }
+  } else {
+    if (spec.decay_log2 < 1 || spec.decay_log2 > 32) {
+      return fail("decay_log2 must be in [1, 32] (exact power-of-two decay "
+                  "factors), got " + std::to_string(spec.decay_log2));
+    }
+  }
+  return true;
 }
 
 EdgeQuery MakeEdgeQuery(const QuerySpec& spec) {
@@ -181,6 +239,56 @@ AdjacencyQuery MakeAdjacencyQuery(const QuerySpec& spec) {
   }
   CHECK(false) << "unreachable adjacency QueryKind";
   return {};
+}
+
+TurnstileQuery MakeTurnstileQuery(const QuerySpec& spec) {
+  CHECK(IsTurnstileKind(spec.kind))
+      << "MakeTurnstileQuery: '" << spec.name << "' has non-turnstile kind "
+      << QueryKindName(spec.kind);
+  std::string windowing_error;
+  CHECK(ValidateSpecWindowing(spec, &windowing_error)) << windowing_error;
+
+  // The factory builds a fresh base estimator with the spec's exact
+  // result-affecting configuration — called once for an unwindowed query,
+  // once per bucket (plus once per Result()) for a windowed one.
+  TurnstileAlgorithmFactory factory;
+  switch (spec.kind) {
+    case QueryKind::kTurnstileF2Triangle: {
+      TurnstileF2TriangleCounter::Params p;
+      p.base = spec.base;
+      p.num_vertices = spec.num_vertices;
+      p.sketch_backend = spec.sketch_backend;
+      p.intra_shards = spec.intra_shards;
+      factory = [p] { return std::make_unique<TurnstileF2TriangleCounter>(p); };
+      break;
+    }
+    case QueryKind::kTurnstileF2C4: {
+      TurnstileF2FourCycleCounter::Params p;
+      p.base = spec.base;
+      p.num_vertices = spec.num_vertices;
+      p.sketch_backend = spec.sketch_backend;
+      p.intra_shards = spec.intra_shards;
+      factory = [p] { return std::make_unique<TurnstileF2FourCycleCounter>(p); };
+      break;
+    }
+    default:
+      CHECK(false) << "unreachable turnstile QueryKind";
+  }
+
+  std::unique_ptr<TurnstileStreamAlgorithm> alg;
+  if (spec.window_edges > 0) {
+    std::unique_ptr<TurnstileStreamAlgorithm> probe = factory();
+    alg = std::make_unique<SlidingWindowAlgorithm>(
+        factory, probe->CheckpointId(), spec.window_edges,
+        spec.window_buckets);
+  } else if (spec.decay_epoch_edges > 0) {
+    alg = std::make_unique<DecayAlgorithm>(factory(), spec.decay_epoch_edges,
+                                           spec.decay_log2);
+  } else {
+    alg = factory();
+  }
+  TurnstileStreamAlgorithm* raw = alg.get();
+  return TurnstileQuery{std::move(alg), [raw] { return raw->Result(); }};
 }
 
 }  // namespace cyclestream::engine

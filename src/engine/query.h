@@ -12,6 +12,7 @@
 #include "graph/types.h"
 #include "sketch/sketch_backend.h"
 #include "stream/driver.h"
+#include "stream/dynamic/turnstile.h"
 
 namespace cyclestream::engine {
 
@@ -32,6 +33,11 @@ enum class QueryKind {
   kAdjDiamond,
   kAdjF2,
   kAdjL2,
+  // Turnstile-stream algorithms (dynamic insert/delete model; linear
+  // sketches, optionally windowed or decayed via the spec's window/decay
+  // fields).
+  kTurnstileF2Triangle,
+  kTurnstileF2C4,
 };
 
 /// Stable CLI/manifest name ("random-order", "triest", ...).
@@ -40,8 +46,12 @@ std::string_view QueryKindName(QueryKind kind);
 /// Inverse of QueryKindName; nullopt for unknown names.
 std::optional<QueryKind> ParseQueryKind(std::string_view name);
 
-/// True for kinds consuming edge streams (vs adjacency-list streams).
+/// True for kinds consuming edge streams (vs adjacency-list or turnstile
+/// streams).
 bool IsEdgeKind(QueryKind kind);
+
+/// True for kinds consuming turnstile (insert/delete) streams.
+bool IsTurnstileKind(QueryKind kind);
 
 /// True for kinds whose state is a linear sketch of the edge stream — state
 /// over a partitioned stream merges by addition (MergeFrom) into exactly
@@ -80,7 +90,26 @@ struct QuerySpec {
   /// neither is exported to the deterministic manifest.
   SketchBackend sketch_backend = SketchBackend::kScalar;
   int intra_shards = 1;
+  /// Time-decay knobs (turnstile kinds only; window and decay are mutually
+  /// exclusive — ValidateSpecWindowing enforces the constraints). All four
+  /// change results, so they are spec-fingerprinted and exported to the
+  /// deterministic manifest.
+  /// window > 0 wraps the estimator in a sliding window over the last
+  /// `window_edges` updates, bucketed into `window_buckets` sketch
+  /// instances (window_edges must divide evenly).
+  std::uint64_t window_edges = 0;
+  std::uint64_t window_buckets = 8;
+  /// decay_epoch_edges > 0 rescales the sketch by 2^-decay_log2 every
+  /// epoch (decay_log2 in [1, 32], exact power-of-two factors only).
+  std::uint64_t decay_epoch_edges = 0;
+  std::uint32_t decay_log2 = 0;
 };
+
+/// Validates the window/decay fields against the kind: windowing requires a
+/// turnstile kind, window and decay are mutually exclusive, window_buckets
+/// must divide window_edges, and decay needs decay_log2 in [1, 32]. True
+/// when consistent; false with a CLI-ready `*error` otherwise.
+bool ValidateSpecWindowing(const QuerySpec& spec, std::string* error);
 
 /// A constructed edge-stream query: the algorithm plus a result extractor
 /// (each algorithm class exposes its own Result(); the closure erases that).
@@ -100,6 +129,18 @@ struct AdjacencyQuery {
 
 /// Builds the algorithm for an adjacency-kind spec. Aborts on edge kinds.
 AdjacencyQuery MakeAdjacencyQuery(const QuerySpec& spec);
+
+/// A constructed turnstile-stream query.
+struct TurnstileQuery {
+  std::unique_ptr<TurnstileStreamAlgorithm> algorithm;
+  std::function<Estimate()> result;
+};
+
+/// Builds the algorithm for a turnstile-kind spec, wrapping it in the
+/// sliding-window or decay layer when the spec asks for one. Aborts on
+/// non-turnstile kinds and on windowing constraint violations (validate
+/// with ValidateSpecWindowing first for a recoverable error).
+TurnstileQuery MakeTurnstileQuery(const QuerySpec& spec);
 
 }  // namespace cyclestream::engine
 

@@ -129,6 +129,24 @@ bool ParseSpecStream(std::istream& in, const std::string& label,
           return bad_unsigned();
         }
         spec.num_vertices = static_cast<VertexId>(u);
+      } else if (key == "window") {
+        if (!ParseU64Strict(value, &u)) return bad_unsigned();
+        spec.window_edges = u;
+      } else if (key == "window_buckets") {
+        if (!ParseU64Strict(value, &u) || u == 0 || u > 4096) {
+          return fail("key 'window_buckets' expects an integer in [1, 4096], "
+                      "got '" + value + "'");
+        }
+        spec.window_buckets = u;
+      } else if (key == "decay_epoch") {
+        if (!ParseU64Strict(value, &u)) return bad_unsigned();
+        spec.decay_epoch_edges = u;
+      } else if (key == "decay_log2") {
+        if (!ParseU64Strict(value, &u) || u > 32) {
+          return fail("key 'decay_log2' expects an integer in [0, 32], "
+                      "got '" + value + "'");
+        }
+        spec.decay_log2 = static_cast<std::uint32_t>(u);
       } else if (key == "sketch_backend") {
         const auto backend = ParseSketchBackend(value);
         if (!backend.has_value()) {
@@ -149,6 +167,10 @@ bool ParseSpecStream(std::istream& in, const std::string& label,
     if (!any) continue;  // Blank or comment-only line.
     if (spec.name.empty() || !have_kind) {
       return fail("query spec needs name=... and kind=...");
+    }
+    std::string windowing_error;
+    if (!ValidateSpecWindowing(spec, &windowing_error)) {
+      return fail(windowing_error);
     }
     specs->push_back(std::move(spec));
   }
@@ -181,6 +203,10 @@ std::string FormatSpecLine(const QuerySpec& spec) {
   out += " prefix_rate=" + ExactDouble(spec.prefix_rate);
   out += " reservoir=" + std::to_string(spec.reservoir_capacity);
   out += " num_vertices=" + std::to_string(spec.num_vertices);
+  out += " window=" + std::to_string(spec.window_edges);
+  out += " window_buckets=" + std::to_string(spec.window_buckets);
+  out += " decay_epoch=" + std::to_string(spec.decay_epoch_edges);
+  out += " decay_log2=" + std::to_string(spec.decay_log2);
   out += " sketch_backend=" + std::string(SketchBackendName(spec.sketch_backend));
   out += " intra_shards=" + std::to_string(spec.intra_shards);
   return out;
@@ -219,6 +245,10 @@ std::uint64_t FingerprintSpecs(const std::vector<QuerySpec>& specs) {
     w.Size(spec.reservoir_capacity);
     w.Size(spec.space_budget_words);
     w.U32(spec.num_vertices);
+    w.U64(spec.window_edges);
+    w.U64(spec.window_buckets);
+    w.U64(spec.decay_epoch_edges);
+    w.U32(spec.decay_log2);
   }
   const std::string& bytes = w.str();
   std::uint64_t h = Mix64(0x53504543ULL ^ bytes.size());  // "SPEC"

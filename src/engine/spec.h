@@ -18,7 +18,8 @@ namespace cyclestream::engine {
 /// precision and re-parse to the identical bits).
 ///
 /// Keys: name, kind, seed, budget, epsilon, c, t_guess, level_rate,
-/// prefix_rate, reservoir, sketch_backend, intra_shards, num_vertices.
+/// prefix_rate, reservoir, sketch_backend, intra_shards, num_vertices,
+/// window, window_buckets, decay_epoch, decay_log2.
 ///
 /// Parsing is strict: every numeric value must be fully consumed (a
 /// trailing-garbage token like `seed=5x` is an error, not 5), and the

@@ -27,6 +27,7 @@ static_assert(std::endian::native == std::endian::little,
               "binary edge streams assume a little-endian host");
 
 constexpr char kMagic[8] = {'C', 'Y', 'S', 'B', 'I', 'N', '\x01', '\n'};
+constexpr char kMagicPrefix[6] = {'C', 'Y', 'S', 'B', 'I', 'N'};
 
 void PutU32(char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
 void PutU64(char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
@@ -99,6 +100,7 @@ BinaryEdgeReader& BinaryEdgeReader::operator=(
     edges_ = std::exchange(other.edges_, nullptr);
     num_edges_ = std::exchange(other.num_edges_, 0);
     num_vertices_ = std::exchange(other.num_vertices_, 0);
+    format_version_ = std::exchange(other.format_version_, 0);
   }
   return *this;
 }
@@ -112,6 +114,7 @@ void BinaryEdgeReader::Close() {
   edges_ = nullptr;
   num_edges_ = 0;
   num_vertices_ = 0;
+  format_version_ = 0;
 }
 
 bool BinaryEdgeReader::Open(const std::string& path, std::string* error) {
@@ -138,6 +141,22 @@ bool BinaryEdgeReader::Open(const std::string& path, std::string* error) {
     return Fail(error, path + ": " + std::move(message));
   };
   if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    // A sibling cyclestream format deserves a pointed error, not a generic
+    // bad-magic one: a v2 (turnstile) stream fed to the v1 edge reader is
+    // the classic cross-wiring mistake and must name the fix.
+    if (std::memcmp(base, kMagicPrefix, sizeof(kMagicPrefix)) == 0) {
+      const auto magic_version =
+          static_cast<unsigned>(static_cast<unsigned char>(base[6]));
+      if (magic_version == kBinaryTurnstileVersion) {
+        return reject(
+            "this is a turnstile (v2) stream; the v1 edge reader cannot "
+            "ingest insert/delete records — use a turnstile-* query kind or "
+            "the turnstile reader");
+      }
+      return reject("unsupported cyclestream binary magic version " +
+                    std::to_string(magic_version) + " (this reader handles v" +
+                    std::to_string(kBinaryEdgeVersion) + ")");
+    }
     return reject("not a cyclestream binary edge stream (bad magic)");
   }
   const std::uint32_t version = GetU32(base + 8);
@@ -190,7 +209,19 @@ bool BinaryEdgeReader::Open(const std::string& path, std::string* error) {
   edges_ = num_edges > 0 ? edges : nullptr;
   num_edges_ = static_cast<std::size_t>(num_edges);
   num_vertices_ = num_vertices;
+  format_version_ = version;
   return true;
+}
+
+std::uint32_t SniffBinaryFormatVersion(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0;
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic)) return 0;
+  if (std::memcmp(magic, kMagicPrefix, sizeof(kMagicPrefix)) != 0) return 0;
+  if (magic[7] != '\n') return 0;
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(magic[6]));
 }
 
 EdgeList BinaryEdgeReader::ToEdgeList() const {

@@ -36,6 +36,19 @@ namespace cyclestream {
 inline constexpr std::uint32_t kBinaryEdgeVersion = 1;
 inline constexpr std::size_t kBinaryEdgeHeaderSize = 32;
 
+/// Version 2 is the turnstile (insert/delete) stream format; it shares the
+/// "CYSBIN" magic prefix and 32-byte header shape but carries 9-byte
+/// op-tagged records and is read by TurnstileBinaryReader
+/// (stream/dynamic/turnstile_io.h), never by BinaryEdgeReader.
+inline constexpr std::uint32_t kBinaryTurnstileVersion = 2;
+
+/// Peeks at the magic of `path` without validating anything else: returns
+/// the format version byte (1 for edge streams, 2 for turnstile streams)
+/// when the file starts with a "CYSBIN" magic, 0 otherwise (missing,
+/// short, or foreign file). Used to dispatch .bin inputs to the right
+/// reader and to export `stream.format_version` into run manifests.
+std::uint32_t SniffBinaryFormatVersion(const std::string& path);
+
 /// Writes `count` edges (order preserved) as a binary edge stream. Edges
 /// must already be canonical (u < v < num_vertices); a violation is a
 /// programming error and aborts. Returns false and sets `*error` on I/O
@@ -70,6 +83,10 @@ class BinaryEdgeReader {
   VertexId num_vertices() const { return num_vertices_; }
   std::size_t num_edges() const { return num_edges_; }
 
+  /// Format version of the open file (kBinaryEdgeVersion; 0 when not
+  /// open). Exported into run manifests as `stream.format_version`.
+  std::uint32_t format_version() const { return format_version_; }
+
   /// The full edge stream, zero-copy (nullptr when empty or not open).
   const Edge* edges() const { return edges_; }
 
@@ -85,6 +102,7 @@ class BinaryEdgeReader {
   const Edge* edges_ = nullptr;
   std::size_t num_edges_ = 0;
   VertexId num_vertices_ = 0;
+  std::uint32_t format_version_ = 0;
 };
 
 /// Convenience: reads a binary edge stream into an EdgeList. Returns

@@ -10,6 +10,7 @@
 #include <system_error>
 
 #include "stream/checkpoint.h"
+#include "stream/dynamic/turnstile.h"
 #include "stream/fault.h"
 #include "util/check.h"
 #include "util/flags.h"
@@ -36,6 +37,7 @@ struct AtomicStreamStats {
   std::atomic<std::uint64_t> passes{0};
   std::atomic<std::uint64_t> edges_processed{0};
   std::atomic<std::uint64_t> lists_processed{0};
+  std::atomic<std::uint64_t> updates_processed{0};
   std::atomic<std::uint64_t> audits_passed{0};
   std::atomic<std::uint64_t> checkpoints_written{0};
   std::atomic<std::uint64_t> checkpoint_failures{0};
@@ -129,6 +131,26 @@ struct AdjacencyKind {
   }
   static void AddProcessed(std::uint64_t n) {
     Stats().lists_processed.fetch_add(n, kRelaxed);
+  }
+};
+
+struct TurnstileKind {
+  static constexpr std::uint8_t kTag = 2;
+  using Alg = TurnstileStreamAlgorithm;
+  using Stream = TurnstileStream;
+  static std::uint64_t Fingerprint(const Stream& s) {
+    return FingerprintTurnstileStream(s);
+  }
+  static void Process(Alg& alg, int pass, const Stream& s, std::size_t i) {
+    alg.ProcessUpdate(pass, s[i], i);
+  }
+  static void ProcessBlock(Alg& alg, int pass, const Stream& s, std::size_t i,
+                           std::size_t n) {
+    alg.ProcessUpdateBlock(
+        pass, std::span<const TurnstileUpdate>(s.data() + i, n), i);
+  }
+  static void AddProcessed(std::uint64_t n) {
+    Stats().updates_processed.fetch_add(n, kRelaxed);
   }
 };
 
@@ -405,6 +427,7 @@ StreamStats GlobalStreamStats() {
   out.passes = stats.passes.load(kRelaxed);
   out.edges_processed = stats.edges_processed.load(kRelaxed);
   out.lists_processed = stats.lists_processed.load(kRelaxed);
+  out.updates_processed = stats.updates_processed.load(kRelaxed);
   out.audits_passed = stats.audits_passed.load(kRelaxed);
   out.checkpoints_written = stats.checkpoints_written.load(kRelaxed);
   out.checkpoint_failures = stats.checkpoint_failures.load(kRelaxed);
@@ -423,6 +446,7 @@ void ResetStreamStats() {
   stats.passes.store(0, kRelaxed);
   stats.edges_processed.store(0, kRelaxed);
   stats.lists_processed.store(0, kRelaxed);
+  stats.updates_processed.store(0, kRelaxed);
   stats.audits_passed.store(0, kRelaxed);
   stats.checkpoints_written.store(0, kRelaxed);
   stats.checkpoint_failures.store(0, kRelaxed);
@@ -437,6 +461,7 @@ void AddExternalRunStats(const ExternalRunStats& s) {
   stats.passes.fetch_add(s.passes, kRelaxed);
   stats.edges_processed.fetch_add(s.edges_processed, kRelaxed);
   stats.lists_processed.fetch_add(s.lists_processed, kRelaxed);
+  stats.updates_processed.fetch_add(s.updates_processed, kRelaxed);
   stats.audits_passed.fetch_add(s.audits_passed, kRelaxed);
 }
 
@@ -458,6 +483,17 @@ RunOutcome RunAdjacencyStream(AdjacencyStreamAlgorithm& alg,
                               const AdjacencyStream& stream,
                               const RunOptions& options) {
   return RunWithOptions<AdjacencyKind>(alg, stream, options);
+}
+
+void RunTurnstileStream(TurnstileStreamAlgorithm& alg,
+                        const TurnstileStream& stream) {
+  RunPlain<TurnstileKind>(alg, stream);
+}
+
+RunOutcome RunTurnstileStream(TurnstileStreamAlgorithm& alg,
+                              const TurnstileStream& stream,
+                              const RunOptions& options) {
+  return RunWithOptions<TurnstileKind>(alg, stream, options);
 }
 
 }  // namespace cyclestream

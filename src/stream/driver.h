@@ -246,6 +246,7 @@ struct StreamStats {
   std::uint64_t passes = 0;           // Passes executed.
   std::uint64_t edges_processed = 0;  // ProcessEdge calls.
   std::uint64_t lists_processed = 0;  // ProcessList calls.
+  std::uint64_t updates_processed = 0;  // Turnstile ProcessUpdate calls.
   std::uint64_t audits_passed = 0;    // Successful audit cross-checks.
   // Checkpoint/restore counters. Execution-dependent (they differ between a
   // killed+resumed process pair and an uninterrupted one), so the manifest
@@ -276,6 +277,7 @@ struct ExternalRunStats {
   std::uint64_t passes = 0;
   std::uint64_t edges_processed = 0;
   std::uint64_t lists_processed = 0;
+  std::uint64_t updates_processed = 0;
   std::uint64_t audits_passed = 0;
 };
 

@@ -15,6 +15,17 @@ namespace cyclestream {
 class StateWriter;
 class StateReader;
 
+/// Result of a streaming estimation: the estimate plus the peak space the
+/// algorithm retained, in words (see SpaceTracker below for the accounting
+/// rules). Defined here, at the stream layer, so stream-level interfaces
+/// (TurnstileStreamAlgorithm::Result, the windowing wrappers) can speak it
+/// without depending on the core layer; core/config.h re-exports it for
+/// the algorithm implementations.
+struct Estimate {
+  double value = 0.0;
+  std::size_t space_words = 0;
+};
+
 /// Peak-space tracker. Streaming algorithms report their space in "words":
 /// one word per stored edge endpoint pair, per counter, and per hash-seed
 /// coefficient. The space-scaling experiments read Peak().

@@ -1,0 +1,191 @@
+#include "stream/window/window.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+#include "util/serialize.h"
+
+namespace cyclestream {
+
+// --- SlidingWindowAlgorithm -----------------------------------------------
+
+SlidingWindowAlgorithm::SlidingWindowAlgorithm(
+    TurnstileAlgorithmFactory factory, std::string_view inner_id,
+    std::uint64_t window_edges, std::uint64_t buckets)
+    : factory_(std::move(factory)),
+      checkpoint_id_("window/1+" + std::string(inner_id)),
+      window_edges_(window_edges),
+      buckets_(buckets) {
+  CHECK_GT(window_edges_, 0u);
+  CHECK_GT(buckets_, 0u);
+  CHECK_EQ(window_edges_ % buckets_, 0u)
+      << "window_edges must be a multiple of the bucket count";
+  bucket_width_ = window_edges_ / buckets_;
+}
+
+void SlidingWindowAlgorithm::StartPass(int pass, std::size_t stream_length) {
+  CHECK_EQ(pass, 0);
+  (void)stream_length;  // Buckets open lazily at their first position.
+}
+
+TurnstileStreamAlgorithm& SlidingWindowAlgorithm::BucketFor(
+    std::uint64_t position) {
+  const std::uint64_t index = position / bucket_width_;
+  if (!live_.empty() && live_.back().index == index) {
+    return *live_.back().alg;
+  }
+  // Opening bucket `index`: retire everything that fell out of the window
+  // (a pure function of the index, so retirement points are identical at
+  // any threading or batching).
+  while (!live_.empty() && live_.front().index + buckets_ <= index) {
+    live_.erase(live_.begin());
+  }
+  Bucket b;
+  b.index = index;
+  b.alg = factory_();
+  b.alg->StartPass(0, bucket_width_);
+  live_.push_back(std::move(b));
+  return *live_.back().alg;
+}
+
+void SlidingWindowAlgorithm::ProcessUpdate(int pass, const TurnstileUpdate& u,
+                                           std::size_t position) {
+  BucketFor(position).ProcessUpdate(pass, u, position);
+}
+
+void SlidingWindowAlgorithm::ProcessUpdateBlock(
+    int pass, std::span<const TurnstileUpdate> updates,
+    std::size_t base_position) {
+  std::size_t i = 0;
+  while (i < updates.size()) {
+    const std::uint64_t pos = base_position + i;
+    const std::uint64_t bucket_end = (pos / bucket_width_ + 1) * bucket_width_;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(updates.size() - i, bucket_end - pos));
+    BucketFor(pos).ProcessUpdateBlock(pass, updates.subspan(i, n), pos);
+    i += n;
+  }
+}
+
+void SlidingWindowAlgorithm::EndPass(int pass) {
+  for (Bucket& b : live_) b.alg->EndPass(pass);
+}
+
+Estimate SlidingWindowAlgorithm::Result() const {
+  // Fold the live buckets oldest → newest into a fresh instance; linearity
+  // makes the fold exactly the sketch of the concatenated bucket slices.
+  std::unique_ptr<TurnstileStreamAlgorithm> merged = factory_();
+  for (const Bucket& b : live_) {
+    CHECK(merged->MergeFrom(*b.alg))
+        << "window bucket fold rejected (factory misconfiguration)";
+  }
+  Estimate result = merged->Result();
+  // Space: every live bucket holds a full instance.
+  result.space_words *= std::max<std::size_t>(std::size_t{1}, live_.size());
+  return result;
+}
+
+bool SlidingWindowAlgorithm::SaveState(StateWriter& w) const {
+  w.U64(window_edges_);
+  w.U64(buckets_);
+  w.Size(live_.size());
+  for (const Bucket& b : live_) {
+    w.U64(b.index);
+    StateWriter bucket_writer;
+    if (!b.alg->SaveState(bucket_writer)) return false;
+    w.Str(bucket_writer.str());
+  }
+  return true;
+}
+
+bool SlidingWindowAlgorithm::RestoreState(StateReader& r) {
+  if (r.U64() != window_edges_ || r.U64() != buckets_) return r.Fail();
+  const std::size_t count = r.Size();
+  if (!r.ok() || count > buckets_) return r.Fail();
+  std::vector<Bucket> restored;
+  restored.reserve(count);
+  std::uint64_t prev_index = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t index = r.U64();
+    const std::string blob = r.Str();
+    if (!r.ok()) return false;
+    if (i > 0 && index <= prev_index) return r.Fail();  // Must ascend.
+    prev_index = index;
+    Bucket b;
+    b.index = index;
+    b.alg = factory_();
+    StateReader bucket_reader(blob);
+    if (!b.alg->RestoreState(bucket_reader) || !bucket_reader.AtEnd()) {
+      return r.Fail();
+    }
+    restored.push_back(std::move(b));
+  }
+  live_ = std::move(restored);
+  return true;
+}
+
+// --- DecayAlgorithm --------------------------------------------------------
+
+DecayAlgorithm::DecayAlgorithm(
+    std::unique_ptr<TurnstileStreamAlgorithm> inner,
+    std::uint64_t epoch_edges, std::uint32_t decay_log2)
+    : inner_(std::move(inner)),
+      epoch_edges_(epoch_edges),
+      decay_log2_(decay_log2) {
+  CHECK(inner_ != nullptr);
+  CHECK_GT(epoch_edges_, 0u);
+  CHECK_GT(decay_log2_, 0u);
+  checkpoint_id_ = "decay/1+" + std::string(inner_->CheckpointId());
+  factor_ = std::ldexp(1.0, -static_cast<int>(decay_log2_));
+}
+
+void DecayAlgorithm::StartPass(int pass, std::size_t stream_length) {
+  inner_->StartPass(pass, stream_length);
+}
+
+void DecayAlgorithm::MaybeDecayAt(std::uint64_t position) {
+  if (position == 0 || position % epoch_edges_ != 0) return;
+  CHECK(inner_->Rescale(factor_))
+      << "decay requires a rescalable estimator (" << inner_->CheckpointId()
+      << " does not implement Rescale)";
+}
+
+void DecayAlgorithm::ProcessUpdate(int pass, const TurnstileUpdate& u,
+                                   std::size_t position) {
+  MaybeDecayAt(position);
+  inner_->ProcessUpdate(pass, u, position);
+}
+
+void DecayAlgorithm::ProcessUpdateBlock(
+    int pass, std::span<const TurnstileUpdate> updates,
+    std::size_t base_position) {
+  // Split at epoch boundaries so the rescale lands between exactly the
+  // same two updates at any batching.
+  std::size_t i = 0;
+  while (i < updates.size()) {
+    const std::uint64_t pos = base_position + i;
+    MaybeDecayAt(pos);
+    const std::uint64_t epoch_end = (pos / epoch_edges_ + 1) * epoch_edges_;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(updates.size() - i, epoch_end - pos));
+    inner_->ProcessUpdateBlock(pass, updates.subspan(i, n), pos);
+    i += n;
+  }
+}
+
+void DecayAlgorithm::EndPass(int pass) { inner_->EndPass(pass); }
+
+bool DecayAlgorithm::SaveState(StateWriter& w) const {
+  w.U64(epoch_edges_);
+  w.U32(decay_log2_);
+  return inner_->SaveState(w);
+}
+
+bool DecayAlgorithm::RestoreState(StateReader& r) {
+  if (r.U64() != epoch_edges_ || r.U32() != decay_log2_) return r.Fail();
+  return inner_->RestoreState(r);
+}
+
+}  // namespace cyclestream

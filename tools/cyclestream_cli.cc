@@ -64,6 +64,8 @@
 #include "graph/io.h"
 #include "stream/checkpoint.h"
 #include "stream/driver.h"
+#include "stream/dynamic/turnstile.h"
+#include "stream/dynamic/turnstile_io.h"
 #include "stream/order.h"
 #include "util/flags.h"
 #include "util/metrics.h"
@@ -99,10 +101,20 @@ int Usage() {
       "           kinds: random-order triest cormode-jowhari arb-f2\n"
       "                  arb-three-pass bera-chakrabarti (edge family)\n"
       "                  adj-diamond adj-f2 adj-l2 (adjacency family)\n"
+      "                  turnstile-f2-triangle turnstile-f2-c4 (turnstile\n"
+      "                  family: dynamic insert/delete streams; a .bin v2\n"
+      "                  file from `edge2bin --turnstile` streams in file\n"
+      "                  order, any insert-only graph is wrapped)\n"
+      "           turnstile-only time-decay knobs (mutually exclusive):\n"
+      "           [--window W --window-buckets B]   estimate over the last\n"
+      "           W updates via B merged sketch buckets (B divides W)\n"
+      "           [--decay-epoch K --decay-log2 D]   multiply the sketch by\n"
+      "           2^-D every K updates (exact power-of-two decay)\n"
       "  serve    --graph FILE --spec FILE   QuerySpecs from key=value lines\n"
       "           (name= kind= [seed=] [budget=] [epsilon=] [c=] [t_guess=]\n"
       "            [level_rate=] [prefix_rate=] [reservoir=]\n"
-      "            [num_vertices=] [sketch_backend=] [intra_shards=])\n"
+      "            [num_vertices=] [sketch_backend=] [intra_shards=]\n"
+      "            [window=] [window_buckets=] [decay_epoch=] [decay_log2=])\n"
       "           --daemon   supervised always-on mode over the sharded\n"
       "           engine (takes the `shard` flags, plus):\n"
       "           [--max-retries N] [--backoff-ms B] [--backoff-cap-ms C]\n"
@@ -598,6 +610,97 @@ void PrintEngineOutcomes(const std::vector<engine::QueryOutcome>& outcomes,
   }
 }
 
+// Which of the three stream families a kind consumes (one batch = one
+// stream, so every spec in a batch must agree).
+int StreamFamily(engine::QueryKind kind) {
+  if (engine::IsTurnstileKind(kind)) return 2;
+  return engine::IsEdgeKind(kind) ? 0 : 1;
+}
+
+// Turnstile half of the engine-batch driver. A .bin v2 file (edge2bin
+// --turnstile) streams its insert/delete records in file order — the update
+// order is semantic (strict ingest requires every delete to follow a live
+// insert), so --order does not apply to it. Any insert-only source (text,
+// .bin v1, karate) is wrapped via TurnstileFromEdges with the usual --order
+// handling. Ground truth is the *live* graph after every update (LiveEdges),
+// which is what the estimates approximate.
+int RunTurnstileBatch(FlagParser& flags, RunManifest& manifest,
+                      std::vector<engine::QuerySpec> specs) {
+  const std::string path = flags.GetString("graph", "");
+  const bool karate = flags.GetBool("karate", false);
+  const std::uint64_t seed = flags.GetCount("seed", 1);
+  const std::string order = flags.GetString("order", "shuffled");
+  if (order != "shuffled" && order != "file") {
+    std::cerr << "error: --order must be shuffled or file\n";
+    return 1;
+  }
+
+  TurnstileStream stream;
+  VertexId stream_vertices = 0;
+  std::uint32_t format_version = 0;
+  if (!karate && !path.empty() && IsBinaryGraphPath(path) &&
+      SniffBinaryFormatVersion(path) == kBinaryTurnstileVersion) {
+    TurnstileBinaryReader turnstile_reader;
+    std::string error;
+    if (!turnstile_reader.Open(path, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    stream_vertices = turnstile_reader.num_vertices();
+    format_version = turnstile_reader.format_version();
+    stream = turnstile_reader.TakeStream();
+  } else {
+    BinaryEdgeReader reader;
+    EdgeList graph;
+    bool binary = false;
+    if (!LoadBatchGraph(flags, &reader, &graph, &binary)) return 1;
+    if (binary) format_version = reader.format_version();
+    stream_vertices = graph.num_vertices();
+    if (order == "file") {
+      stream = TurnstileFromEdges(graph.edges());
+    } else {
+      Rng order_rng(seed ^ 0x5eedULL);
+      const EdgeStream shuffled = MakeRandomOrderStream(graph, order_rng);
+      stream = TurnstileFromEdges(shuffled);
+    }
+  }
+  if (format_version != 0) {
+    manifest.metrics().SetInt("stream.format_version",
+                              static_cast<std::int64_t>(format_version));
+  }
+  manifest.metrics().SetInt("stream.updates",
+                            static_cast<std::int64_t>(stream.size()));
+
+  const std::vector<Edge> live = LiveEdges(stream);
+  EdgeList live_list(stream_vertices);
+  for (const Edge& e : live) live_list.Add(e.u, e.v);
+  live_list.Finalize();
+  const Graph g(live_list);
+  const bool show_exact = !flags.GetBool("no-exact", false);
+  ExactCache exact(g);
+
+  engine::BrokerOptions options;
+  options.block_size =
+      static_cast<std::size_t>(flags.GetCount("block-edges", 4096));
+  options.budget.per_query_words =
+      static_cast<std::size_t>(flags.GetCount("per-query-budget", 0));
+  options.budget.aggregate_words =
+      static_cast<std::size_t>(flags.GetCount("aggregate-budget", 0));
+  engine::StreamBroker broker(options);
+  for (engine::QuerySpec& spec : specs) {
+    if (spec.num_vertices == 0) spec.num_vertices = stream_vertices;
+    if (spec.base.t_guess <= 1.0) {
+      spec.base.t_guess = std::max(1.0, exact.For(spec.kind));
+    }
+    broker.AddQuery(spec);
+  }
+
+  const std::vector<engine::QueryOutcome> outcomes =
+      broker.RunTurnstileQueries(stream);
+  PrintEngineOutcomes(outcomes, broker.stats(), show_exact, exact, manifest);
+  return 0;
+}
+
 // Shared engine-batch driver behind `sweep` and `serve`: loads the graph
 // (text, .bin, or karate), fills spec defaults (n, t_guess from the exact
 // count of each query's target), builds the stream of the batch's family,
@@ -609,20 +712,26 @@ int RunEngineBatch(FlagParser& flags, RunManifest& manifest,
     std::cerr << "error: no queries to run\n";
     return 1;
   }
-  const bool edge_family = engine::IsEdgeKind(specs[0].kind);
+  const int family = StreamFamily(specs[0].kind);
   for (const engine::QuerySpec& spec : specs) {
-    if (engine::IsEdgeKind(spec.kind) != edge_family) {
+    if (StreamFamily(spec.kind) != family) {
       std::cerr << "error: query '" << spec.name << "' ("
                 << engine::QueryKindName(spec.kind)
                 << ") mixes stream families; one batch = one stream\n";
       return 1;
     }
   }
+  if (family == 2) return RunTurnstileBatch(flags, manifest, std::move(specs));
+  const bool edge_family = family == 0;
 
   BinaryEdgeReader reader;
   EdgeList graph;
   bool binary = false;
   if (!LoadBatchGraph(flags, &reader, &graph, &binary)) return 1;
+  if (binary) {
+    manifest.metrics().SetInt("stream.format_version",
+                              static_cast<std::int64_t>(reader.format_version()));
+  }
   const Graph g(graph);
 
   const std::uint64_t seed = flags.GetCount("seed", 1);
@@ -711,6 +820,11 @@ int RunSweep(FlagParser& flags, RunManifest& manifest) {
   base.space_budget_words =
       static_cast<std::size_t>(flags.GetCount("budget-words", 0));
   if (!ApplySketchBackendFlags(flags, &base)) return Usage();
+  base.window_edges = flags.GetCount("window", 0);
+  base.window_buckets = flags.GetCount("window-buckets", 8);
+  base.decay_epoch_edges = flags.GetCount("decay-epoch", 0);
+  base.decay_log2 =
+      static_cast<std::uint32_t>(flags.GetCount("decay-log2", 0));
   const std::uint64_t seed = flags.GetCount("seed", 1);
 
   std::vector<engine::QuerySpec> specs;
@@ -720,6 +834,11 @@ int RunSweep(FlagParser& flags, RunManifest& manifest) {
     spec.name =
         std::string(engine::QueryKindName(spec.kind)) + "-" + std::to_string(i);
     spec.base.seed = seed + static_cast<std::uint64_t>(i);
+    std::string windowing_error;
+    if (!engine::ValidateSpecWindowing(spec, &windowing_error)) {
+      std::cerr << "error: " << windowing_error << "\n";
+      return 1;
+    }
     specs.push_back(std::move(spec));
   }
   return RunEngineBatch(flags, manifest, std::move(specs));
@@ -846,6 +965,17 @@ int PrepareShardRun(FlagParser& flags, ShardSetup* setup) {
     return 1;
   }
   for (const engine::QuerySpec& spec : specs) {
+    if (engine::IsTurnstileKind(spec.kind)) {
+      // Honest scoping, not an oversight: the coordinator's slices, state
+      // files, and resume protocol are built around the v1 edge stream.
+      // Turnstile batches run single-process through `serve`/`sweep`.
+      std::cerr << "error: query '" << spec.name << "' ("
+                << engine::QueryKindName(spec.kind)
+                << ") is a turnstile kind; the multi-process shard "
+                   "coordinator and `serve --daemon` do not support "
+                   "turnstile streams — use `serve` or `sweep`\n";
+      return 1;
+    }
     if (!engine::IsEdgeKind(spec.kind) ||
         !engine::IsShardMergeableKind(spec.kind)) {
       std::cerr << "error: query '" << spec.name << "' ("

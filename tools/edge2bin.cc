@@ -1,8 +1,10 @@
 // edge2bin — converts text edge lists to the binary edge-stream format
-// (graph/binary_io.h) and back.
+// (graph/binary_io.h) and back, and text turnstile streams to the binary
+// turnstile format v2 (stream/dynamic/turnstile_io.h) and back.
 //
 //   edge2bin IN.txt OUT.bin [--num_vertices N]
-//   edge2bin --to-text IN.bin OUT.txt
+//   edge2bin --turnstile IN.txt OUT.bin [--num_vertices N]
+//   edge2bin --to-text IN.bin OUT.txt      (auto-detects v1 vs v2)
 //
 // The text parser here deliberately differs from LoadEdgeListText: vertex
 // ids are taken *literally* (no densification), duplicates are kept, and
@@ -11,11 +13,18 @@
 // (e.g. `cyclestream_cli generate`), text -> bin -> text reproduces the
 // original byte-for-byte, which CI asserts with `diff`.
 //
+// Turnstile text streams are one update per line: `+ u v` (insert) or
+// `- u v` (delete), with an optional
+// "# cyclestream turnstile stream: N vertices, M updates" header comment.
+// The same byte-for-byte round-trip contract holds (--turnstile -> --to-text
+// diffs clean), and --to-text refuses concatenated/mixed-version files via
+// the readers' exact-size checks.
+//
 // The vertex count comes from --num_vertices, else from the
-// "# cyclestream edge list: N vertices, ..." header comment, else from
-// max(id)+1. Self-loops are errors (the binary format cannot represent
-// them); reversed endpoints (u > v) are canonicalized with a counted
-// warning.
+// "# cyclestream edge list: N vertices, ..." (or turnstile) header comment,
+// else from max(id)+1. Self-loops are errors (the binary formats cannot
+// represent them); reversed endpoints (u > v) are canonicalized with a
+// counted warning.
 
 #include <algorithm>
 #include <charconv>
@@ -30,6 +39,8 @@
 
 #include "graph/binary_io.h"
 #include "graph/types.h"
+#include "stream/dynamic/turnstile.h"
+#include "stream/dynamic/turnstile_io.h"
 #include "util/crc32.h"
 #include "util/flags.h"
 
@@ -38,7 +49,10 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: edge2bin IN.txt OUT.bin [--num_vertices N]\n"
-               "       edge2bin --to-text IN.bin OUT.txt\n";
+               "       edge2bin --turnstile IN.txt OUT.bin [--num_vertices N]\n"
+               "         (turnstile text: one `+ u v` or `- u v` per line)\n"
+               "       edge2bin --to-text IN.bin OUT.txt\n"
+               "         (auto-detects the v1 edge vs v2 turnstile format)\n";
   return 2;
 }
 
@@ -180,6 +194,143 @@ int TextToBin(const std::string& in_path, const std::string& out_path,
   return 0;
 }
 
+// Recognizes the turnstile text header comment and extracts N.
+bool ParseTurnstileHeaderComment(const std::string& line, std::uint64_t* n) {
+  constexpr char kPrefix[] = "# cyclestream turnstile stream: ";
+  if (line.rfind(kPrefix, 0) != 0) return false;
+  const std::size_t start = sizeof(kPrefix) - 1;
+  const std::size_t end = line.find(' ', start);
+  if (end == std::string::npos ||
+      line.compare(end, 9, " vertices") != 0) {
+    return false;
+  }
+  return ParseVertex(line.substr(start, end - start), n);
+}
+
+int TurnstileTextToBin(const std::string& in_path, const std::string& out_path,
+                       std::int64_t num_vertices_flag) {
+  std::ifstream in(in_path);
+  if (!in) {
+    std::cerr << "error: cannot open " << in_path << "\n";
+    return 1;
+  }
+  auto fail = [](const std::string& message) {
+    std::cerr << "error: " << message << "\n";
+    return 1;
+  };
+
+  TurnstileStream stream;
+  std::uint64_t header_vertices = 0;
+  bool have_header_vertices = false;
+  std::uint64_t max_id = 0;
+  std::uint64_t swapped = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!have_header_vertices && stream.empty() &&
+        ParseTurnstileHeaderComment(line, &header_vertices)) {
+      have_header_vertices = true;
+    }
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string top, ta, tb;
+    if (!(ls >> top)) continue;  // Blank or comment-only line.
+    if (top != "+" && top != "-") {
+      return fail(in_path + ":" + std::to_string(lineno) +
+                  ": turnstile lines start with + (insert) or - (delete)");
+    }
+    std::uint64_t a = 0, b = 0;
+    if (!(ls >> ta >> tb) || !ParseVertex(ta, &a) || !ParseVertex(tb, &b)) {
+      return fail(in_path + ":" + std::to_string(lineno) +
+                  ": malformed line");
+    }
+    if (a == b) {
+      return fail(in_path + ":" + std::to_string(lineno) + ": self-loop " +
+                  std::to_string(a) +
+                  " (the binary stream format cannot represent it)");
+    }
+    if (a > b) {
+      std::swap(a, b);
+      ++swapped;
+    }
+    if (b > 0xffffffffull) {
+      return fail(in_path + ":" + std::to_string(lineno) + ": vertex id " +
+                  std::to_string(b) + " exceeds 32 bits");
+    }
+    max_id = std::max(max_id, b);
+    stream.emplace_back(
+        Edge(static_cast<VertexId>(a), static_cast<VertexId>(b)),
+        top == "+" ? TurnstileOp::kInsert : TurnstileOp::kDelete);
+  }
+  if (in.bad()) {
+    return fail(in_path + ": read error after line " + std::to_string(lineno));
+  }
+
+  std::uint64_t num_vertices = stream.empty() ? 0 : max_id + 1;
+  if (num_vertices_flag > 0) {
+    num_vertices = static_cast<std::uint64_t>(num_vertices_flag);
+  } else if (have_header_vertices) {
+    num_vertices = header_vertices;
+  }
+  if (num_vertices > 0xffffffffull) {
+    return fail("vertex count " + std::to_string(num_vertices) +
+                " exceeds 32 bits");
+  }
+  if (!stream.empty() && max_id >= num_vertices) {
+    return fail("vertex id " + std::to_string(max_id) +
+                " out of range for num_vertices=" +
+                std::to_string(num_vertices));
+  }
+  if (swapped > 0) {
+    std::cerr << "warning: " << in_path << ": canonicalized " << swapped
+              << " reversed edge" << (swapped == 1 ? "" : "s") << "\n";
+  }
+
+  std::string error;
+  if (!WriteTurnstileStream(stream, static_cast<VertexId>(num_vertices),
+                            out_path, &error)) {
+    return fail(error);
+  }
+  std::cerr << "wrote " << out_path << ": n=" << num_vertices
+            << " updates=" << stream.size() << " (turnstile v2)\n";
+  return 0;
+}
+
+int TurnstileBinToText(const std::string& in_path,
+                       const std::string& out_path) {
+  TurnstileBinaryReader reader;
+  // Pass-through tool: any well-formed v2 file must convert, including
+  // streams with unmatched deletes that the strict query-path ingest would
+  // reject.
+  reader.set_strict(false);
+  std::string error;
+  if (!reader.Open(in_path, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "# cyclestream turnstile stream: " << reader.num_vertices()
+      << " vertices, " << reader.num_updates() << " updates\n";
+  for (const TurnstileUpdate& u : reader.stream()) {
+    out << (u.op == TurnstileOp::kInsert ? '+' : '-') << ' ' << u.edge.u
+        << ' ' << u.edge.v << '\n';
+  }
+  out.flush();
+  if (!out) {
+    std::cerr << "error: write failed: " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << out_path << ": n=" << reader.num_vertices()
+            << " updates=" << reader.num_updates() << "\n";
+  return 0;
+}
+
 int BinToText(const std::string& in_path, const std::string& out_path) {
   BinaryEdgeReader reader;
   std::string error;
@@ -217,14 +368,30 @@ int Main(int argc, char** argv) {
   // so both `--to-text IN OUT` and `--to-text=1 IN OUT` work.
   const std::string to_text_value = flags.GetString("to-text", "");
   const bool to_text = !to_text_value.empty();
+  const std::string turnstile_value = flags.GetString("turnstile", "");
+  const bool turnstile = !turnstile_value.empty();
   std::vector<std::string> paths;
   if (to_text && to_text_value != "true" && to_text_value != "1") {
     paths.push_back(to_text_value);  // The swallowed input path.
   }
+  if (turnstile && turnstile_value != "true" && turnstile_value != "1") {
+    paths.push_back(turnstile_value);  // Likewise for a bare --turnstile.
+  }
   paths.insert(paths.end(), flags.positional().begin(),
                flags.positional().end());
   if (paths.size() != 2) return Usage();
-  if (to_text) return BinToText(paths[0], paths[1]);
+  if (to_text) {
+    // The magic byte picks the decoder, so `--to-text` inverts whichever
+    // emit mode produced the file.
+    if (SniffBinaryFormatVersion(paths[0]) == kBinaryTurnstileVersion) {
+      return TurnstileBinToText(paths[0], paths[1]);
+    }
+    return BinToText(paths[0], paths[1]);
+  }
+  if (turnstile) {
+    return TurnstileTextToBin(paths[0], paths[1],
+                              flags.GetInt("num_vertices", 0));
+  }
   return TextToBin(paths[0], paths[1], flags.GetInt("num_vertices", 0));
 }
 
